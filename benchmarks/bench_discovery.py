@@ -1,0 +1,202 @@
+"""DISC — Sections 3.2 / 3.4: asynchronous discovery & interleaving.
+
+Claims reproduced:
+(1) ingest throughput is decoupled from annotator cost: deferring
+    discovery keeps infusion fast, and the backlog drains later;
+(2) the execution manager interleaves long-running discovery with
+    interactive queries so query latency stays bounded while discovery
+    makes progress ("properly interleaving these analysis tasks with
+    ... queries with more stringent response-time requirements");
+(3) piggybacked mining reaches full corpus coverage off buffer traffic
+    that other work paid for;
+(4) discovered join indexes answer association queries that are simply
+    unanswerable before discovery ran.
+"""
+
+from __future__ import annotations
+
+import statistics as pystats
+
+import pytest
+
+from repro.cluster.node import NodeKind, SimNode
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.discovery.relationships import RelationshipRule
+from repro.virt.execmgr import ExecutionManager, Task, TaskClass
+from repro.workloads.callcenter import CallCenterWorkload
+
+from conftest import once, print_table
+
+
+def build_app():
+    workload = CallCenterWorkload(n_customers=20, n_transcripts=80, seed=11)
+    app = Impliance(
+        ApplianceConfig(
+            n_data_nodes=2, n_grid_nodes=2,
+            product_lexicon=workload.product_lexicon(),
+        )
+    )
+    app.add_relationship_rule(
+        RelationshipRule("mentions", "product_mention", "product", ("products", "name"))
+    )
+    return app, workload
+
+
+def test_disc_ingest_only(benchmark):
+    """Infusion with discovery deferred (the appliance's actual path)."""
+    _, workload = build_app()
+    docs = list(workload.documents())
+
+    def run():
+        app, _ = build_app()
+        for doc in docs:
+            app.ingest_document(doc)
+        return app
+
+    app = benchmark(run)
+    assert app.discovery.backlog == len(docs)
+
+
+def test_disc_ingest_with_inline_discovery(benchmark):
+    """The anti-pattern: annotate synchronously inside the ingest loop."""
+    _, workload = build_app()
+    docs = list(workload.documents())
+
+    def run():
+        app, _ = build_app()
+        for doc in docs:
+            app.ingest_document(doc)
+            app.discovery.run_pass(budget=1)
+        return app
+
+    app = benchmark(run)
+    assert app.discovery.backlog == 0
+
+
+def test_disc_decoupling_report(benchmark):
+    """Quantify the ingest-throughput decoupling."""
+    import time
+
+    def run():
+        _, workload = build_app()
+        docs = list(workload.documents())
+
+        app_deferred, _ = build_app()
+        t0 = time.perf_counter()
+        for doc in docs:
+            app_deferred.ingest_document(doc)
+        deferred_ingest_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        app_deferred.discover()
+        drain_s = time.perf_counter() - t0
+
+        app_inline, _ = build_app()
+        t0 = time.perf_counter()
+        for doc in docs:
+            app_inline.ingest_document(doc)
+            app_inline.discovery.run_pass(budget=1)
+        inline_s = time.perf_counter() - t0
+        return deferred_ingest_s, drain_s, inline_s, app_deferred
+
+    deferred_s, drain_s, inline_s, app = once(benchmark, run)
+    print_table(
+        "DISC: ingest/discovery decoupling (host seconds)",
+        ["path", "ingest visible latency", "total work"],
+        [
+            ["deferred (appliance)", round(deferred_s, 4), round(deferred_s + drain_s, 4)],
+            ["inline (baseline)", round(inline_s, 4), round(inline_s, 4)],
+        ],
+    )
+    # The latency an ingest client sees is much lower when deferred.
+    assert deferred_s < inline_s / 2
+    assert app.discovery.stats.annotations_created > 0
+
+
+def test_disc_interleaving_report(benchmark):
+    """Interactive latency with a discovery backlog churning underneath."""
+
+    def run():
+        workers = [SimNode(f"g{i}", NodeKind.GRID) for i in range(2)]
+        manager = ExecutionManager(workers, background_share=0.25)
+        for i in range(40):
+            manager.submit(Task(f"discovery-{i}", 40.0, TaskClass.BACKGROUND))
+        query_latencies = []
+        for q in range(10):
+            manager.submit(Task(f"query-{q}", 8.0, TaskClass.INTERACTIVE))
+            manager.run_quantum(100.0)
+        manager.run_until_idle()
+        return manager
+
+    manager = once(benchmark, run)
+    interactive = manager.latencies(TaskClass.INTERACTIVE)
+    background = manager.latencies(TaskClass.BACKGROUND)
+    print_table(
+        "DISC: query latency under discovery load (simulated ms)",
+        ["class", "count", "mean", "max"],
+        [
+            ["interactive", len(interactive),
+             round(pystats.mean(interactive), 1), round(max(interactive), 1)],
+            ["background", len(background),
+             round(pystats.mean(background), 1), round(max(background), 1)],
+        ],
+    )
+    # Queries never wait behind the whole backlog (40 × 40ms = 1600ms of
+    # background work was pending).
+    assert max(interactive) < 400
+    # And discovery still completed.
+    assert len(background) == 40
+
+
+def test_disc_piggyback_coverage_report(benchmark):
+    """Mining coverage obtained purely from other work's page traffic."""
+
+    def run():
+        app, workload = build_app()
+        for doc in workload.documents():
+            app.ingest_document(doc)
+        coverage_before = app.miner.coverage(app.doc_count)
+        # Other work: a keyword search warm-up and one analytics query.
+        app.search("widgetpro excellent")
+        app.sql("SELECT segment, count(*) AS n FROM customers GROUP BY segment")
+        coverage_after = app.miner.coverage(app.doc_count)
+        return coverage_before, coverage_after, app
+
+    before, after, app = once(benchmark, run)
+    print_table(
+        "DISC: piggyback mining coverage from incidental page traffic",
+        ["moment", "coverage"],
+        [["before any queries", round(before, 3)], ["after two queries", round(after, 3)]],
+    )
+    assert before == 0.0
+    assert after > 0.9  # the scans those queries did covered the corpus
+
+
+def test_disc_join_index_value_report(benchmark):
+    """Association queries: impossible before discovery, instant after."""
+
+    def run():
+        app, workload = build_app()
+        for doc in workload.documents():
+            app.ingest_document(doc)
+        truth = sorted(workload.truth_mentions())
+        transcript, product = truth[0]
+        product_doc_id = next(
+            d.doc_id for d in app.documents()
+            if d.metadata.get("table") == "products"
+            and d.first(("products", "name")) == product
+        )
+        before = app.graph().how_connected(transcript, product_doc_id)
+        app.discover()
+        after = app.graph().how_connected(transcript, product_doc_id)
+        edges = app.indexes.joins.edge_count
+        return before, after, edges
+
+    before, after, edges = once(benchmark, run)
+    print_table(
+        "DISC: connection query before/after discovery",
+        ["moment", "answerable", "join edges"],
+        [["before", before is not None, 0], ["after", after is not None, edges]],
+    )
+    assert before is None and after is not None
+    assert edges > 0

@@ -1,0 +1,100 @@
+"""FIG2 — Figure 2 / Section 3.2: relational round trip via views.
+
+Claims reproduced: (1) a relational row infused with no schema
+declaration is immediately SQL-queryable and retrievable unchanged;
+(2) discovered annotations are exposed back to SQL through
+system-supplied views, widened with subject context, without any
+application rewrite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.model.converters import to_relational_row
+from repro.model.views import annotation_view
+from repro.workloads.relational import RelationalWorkload
+
+from conftest import once, print_table
+
+
+def build_app(n_orders=300):
+    app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+    workload = RelationalWorkload(n_customers=30, n_orders=n_orders, seed=7)
+    for doc in workload.documents():
+        app.ingest_document(doc)
+    return app, workload
+
+
+def test_fig2_sql_over_fresh_rows(benchmark):
+    """SQL latency on rows that were never schema-declared."""
+    app, _ = build_app()
+
+    result = benchmark(
+        lambda: app.sql(
+            "SELECT region, count(*) AS n, sum(amount) AS total "
+            "FROM orders WHERE amount > 250 GROUP BY region"
+        )
+    )
+    assert len(result.rows) >= 1
+
+
+def test_fig2_join_through_views(benchmark):
+    app, _ = build_app()
+    result = benchmark(
+        lambda: app.sql(
+            "SELECT name, amount FROM orders JOIN customers ON cid = cid "
+            "WHERE amount > 480"
+        )
+    )
+    assert all("name" in r for r in result.rows)
+
+
+def test_fig2_round_trip_report(benchmark):
+    """The full Figure-2 loop: row → document → SQL → unchanged row →
+    annotations → annotation view rows."""
+
+    def loop():
+        app, workload = build_app(n_orders=100)
+        # 1. retrieved without change
+        original = next(workload.orders())
+        stored = app.lookup(original.doc_id)
+        round_tripped = to_relational_row(stored)
+        assert round_tripped == original.content["orders"]
+
+        # 2. sql sees exactly the ingested rows
+        count_row = app.sql("SELECT count(*) AS n FROM orders").rows[0]
+
+        # 3. discovery annotates; annotations come back through a view
+        app.ingest_text(
+            "Review: order ord-0 was flagged, refund of $1,200.00 issued, terrible."
+        )
+        app.discover()
+        app.define_view(
+            annotation_view(
+                "sentiments", "sentiment", ["polarity", "score"],
+                subject_columns={"subject_text": ("document", "body")},
+            )
+        )
+        ann_rows = app.sql(
+            "SELECT subject_id, polarity, subject_text FROM sentiments"
+        ).rows
+        return app, count_row, ann_rows
+
+    app, count_row, ann_rows = once(benchmark, loop)
+
+    print_table(
+        "FIG2: relational round trip + annotation views",
+        ["check", "value"],
+        [
+            ["rows ingested == sql count", count_row["n"] == 100],
+            ["annotation view rows", len(ann_rows)],
+            ["subject context joined in", all(r["subject_text"] for r in ann_rows)],
+            ["negative sentiment surfaced", any(r["polarity"] == "negative" for r in ann_rows)],
+        ],
+    )
+    assert count_row["n"] == 100
+    assert ann_rows and any(r["polarity"] == "negative" for r in ann_rows)
+    assert all(r["subject_text"] for r in ann_rows)

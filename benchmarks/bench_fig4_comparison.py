@@ -1,0 +1,88 @@
+"""FIG4 — Figure 4 / Section 5: measured system comparison.
+
+Claim reproduced: along the axes of Figure 4, Impliance dominates the
+archetypes on modeling-and-querying power while scaling further, at an
+administrator cost comparable to the simplest system — and each baseline
+fails exactly its archetypal gap (file server: no queries; content
+manager: metadata-only search; RDBMS: no content search; enterprise
+search: no joins/aggregates).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.battery import comparison_table, run_battery, standard_corpus
+from repro.baselines.contentmgr import ContentManager
+from repro.baselines.filestore import FileStore
+from repro.baselines.impliance_adapter import ImplianceSystem
+from repro.baselines.rdbms import RelationalDBMS
+from repro.baselines.searchengine import SearchEngine
+
+from conftest import once, print_table
+
+
+def all_systems():
+    return [
+        FileStore(),
+        ContentManager(),
+        RelationalDBMS(),
+        SearchEngine(),
+        ImplianceSystem(products=("WidgetPro", "GadgetMax")),
+    ]
+
+
+@pytest.mark.parametrize("make", [FileStore, ContentManager, RelationalDBMS, SearchEngine])
+def test_fig4_baseline_battery(benchmark, make):
+    """Per-system battery latency (the baselines are cheap; the point is
+    what they *cannot* do, captured in the report bench)."""
+    report = benchmark(lambda: run_battery(make()))
+    assert 0.0 <= report.power_score < 1.0
+
+
+def test_fig4_impliance_battery(benchmark):
+    report = benchmark(
+        lambda: run_battery(ImplianceSystem(products=("WidgetPro", "GadgetMax")))
+    )
+    assert report.power_score == 1.0
+
+
+def test_fig4_comparison_report(benchmark):
+    """Regenerate the Figure 4 positioning from measurements."""
+
+    def run():
+        return [run_battery(system) for system in all_systems()]
+
+    reports = once(benchmark, run)
+    print(f"\n{comparison_table(reports)}")
+
+    tasks = [o.task for o in reports[0].outcomes]
+    matrix = []
+    for report in reports:
+        row = [report.system]
+        for task in tasks:
+            outcome = report.outcome(task)
+            row.append("yes" if (outcome.supported and outcome.correct) else
+                       "FAIL" if outcome.supported else "-")
+        matrix.append(row)
+    print_table("FIG4: task support matrix", ["system"] + tasks, matrix)
+
+    by_name = {r.system: r for r in reports}
+    impliance = by_name["impliance"]
+
+    # Impliance dominates power and scalability.
+    for name, report in by_name.items():
+        if name == "impliance":
+            continue
+        assert impliance.power_score > report.power_score, name
+        assert impliance.scalability_score > report.scalability_score, name
+
+    # TCO: only the do-nothing file server is cheaper to own.
+    cheaper = [n for n, r in by_name.items() if r.tco_score > impliance.tco_score]
+    assert cheaper in ([], ["file-server"])
+
+    # Archetypal gaps, exactly as the paper describes them.
+    assert not by_name["file-server"].outcome("join").supported
+    assert not by_name["content-manager"].outcome("content_search").supported
+    assert not by_name["relational-dbms"].outcome("content_search").supported
+    assert not by_name["enterprise-search"].outcome("aggregate").supported

@@ -1,0 +1,134 @@
+"""PREFETCH — Section 3.1: plan-hinted vs pattern-mined prefetching.
+
+Claim reproduced: because the appliance's executor tells the storage
+layer what its access plan is, hinted prefetching keeps its hit rate when
+access patterns interleave or shift — exactly where the general-purpose
+baseline (mining reference patterns) "thrash[es] their hypothesized
+pattern when the database queries change subtly".
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.bufferpool import (
+    AccessHint,
+    BufferPool,
+    HintedPrefetcher,
+    NoPrefetcher,
+    PatternMiningPrefetcher,
+)
+from repro.storage.pages import Page
+
+from conftest import once, print_table
+
+PAGES = 64
+
+
+class SimDisk:
+    def __init__(self, pages=PAGES):
+        self.pages = pages
+        self.physical_reads = 0
+
+    def fetch(self, segment_id, page_id):
+        self.physical_reads += 1
+        return Page(page_id=page_id, segment_id=segment_id)
+
+    def segment_pages(self, segment_id):
+        return self.pages
+
+
+def make_pool(policy):
+    disk = SimDisk()
+    prefetchers = {
+        "none": NoPrefetcher(),
+        "hinted": HintedPrefetcher(window=4),
+        "mining": PatternMiningPrefetcher(window=4),
+    }
+    pool = BufferPool(32, disk.fetch, disk.segment_pages, prefetchers[policy])
+    return pool, disk
+
+
+def sequential_scan(pool, segment=0):
+    for page in range(PAGES):
+        pool.get(segment, page, AccessHint.SEQUENTIAL)
+
+
+def interleaved_scans(pool):
+    """Two concurrent sequential scans over different segments — each is
+    perfectly sequential, but the merged reference stream is not."""
+    for page in range(PAGES):
+        pool.get(0, page, AccessHint.SEQUENTIAL)
+        pool.get(1, page, AccessHint.SEQUENTIAL)
+
+
+def scan_probe_mix(pool, seed=7):
+    """A table scan interrupted by unclustered index probes."""
+    rng = random.Random(seed)
+    for page in range(PAGES):
+        pool.get(0, page, AccessHint.SEQUENTIAL)
+        if page % 3 == 0:
+            pool.get(1, rng.randrange(PAGES), AccessHint.RANDOM)
+
+
+WORKLOADS = {
+    "sequential": sequential_scan,
+    "interleaved": interleaved_scans,
+    "scan+probe": scan_probe_mix,
+}
+
+
+@pytest.mark.parametrize("policy", ["none", "hinted", "mining"])
+def test_prefetch_interleaved_wallclock(benchmark, policy):
+    def run():
+        pool, _ = make_pool(policy)
+        interleaved_scans(pool)
+        return pool.stats.hit_rate
+
+    hit_rate = benchmark(run)
+    assert 0.0 <= hit_rate <= 1.0
+
+
+def test_prefetch_policy_report(benchmark):
+    """Hit rate and wasted prefetches per (policy × workload)."""
+
+    def run():
+        rows = []
+        for workload_name, workload in WORKLOADS.items():
+            for policy in ("none", "hinted", "mining"):
+                pool, disk = make_pool(policy)
+                workload(pool)
+                rows.append([
+                    workload_name,
+                    policy,
+                    round(pool.stats.hit_rate, 3),
+                    pool.stats.prefetch_issued,
+                    pool.stats.prefetch_wasted,
+                    disk.physical_reads,
+                ])
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "PREFETCH: hinted vs pattern-mining vs none",
+        ["workload", "policy", "hit rate", "issued", "wasted", "disk reads"],
+        rows,
+    )
+
+    def hit(workload, policy):
+        return next(r[2] for r in rows if r[0] == workload and r[1] == policy)
+
+    # Pure sequential: both prefetchers help (mining eventually locks on).
+    assert hit("sequential", "hinted") > hit("sequential", "none")
+    assert hit("sequential", "mining") > hit("sequential", "none")
+    # Interleaved scans: mining never detects a run; hinted keeps its rate.
+    assert hit("interleaved", "mining") == hit("interleaved", "none")
+    assert hit("interleaved", "hinted") > hit("interleaved", "mining") + 0.5
+    # Scan+probe mix: hinted stays ahead of mining.
+    assert hit("scan+probe", "hinted") > hit("scan+probe", "mining")
+    # Hinted prefetch never fires on declared-random probes: its wasted
+    # count stays moderate even in the mixed workload.
+    hinted_waste = next(r[4] for r in rows if r[0] == "scan+probe" and r[1] == "hinted")
+    assert hinted_waste <= 8

@@ -1,0 +1,151 @@
+"""VIRT — Section 3.4: autonomic, hierarchical resource management.
+
+Claims reproduced:
+(1) after a node failure, resource groups + brokers restore the service
+    level with zero administrator actions;
+(2) storage reliability classes drive replica repair automatically, and
+    no data becomes unavailable for single failures;
+(3) hierarchical brokerage keeps per-failure management traffic flat as
+    the system grows (the cost-effective-at-scale claim);
+(4) new hardware offered to a broker flows to the neediest group without
+    anyone deciding placement by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import NodeKind, SimNode
+from repro.model.converters import from_text
+from repro.storage.replication import ReplicaManager
+from repro.storage.store import DocumentStore
+from repro.virt.broker import HierarchicalManager, ResourceBroker
+from repro.virt.groups import ResourceGroup, ServiceSpec
+from repro.virt.storagemgr import StorageManager
+
+from conftest import once, print_table
+
+
+def build_domain(n_groups: int, nodes_per_group: int, spares: int):
+    """One broker domain: n_groups grid groups plus a spare pool."""
+    broker = ResourceBroker("b0")
+    groups = []
+    for g in range(n_groups):
+        nodes = [
+            SimNode(f"g{g}-n{i}", NodeKind.GRID) for i in range(nodes_per_group)
+        ]
+        group = ResourceGroup(
+            f"group-{g}",
+            ServiceSpec(NodeKind.GRID, min_nodes=2, target_nodes=nodes_per_group),
+            nodes,
+        )
+        broker.register_group(group)
+        groups.append(group)
+    for s in range(spares):
+        broker.offer(SimNode(f"spare-{s}", NodeKind.GRID))
+    return broker, groups
+
+
+def test_virt_reconcile_after_failure(benchmark):
+    def run():
+        broker, groups = build_domain(n_groups=4, nodes_per_group=4, spares=4)
+        groups[0].nodes[0].fail()
+        groups[2].nodes[1].fail()
+        manager = HierarchicalManager([broker])
+        manager.reconcile()
+        return manager
+
+    manager = benchmark(run)
+    assert manager.degraded_groups() == []
+
+
+def test_virt_recovery_scaling_report(benchmark):
+    """Broker messages per failure as the domain grows 16x."""
+
+    def run():
+        rows = []
+        for n_groups in (2, 8, 32):
+            broker, groups = build_domain(
+                n_groups=n_groups, nodes_per_group=4, spares=n_groups
+            )
+            baseline = broker.stats.messages
+            # fail one node per group, reconcile once
+            for group in groups:
+                group.nodes[0].fail()
+            manager = HierarchicalManager([broker])
+            manager.reconcile()
+            per_failure = (broker.stats.messages - baseline) / n_groups
+            rows.append([
+                n_groups * 4, n_groups, round(per_failure, 2),
+                len(manager.degraded_groups()),
+            ])
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "VIRT: recovery cost vs domain size",
+        ["total nodes", "failures", "broker msgs / failure", "degraded after"],
+        rows,
+    )
+    per_failure = [r[2] for r in rows]
+    # management traffic per failure stays flat as the domain grows 16x
+    assert per_failure[-1] <= per_failure[0] * 1.5
+    assert all(r[3] == 0 for r in rows)
+
+
+def test_virt_storage_repair_report(benchmark):
+    """Replica repair after cascading failures — data stays available."""
+
+    def run():
+        store = DocumentStore(page_bytes=512, segment_pages=2)
+        replica_manager = ReplicaManager([f"d{i}" for i in range(6)])
+        storage_manager = StorageManager(store, replica_manager)
+        for i in range(60):
+            store.put(from_text(f"t{i}", "content " * 30))
+        storage_manager.place_open_segments()
+        timeline = []
+        for victim in ("d0", "d1"):
+            actions = storage_manager.on_node_failure(victim)
+            timeline.append([
+                victim,
+                len(actions),
+                len(replica_manager.under_replicated()),
+                len(storage_manager.data_loss_risk()),
+            ])
+        return timeline, storage_manager
+
+    timeline, storage_manager = once(benchmark, run)
+    print_table(
+        "VIRT: storage repair timeline (GOLD data, 6 data nodes)",
+        ["failed node", "repairs", "under-replicated", "data at risk"],
+        timeline,
+    )
+    assert all(row[3] == 0 for row in timeline)          # never unavailable
+    assert all(row[2] == 0 for row in timeline)          # always re-replicated
+    assert storage_manager.stats.admin_actions == 0      # and nobody was paged
+
+
+def test_virt_new_hardware_flows_to_need_report(benchmark):
+    """Offered nodes end up where the deficit is."""
+
+    def run():
+        broker, groups = build_domain(n_groups=3, nodes_per_group=3, spares=0)
+        # group-1 loses two nodes; others are healthy
+        groups[1].nodes[0].fail()
+        groups[1].nodes[1].fail()
+        HierarchicalManager([broker]).reconcile()
+        deficits_before = {g.group_id: g.health().deficit for g in groups}
+        broker.offer(SimNode("fresh-0", NodeKind.GRID))
+        broker.offer(SimNode("fresh-1", NodeKind.GRID))
+        deficits_after = {g.group_id: g.health().deficit for g in groups}
+        return deficits_before, deficits_after
+
+    before, after = once(benchmark, run)
+    print_table(
+        "VIRT: new hardware placement",
+        ["group", "deficit before offers", "deficit after offers"],
+        [[g, before[g], after[g]] for g in sorted(before)],
+    )
+    assert before["group-1"] == 2
+    assert after["group-1"] == 0
+    assert after["group-0"] == after["group-2"] == 0

@@ -1,0 +1,36 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Every bench regenerates one DESIGN.md experiment (a figure or a Section-3
+claim of the paper).  Benches print the reproduced table/series to stdout
+(pytest -s or --benchmark-only shows them) and assert the claimed *shape*,
+not absolute numbers — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render one reproduction table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark fixture (for experiment
+    reports where repetition would re-mutate state)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: the Impliance "stewing pot" in five minutes.
+
+Throw data of any shape in with no preparation, search it immediately,
+let discovery simmer, then query the enriched result through all four
+interfaces (keyword, faceted, SQL, graph).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ApplianceConfig, Impliance
+from repro.discovery.relationships import RelationshipRule
+from repro.model.views import annotation_view
+
+
+def main() -> None:
+    # 1. "Deployment": construct the appliance. That's the whole install.
+    app = Impliance(ApplianceConfig(product_lexicon=("WidgetPro", "GadgetMax")))
+    print("appliance online:", app.cluster.inventory.total, "nodes detected")
+
+    # 2. Infuse data in whatever shape it arrives. No schema declared.
+    app.ingest_row("products", {"pid": 1, "name": "WidgetPro", "price": 129.0})
+    app.ingest_row("products", {"pid": 2, "name": "GadgetMax", "price": 349.0})
+    app.ingest_text(
+        "Call transcript: Ms. Alice Johnson is delighted with the WidgetPro. "
+        "She may also want the GadgetMax. Reach her at 555-123-4567."
+    )
+    app.ingest_email(
+        "From: alice@example.com\nTo: sales@vendor.example\n"
+        "Subject: GadgetMax quote\n\n"
+        "Hi - Alice Johnson here again. Could you quote the GadgetMax? "
+        "My budget is $400.00."
+    )
+    app.ingest_xml("<inventory><sku>WidgetPro</sku><stock>42</stock></inventory>")
+    print("documents infused:", app.doc_count)
+
+    # 3. Ladle out the unchanged ingredients immediately.
+    rows = app.sql("SELECT name, price FROM products ORDER BY price").rows
+    print("sql over fresh rows:", rows)
+    hits = app.search("delighted WidgetPro")
+    print("keyword hit:", hits[0].doc_id)
+
+    # 4. Let discovery simmer: annotators, entity resolution, join indexes.
+    app.add_relationship_rule(
+        RelationshipRule("mentions", "product_mention", "product", ("products", "name"))
+    )
+    processed = app.discover()
+    print(f"discovery processed {processed} docs, "
+          f"created {app.discovery.stats.annotations_created} annotations, "
+          f"found {app.indexes.joins.edge_count} associations")
+
+    # 5. The enriched stew: ask how things are connected.
+    transcript = hits[0].doc_id
+    product_row = app.sql("SELECT * FROM products WHERE name = 'WidgetPro'").rows[0]
+    connection = app.graph().how_connected(transcript, "row-products-000001")
+    print("connection:", connection.render() if connection else "none")
+
+    # 6. Annotations come back to SQL through a system-supplied view.
+    app.define_view(annotation_view("people", "person", ["name"]))
+    print("people discovered:", app.sql("SELECT DISTINCT name FROM people").rows)
+
+    # 7. Guided (faceted) navigation over everything.
+    session = app.faceted()
+    print("formats in the pot:", session.facet_counts("format"))
+
+    # 8. One health pane, zero admin actions.
+    print("health:", app.health())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Impliance reproduction: a next-generation information management
+appliance (CIDR 2007), rebuilt as a Python library with a simulated
+cluster substrate.
+
+Quick start::
+
+    from repro import Impliance
+
+    app = Impliance()
+    app.ingest_row("products", {"pid": 1, "name": "WidgetPro"})
+    app.ingest_text("Ms. Alice Johnson loves the WidgetPro!")
+    app.discover()                      # asynchronous in production;
+                                        # synchronous drain for scripts
+    hits = app.search("widget")
+    rows = app.sql("SELECT name FROM products").rows
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim reproductions.
+"""
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.model.document import Document, DocumentKind
+
+__version__ = "1.0.0"
+
+__all__ = ["Impliance", "ApplianceConfig", "Document", "DocumentKind", "__version__"]

@@ -1,0 +1,49 @@
+"""Figure-4 comparator systems and the measured comparison battery.
+
+Simplified but functional implementations of the archetypes the paper
+positions Impliance against — a file server, a content manager, a
+relational DBMS, an enterprise search engine — plus an adapter putting
+Impliance itself behind the same task protocol, and the battery/scorer
+that regenerates Figure 4's axes from measurements.
+"""
+
+from repro.baselines.base import (
+    AdminAction,
+    AdminActionKind,
+    AdminLedger,
+    CapabilityNotSupported,
+    InformationSystem,
+    Item,
+)
+from repro.baselines.filestore import FileStore
+from repro.baselines.contentmgr import ContentManager
+from repro.baselines.rdbms import RelationalDBMS, SchemaViolation
+from repro.baselines.searchengine import SearchEngine
+from repro.baselines.impliance_adapter import ImplianceSystem
+from repro.baselines.battery import (
+    BatteryReport,
+    TaskOutcome,
+    comparison_table,
+    run_battery,
+    standard_corpus,
+)
+
+__all__ = [
+    "AdminAction",
+    "AdminActionKind",
+    "AdminLedger",
+    "CapabilityNotSupported",
+    "InformationSystem",
+    "Item",
+    "FileStore",
+    "ContentManager",
+    "RelationalDBMS",
+    "SchemaViolation",
+    "SearchEngine",
+    "ImplianceSystem",
+    "BatteryReport",
+    "TaskOutcome",
+    "comparison_table",
+    "run_battery",
+    "standard_corpus",
+]

@@ -1,0 +1,140 @@
+"""The common task protocol Figure 4's comparison is measured against.
+
+Figure 4 positions Impliance against file servers, content managers,
+relational DBMSs/BI appliances, and enterprise search along scalability,
+TCO, and "modeling and querying power".  To make that figure measurable,
+every system implements (or refuses) the same task battery:
+
+  deploy, store (any format), retrieve, keyword search, content search,
+  structured query, join, aggregate, annotate/discover, connection query.
+
+A refusal raises :class:`CapabilityNotSupported`; every manual setup
+step a system demands is logged to its :class:`AdminLedger`.  The FIG4
+benchmark runs the battery and scores each dimension from what actually
+happened — measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class CapabilityNotSupported(Exception):
+    """The system archetype cannot perform the requested task."""
+
+
+class AdminActionKind(enum.Enum):
+    """Categories of human intervention, for TCO accounting."""
+
+    DEPLOY = "deploy"                # install, provision, initial config
+    SCHEMA_DESIGN = "schema_design"  # model data before storing it
+    TUNING = "tuning"                # indexes, knobs, statistics
+    INTEGRATION = "integration"      # glue between separate products
+    RECOVERY = "recovery"            # manual failure handling
+
+
+@dataclass
+class AdminAction:
+    kind: AdminActionKind
+    description: str
+
+
+class AdminLedger:
+    """Every human action a system required, in order."""
+
+    def __init__(self) -> None:
+        self._actions: List[AdminAction] = []
+
+    def record(self, kind: AdminActionKind, description: str) -> None:
+        self._actions.append(AdminAction(kind, description))
+
+    def count(self, kind: Optional[AdminActionKind] = None) -> int:
+        if kind is None:
+            return len(self._actions)
+        return sum(1 for a in self._actions if a.kind is kind)
+
+    def actions(self) -> List[AdminAction]:
+        return list(self._actions)
+
+
+@dataclass(frozen=True)
+class Item:
+    """One unit of the battery's mixed-format corpus."""
+
+    item_id: str
+    fmt: str                      # "relational" | "text" | "email" | "xml"
+    content: Any                  # row mapping, or raw string
+    table: Optional[str] = None   # for relational rows
+
+
+class InformationSystem:
+    """Base class for the Figure 4 comparators.
+
+    Subclasses override the capabilities their archetype has and leave
+    the rest raising :class:`CapabilityNotSupported`.
+    """
+
+    #: Display name used in the comparison table.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.ledger = AdminLedger()
+
+    # -- lifecycle -----------------------------------------------------
+    def deploy(self) -> None:
+        """Make the system ready to accept data."""
+        raise NotImplementedError
+
+    # -- storage -------------------------------------------------------
+    def store(self, item: Item) -> None:
+        raise NotImplementedError
+
+    def retrieve(self, item_id: str) -> Any:
+        raise NotImplementedError
+
+    # -- retrieval -----------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        """Item ids whose content matches the keywords."""
+        raise CapabilityNotSupported(f"{self.name}: keyword search")
+
+    def content_search(self, query: str) -> List[str]:
+        """Search *inside* non-structured content (not just metadata)."""
+        raise CapabilityNotSupported(f"{self.name}: content search")
+
+    # -- structured query ----------------------------------------------
+    def structured_query(
+        self, table: str, column: str, value: Any
+    ) -> List[Mapping[str, Any]]:
+        raise CapabilityNotSupported(f"{self.name}: structured query")
+
+    def join(
+        self, left_table: str, right_table: str, left_col: str, right_col: str
+    ) -> List[Mapping[str, Any]]:
+        raise CapabilityNotSupported(f"{self.name}: join")
+
+    def aggregate(
+        self, table: str, group_by: str, measure: str
+    ) -> List[Mapping[str, Any]]:
+        """Group-by sum over a numeric column."""
+        raise CapabilityNotSupported(f"{self.name}: aggregate")
+
+    # -- discovery -----------------------------------------------------
+    def annotate(self) -> int:
+        """Run information discovery; returns annotations created."""
+        raise CapabilityNotSupported(f"{self.name}: annotation/discovery")
+
+    def connection_query(self, a: str, b: str) -> Optional[List[str]]:
+        """How are two items connected?"""
+        raise CapabilityNotSupported(f"{self.name}: connection query")
+
+    # -- scale ---------------------------------------------------------
+    def max_practical_nodes(self) -> int:
+        """Archetypal scale-out ceiling (nodes) for the scalability axis.
+
+        The paper's text pegs these: databases "rarely exceed a few
+        hundred nodes"; file servers scale capacity but not query;
+        Impliance targets thousands.
+        """
+        return 1

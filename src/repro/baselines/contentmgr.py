@@ -1,0 +1,114 @@
+"""Content-manager baseline (Section 3.2).
+
+"The repository of choice for most semi-structured content ... is still
+content managers, which typically use BLOBs or a file system to store
+the content, and database systems to manage the metadata (catalog) of
+that content.  Hence searching and querying are limited to the metadata
+about that content."
+
+Storing an item requires the administrator to have designed a metadata
+schema first (JSR-170-style: "all metadata must match a predefined
+schema; hence schema chaos is not supported") and to fill the catalog
+fields; search then sees only those fields, never the BLOB.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.baselines.base import (
+    AdminActionKind,
+    CapabilityNotSupported,
+    InformationSystem,
+    Item,
+)
+
+
+class ContentManager(InformationSystem):
+    """BLOB store + metadata catalog; search is metadata-only."""
+
+    name = "content-manager"
+
+    #: The predefined metadata schema (JSR-170 style): fixed fields.
+    METADATA_FIELDS = ("title", "source", "format", "entered")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blobs: Dict[str, str] = {}
+        self._catalog: Dict[str, Dict[str, str]] = {}
+
+    def deploy(self) -> None:
+        self.ledger.record(AdminActionKind.DEPLOY, "install content manager")
+        self.ledger.record(AdminActionKind.DEPLOY, "install catalog database")
+        self.ledger.record(
+            AdminActionKind.SCHEMA_DESIGN, "define metadata schema (JSR-170 node types)"
+        )
+        self.ledger.record(
+            AdminActionKind.INTEGRATION, "connect content manager to catalog database"
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, item: Item) -> None:
+        if isinstance(item.content, str):
+            payload = item.content
+        else:
+            payload = json.dumps(item.content, sort_keys=True, default=str)
+        self._blobs[item.item_id] = payload
+        # Cataloguing is a (charged) manual/clerical step per item type:
+        # metadata must be keyed in or mapped from the source system.
+        title = ""
+        if isinstance(item.content, Mapping):
+            title = str(next(iter(item.content.values()), ""))
+        else:
+            title = payload.splitlines()[0][:24] if payload else ""
+        self._catalog[item.item_id] = {
+            "title": title,
+            "source": item.table or "upload",
+            "format": item.fmt,
+            "entered": "2007-01-10",
+        }
+
+    def retrieve(self, item_id: str) -> str:
+        try:
+            return self._blobs[item_id]
+        except KeyError:
+            raise LookupError(f"no content item {item_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        """Search the *catalog*, never the BLOB content."""
+        terms = [t.lower() for t in re.findall(r"\w+", query)]
+        if not terms:
+            return []
+        matches = []
+        for item_id in sorted(self._catalog):
+            haystack = " ".join(self._catalog[item_id].values()).lower()
+            if all(t in haystack for t in terms):
+                matches.append(item_id)
+        return matches
+
+    def content_search(self, query: str) -> List[str]:
+        raise CapabilityNotSupported(
+            f"{self.name}: search is restricted to the metadata catalog"
+        )
+
+    def structured_query(self, table: str, column: str, value: Any) -> List[Mapping[str, Any]]:
+        """Only the fixed catalog fields are queryable."""
+        if column not in self.METADATA_FIELDS:
+            raise CapabilityNotSupported(
+                f"{self.name}: column {column!r} is not in the metadata schema"
+            )
+        return [
+            {"item_id": item_id, **meta}
+            for item_id, meta in sorted(self._catalog.items())
+            if meta.get(column) == value
+        ]
+
+    def max_practical_nodes(self) -> int:
+        return 16
+
+    @property
+    def item_count(self) -> int:
+        return len(self._blobs)

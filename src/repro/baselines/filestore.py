@@ -1,0 +1,77 @@
+"""File-server baseline: the "repository of last resort" (Section 3.2).
+
+"The ultra-simple 'bag of bytes' model of file systems provides a
+repository of last resort that can manage unstructured as well as
+structured data, but without the powerful querying capability (e.g.,
+joins and aggregations) we take for granted in databases."
+
+Stores anything, greps everything, queries nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.baselines.base import (
+    AdminActionKind,
+    CapabilityNotSupported,
+    InformationSystem,
+    Item,
+)
+
+
+class FileStore(InformationSystem):
+    """Bag-of-bytes storage with exhaustive grep search."""
+
+    name = "file-server"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._files: Dict[str, str] = {}
+        self.bytes_scanned = 0
+
+    def deploy(self) -> None:
+        self.ledger.record(AdminActionKind.DEPLOY, "mount file share")
+
+    # ------------------------------------------------------------------
+    def store(self, item: Item) -> None:
+        if isinstance(item.content, str):
+            payload = item.content
+        else:
+            payload = json.dumps(item.content, sort_keys=True, default=str)
+        self._files[item.item_id] = payload
+
+    def retrieve(self, item_id: str) -> str:
+        try:
+            return self._files[item_id]
+        except KeyError:
+            raise LookupError(f"no file {item_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        """grep -l: scan every byte of every file, every time."""
+        terms = [t.lower() for t in re.findall(r"\w+", query)]
+        if not terms:
+            return []
+        matches = []
+        for item_id in sorted(self._files):
+            payload = self._files[item_id].lower()
+            self.bytes_scanned += len(payload)
+            if all(t in payload for t in terms):
+                matches.append(item_id)
+        return matches
+
+    def content_search(self, query: str) -> List[str]:
+        # grep reads content, so content search "works" — exhaustively.
+        return self.keyword_search(query)
+
+    def max_practical_nodes(self) -> int:
+        # Filer appliances scale capacity well (paper cites 500 TB
+        # filers) but every query is still a full grep.
+        return 64
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)

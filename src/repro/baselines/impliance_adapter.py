@@ -1,0 +1,109 @@
+"""Impliance behind the Figure-4 task protocol.
+
+The adapter maps the battery's task vocabulary onto the appliance's
+public API.  Deployment is one action — plug the appliance in (Section
+3.1: "operational out of the box") — plus one optional configuration
+action when a domain lexicon is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+from repro.baselines.base import AdminActionKind, InformationSystem, Item
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.discovery.relationships import RelationshipRule
+
+
+class ImplianceSystem(InformationSystem):
+    """The appliance, speaking the comparison battery's protocol."""
+
+    name = "impliance"
+
+    def __init__(self, products: Sequence[str] = ()) -> None:
+        super().__init__()
+        self._products = tuple(products)
+        self.app: Optional[Impliance] = None
+
+    def deploy(self) -> None:
+        self.ledger.record(AdminActionKind.DEPLOY, "rack appliance and power on")
+        config = ApplianceConfig(product_lexicon=self._products)
+        self.app = Impliance(config)
+        if self._products:
+            self.ledger.record(
+                AdminActionKind.DEPLOY, "load product lexicon into discovery"
+            )
+            self.app.add_relationship_rule(
+                RelationshipRule(
+                    "mentions", "product_mention", "product", ("products", "name")
+                )
+            )
+
+    def _require_app(self) -> Impliance:
+        if self.app is None:
+            raise RuntimeError("deploy() first")
+        return self.app
+
+    # ------------------------------------------------------------------
+    def store(self, item: Item) -> None:
+        app = self._require_app()
+        if item.fmt == "relational" and item.table:
+            app.ingest_row(item.table, dict(item.content), doc_id=item.item_id)
+        elif item.fmt == "email":
+            app.ingest_email(item.content, doc_id=item.item_id)
+        elif item.fmt == "xml":
+            app.ingest_xml(item.content, doc_id=item.item_id)
+        else:
+            app.ingest_text(str(item.content), doc_id=item.item_id)
+
+    def retrieve(self, item_id: str) -> Any:
+        document = self._require_app().lookup(item_id)
+        if document is None:
+            raise LookupError(f"no document {item_id!r}")
+        return document.content
+
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        return [h.doc_id for h in self._require_app().search(query, top_k=50)]
+
+    def content_search(self, query: str) -> List[str]:
+        return self.keyword_search(query)
+
+    def structured_query(self, table: str, column: str, value: Any) -> List[Mapping[str, Any]]:
+        rendered = f"'{value}'" if isinstance(value, str) else repr(value)
+        result = self._require_app().sql(
+            f"SELECT * FROM {table} WHERE {column} = {rendered}"
+        )
+        return result.rows
+
+    def join(
+        self, left_table: str, right_table: str, left_col: str, right_col: str
+    ) -> List[Mapping[str, Any]]:
+        result = self._require_app().sql(
+            f"SELECT * FROM {left_table} JOIN {right_table} "
+            f"ON {left_table}.{left_col} = {right_table}.{right_col}"
+        )
+        return result.rows
+
+    def aggregate(self, table: str, group_by: str, measure: str) -> List[Mapping[str, Any]]:
+        result = self._require_app().sql(
+            f"SELECT {group_by}, sum({measure}) AS sum_{measure} "
+            f"FROM {table} GROUP BY {group_by} ORDER BY {group_by}"
+        )
+        return result.rows
+
+    # ------------------------------------------------------------------
+    def annotate(self) -> int:
+        app = self._require_app()
+        before = app.discovery.stats.annotations_created
+        app.discover()
+        return app.discovery.stats.annotations_created - before
+
+    def connection_query(self, a: str, b: str) -> Optional[List[str]]:
+        result = self._require_app().graph().how_connected(a, b, max_hops=5)
+        return result.path if result else None
+
+    def max_practical_nodes(self) -> int:
+        # Design target: thousands of nodes (Section 3.4).
+        return 2048

@@ -1,0 +1,147 @@
+"""Relational DBMS / BI-appliance baseline (Sections 1, 3.2, 5).
+
+Excellent at structured queries, joins, and aggregation — once an
+administrator has designed and declared every table schema up front.
+Non-relational content is "relegated to unsearchable binary large
+objects (BLOBs)", and every new table, index, or statistics refresh is
+another administrator action on the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.baselines.base import (
+    AdminActionKind,
+    CapabilityNotSupported,
+    InformationSystem,
+    Item,
+)
+
+
+class SchemaViolation(Exception):
+    """A row does not match its table's declared schema."""
+
+
+class RelationalDBMS(InformationSystem):
+    """Tables with declared schemas; BLOBs for everything else."""
+
+    name = "relational-dbms"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._schemas: Dict[str, Sequence[str]] = {}
+        self._tables: Dict[str, List[Dict[str, Any]]] = {}
+        self._blobs: Dict[str, str] = {}
+
+    def deploy(self) -> None:
+        self.ledger.record(AdminActionKind.DEPLOY, "install database server")
+        self.ledger.record(AdminActionKind.DEPLOY, "create database and tablespaces")
+        self.ledger.record(AdminActionKind.TUNING, "size buffer pools and logs")
+
+    # ------------------------------------------------------------------
+    def create_table(self, table: str, columns: Sequence[str]) -> None:
+        """DDL — a schema-design action every time."""
+        if table in self._schemas:
+            raise ValueError(f"table {table!r} already exists")
+        self._schemas[table] = tuple(columns)
+        self._tables[table] = []
+        self.ledger.record(
+            AdminActionKind.SCHEMA_DESIGN, f"design and create table {table}"
+        )
+
+    def store(self, item: Item) -> None:
+        if item.fmt == "relational" and item.table:
+            row = dict(item.content)
+            schema = self._schemas.get(item.table)
+            if schema is None:
+                # The administrator has to notice and define the table.
+                self.create_table(item.table, sorted(row))
+                schema = self._schemas[item.table]
+            unexpected = set(row) - set(schema)
+            if unexpected:
+                raise SchemaViolation(
+                    f"row has columns {sorted(unexpected)} not in {item.table} schema"
+                )
+            row["__id"] = item.item_id
+            self._tables[item.table].append(row)
+        else:
+            # Anything non-relational lands in an unsearchable BLOB.
+            payload = (
+                item.content
+                if isinstance(item.content, str)
+                else json.dumps(item.content, sort_keys=True, default=str)
+            )
+            self._blobs[item.item_id] = payload
+
+    def retrieve(self, item_id: str) -> Any:
+        for rows in self._tables.values():
+            for row in rows:
+                if row.get("__id") == item_id:
+                    return {k: v for k, v in row.items() if k != "__id"}
+        if item_id in self._blobs:
+            return self._blobs[item_id]
+        raise LookupError(f"no item {item_id!r}")
+
+    # ------------------------------------------------------------------
+    def structured_query(self, table: str, column: str, value: Any) -> List[Mapping[str, Any]]:
+        rows = self._tables.get(table)
+        if rows is None:
+            raise CapabilityNotSupported(f"{self.name}: no table {table!r} declared")
+        return [
+            {k: v for k, v in row.items() if k != "__id"}
+            for row in rows
+            if row.get(column) == value
+        ]
+
+    def join(
+        self, left_table: str, right_table: str, left_col: str, right_col: str
+    ) -> List[Mapping[str, Any]]:
+        left = self._tables.get(left_table)
+        right = self._tables.get(right_table)
+        if left is None or right is None:
+            raise CapabilityNotSupported(f"{self.name}: undeclared table in join")
+        index: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in right:
+            index.setdefault(row.get(right_col), []).append(row)
+        joined = []
+        for row in left:
+            for match in index.get(row.get(left_col), ()):
+                merged = {k: v for k, v in row.items() if k != "__id"}
+                merged.update({k: v for k, v in match.items() if k != "__id"})
+                joined.append(merged)
+        return joined
+
+    def aggregate(self, table: str, group_by: str, measure: str) -> List[Mapping[str, Any]]:
+        rows = self._tables.get(table)
+        if rows is None:
+            raise CapabilityNotSupported(f"{self.name}: no table {table!r} declared")
+        sums: Dict[Any, float] = {}
+        for row in rows:
+            value = row.get(measure)
+            if value is None:
+                continue
+            sums[row.get(group_by)] = sums.get(row.get(group_by), 0.0) + float(value)
+        return [
+            {group_by: key, f"sum_{measure}": total}
+            for key, total in sorted(sums.items(), key=lambda kv: repr(kv[0]))
+        ]
+
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        raise CapabilityNotSupported(
+            f"{self.name}: keyword search requires a separate text-index product"
+        )
+
+    def content_search(self, query: str) -> List[str]:
+        raise CapabilityNotSupported(f"{self.name}: BLOB content is unsearchable")
+
+    def max_practical_nodes(self) -> int:
+        # "Today even the largest deployments rarely exceed a few
+        # hundred nodes" (Section 1).
+        return 256
+
+    @property
+    def table_count(self) -> int:
+        return len(self._schemas)

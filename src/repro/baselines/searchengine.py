@@ -1,0 +1,70 @@
+"""Enterprise-search baseline (Section 5).
+
+Oracle SES / OmniFind-style: crawl everything, index the text, answer
+keyword queries well — but "the interfaces that they support are not as
+advanced as Impliance": no joins, no aggregation, no structured
+predicates, no discovered relationships.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.baselines.base import (
+    AdminActionKind,
+    CapabilityNotSupported,
+    InformationSystem,
+    Item,
+)
+from repro.index.text import InvertedIndex
+
+
+class SearchEngine(InformationSystem):
+    """Crawler + inverted index; keyword retrieval only."""
+
+    name = "enterprise-search"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._documents: Dict[str, str] = {}
+        self._index = InvertedIndex()
+
+    def deploy(self) -> None:
+        self.ledger.record(AdminActionKind.DEPLOY, "install search appliance")
+        self.ledger.record(
+            AdminActionKind.INTEGRATION, "configure crawlers for each source repository"
+        )
+
+    # ------------------------------------------------------------------
+    def store(self, item: Item) -> None:
+        """The crawl: flatten whatever arrives into indexed text."""
+        if isinstance(item.content, str):
+            payload = item.content
+        else:
+            payload = " ".join(
+                f"{k} {v}" for k, v in sorted(item.content.items(), key=lambda kv: kv[0])
+            )
+        self._documents[item.item_id] = payload
+        self._index.add(item.item_id, payload)
+
+    def retrieve(self, item_id: str) -> str:
+        try:
+            return self._documents[item_id]
+        except KeyError:
+            raise LookupError(f"no crawled document {item_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[str]:
+        return [hit.doc_id for hit in self._index.search(query, top_k=50)]
+
+    def content_search(self, query: str) -> List[str]:
+        # Crawled content is indexed, so content search works.
+        return self.keyword_search(query)
+
+    def max_practical_nodes(self) -> int:
+        return 128
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)

@@ -1,0 +1,50 @@
+"""Simulated appliance cluster (paper Section 3.3, Figure 3).
+
+The hardware substitution layer: data/grid/cluster node flavors with a
+cost-accounting timeline each, a latency/bandwidth network model,
+consistency groups with explicit heartbeat and view-change overhead,
+hash-partitioned document placement, and failure injection.  See
+DESIGN.md's substitution table for why this stands in for the paper's
+racks of commodity blades.
+"""
+
+from repro.cluster.network import (
+    DEFAULT_BANDWIDTH_BYTES_PER_MS,
+    DEFAULT_LATENCY_MS,
+    Network,
+    NetworkStats,
+)
+from repro.cluster.node import (
+    NodeKind,
+    OPERATOR_AFFINITY,
+    SimNode,
+    WorkRecord,
+)
+from repro.cluster.groups import (
+    ConsistencyGroup,
+    GroupStats,
+    LockConflictError,
+)
+from repro.cluster.topology import (
+    ImplianceCluster,
+    TopologyInventory,
+)
+from repro.cluster.scheduler import OperatorScheduler, PlacementDecision
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BYTES_PER_MS",
+    "DEFAULT_LATENCY_MS",
+    "Network",
+    "NetworkStats",
+    "NodeKind",
+    "OPERATOR_AFFINITY",
+    "SimNode",
+    "WorkRecord",
+    "ConsistencyGroup",
+    "GroupStats",
+    "LockConflictError",
+    "ImplianceCluster",
+    "TopologyInventory",
+    "OperatorScheduler",
+    "PlacementDecision",
+]

@@ -1,0 +1,177 @@
+"""Consistency groups: the cluster-node coordination substrate.
+
+"Cluster nodes are responsible for making consistent locking and caching
+decisions on data within data consistency groups.  Such nodes are good at
+scalably performing many small consistent updates over a large set of
+data, but being a part of a consistency group requires overhead for
+heartbeats and for reacting to nodes joining or leaving the group."
+(Section 3.3)
+
+The group charges that overhead explicitly: heartbeats cost network
+messages per interval, membership changes cost a view-change round, and
+every lock acquisition is serialized through the key's owner node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.network import Network
+from repro.cluster.node import SimNode
+from repro.util import stable_hash
+
+#: Simulated cost of processing one heartbeat message.
+HEARTBEAT_CPU_MS = 0.01
+#: Size of a heartbeat message on the wire.
+HEARTBEAT_BYTES = 64
+#: CPU cost of a view change (joining/leaving member) per member.
+VIEW_CHANGE_CPU_MS = 1.0
+#: CPU cost of one lock acquire/release on the owning node.
+LOCK_CPU_MS = 0.02
+#: Bytes exchanged for one lock request + grant.
+LOCK_BYTES = 128
+
+
+class LockConflictError(Exception):
+    """Raised when a lock is requested while held by another owner."""
+
+
+@dataclass
+class GroupStats:
+    heartbeats_sent: int = 0
+    heartbeat_ms: float = 0.0
+    view_changes: int = 0
+    locks_granted: int = 0
+    lock_conflicts: int = 0
+
+
+class ConsistencyGroup:
+    """A set of cluster nodes jointly owning a consistent key space.
+
+    Keys are hash-partitioned across members; the owner serializes lock
+    traffic for its keys.  Heartbeat rounds model the fixed cost of
+    membership: each member messages every other member once per round.
+    """
+
+    def __init__(self, group_id: str, members: List[SimNode], network: Network) -> None:
+        if not members:
+            raise ValueError("a consistency group needs at least one member")
+        self.group_id = group_id
+        self._members: List[SimNode] = list(members)
+        self._network = network
+        self._locks: Dict[str, str] = {}  # key -> holder token
+        self.stats = GroupStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[SimNode]:
+        return list(self._members)
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def owner_of(self, key: str) -> SimNode:
+        """The member responsible for serializing *key*."""
+        live = [m for m in self._members if m.alive]
+        if not live:
+            raise RuntimeError(f"group {self.group_id} has no live members")
+        return live[stable_hash(key, len(live))]
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, node: SimNode, after: float = 0.0) -> float:
+        """Add a member; charges a view change to every member."""
+        if node in self._members:
+            raise ValueError(f"{node.node_id} already in group {self.group_id}")
+        self._members.append(node)
+        return self._view_change(after)
+
+    def leave(self, node: SimNode, after: float = 0.0) -> float:
+        if node not in self._members:
+            raise ValueError(f"{node.node_id} not in group {self.group_id}")
+        if len(self._members) == 1:
+            raise ValueError("cannot empty a consistency group")
+        self._members.remove(node)
+        # Locks whose holder routing changed are conservatively released.
+        self._locks = {
+            key: holder
+            for key, holder in self._locks.items()
+            if self.owner_of(key).alive
+        }
+        return self._view_change(after)
+
+    def _view_change(self, after: float) -> float:
+        self.stats.view_changes += 1
+        finish = after
+        for member in self._members:
+            if member.alive:
+                finish = max(
+                    finish,
+                    member.run(VIEW_CHANGE_CPU_MS, after, label="view-change"),
+                )
+        return finish
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat_round(self, after: float = 0.0) -> float:
+        """One all-pairs heartbeat round; returns its finish time.
+
+        Cost grows quadratically with group size — the overhead the paper
+        warns about, measured by the FIG3 benchmark's group-size sweep.
+        """
+        finish = after
+        live = [m for m in self._members if m.alive]
+        for sender in live:
+            for receiver in live:
+                if sender is receiver:
+                    continue
+                wire = self._network.transfer(
+                    HEARTBEAT_BYTES, sender.node_id, receiver.node_id
+                )
+                end = receiver.run(
+                    HEARTBEAT_CPU_MS, after + wire, label="heartbeat"
+                )
+                finish = max(finish, end)
+                self.stats.heartbeats_sent += 1
+        self.stats.heartbeat_ms += max(0.0, finish - after)
+        return finish
+
+    # ------------------------------------------------------------------
+    # locking
+    # ------------------------------------------------------------------
+    def acquire(self, key: str, holder: str, requester_id: str, after: float = 0.0) -> float:
+        """Acquire *key* for *holder*; returns grant time.
+
+        Re-entrant for the same holder.  Conflicting acquisition raises
+        :class:`LockConflictError` — the caller (the update operator)
+        retries or aborts.
+        """
+        current = self._locks.get(key)
+        if current is not None and current != holder:
+            self.stats.lock_conflicts += 1
+            raise LockConflictError(f"{key!r} held by {current!r}")
+        owner = self.owner_of(key)
+        wire = self._network.transfer(LOCK_BYTES, requester_id, owner.node_id)
+        granted = owner.run(LOCK_CPU_MS, after + wire, label="lock", operator="lock")
+        self._locks[key] = holder
+        self.stats.locks_granted += 1
+        return granted
+
+    def release(self, key: str, holder: str) -> None:
+        current = self._locks.get(key)
+        if current is None:
+            return
+        if current != holder:
+            raise LockConflictError(f"{key!r} held by {current!r}, not {holder!r}")
+        del self._locks[key]
+
+    def held(self, key: str) -> Optional[str]:
+        return self._locks.get(key)
+
+    @property
+    def lock_count(self) -> int:
+        return len(self._locks)

@@ -1,0 +1,73 @@
+"""Simulated interconnect: latency/bandwidth cost model + accounting.
+
+The reproduction substitutes IBM's racks with a cost-accounting
+simulator (see DESIGN.md).  Every transfer between two nodes charges
+``latency_ms + bytes / bandwidth`` of simulated time and is tallied, so
+experiments can report both makespan and bytes-on-the-wire — the two
+quantities the paper's pushdown and scale-out arguments are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Commodity low-latency network defaults (paper Section 1: "commodity
+#: low-latency networks").  Bandwidth is bytes per simulated millisecond.
+DEFAULT_LATENCY_MS = 0.1
+DEFAULT_BANDWIDTH_BYTES_PER_MS = 125_000.0  # ~1 Gbit/s
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    bytes_sent: int = 0
+    total_transfer_ms: float = 0.0
+
+
+class Network:
+    """Point-to-point transfer cost model.
+
+    Local "transfers" (same node) are free: pushdown wins precisely
+    because work co-located with data never touches the wire.
+    """
+
+    def __init__(
+        self,
+        latency_ms: float = DEFAULT_LATENCY_MS,
+        bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_MS,
+    ) -> None:
+        if latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.latency_ms = latency_ms
+        self.bandwidth = bandwidth
+        self.stats = NetworkStats()
+        self._pair_bytes: Dict[Tuple[str, str], int] = {}
+
+    def transfer_cost_ms(self, nbytes: int, src: str, dst: str) -> float:
+        """Simulated milliseconds to move *nbytes* from *src* to *dst*."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer negative bytes")
+        if src == dst:
+            return 0.0
+        return self.latency_ms + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int, src: str, dst: str) -> float:
+        """Account a transfer and return its cost in simulated ms."""
+        cost = self.transfer_cost_ms(nbytes, src, dst)
+        if src != dst:
+            self.stats.messages += 1
+            self.stats.bytes_sent += nbytes
+            self.stats.total_transfer_ms += cost
+            key = (src, dst)
+            self._pair_bytes[key] = self._pair_bytes.get(key, 0) + nbytes
+        return cost
+
+    def bytes_between(self, src: str, dst: str) -> int:
+        return self._pair_bytes.get((src, dst), 0)
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+        self._pair_bytes.clear()

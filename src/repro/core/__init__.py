@@ -1,0 +1,23 @@
+"""The appliance core: configuration, upgrades, and the Impliance facade.
+
+This package is the paper's primary contribution surface: an appliance
+that is operational out of the box, ingests anything, discovers
+structure asynchronously, and exposes keyword/faceted/SQL/graph query
+interfaces over one uniform data model.
+"""
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.core.upgrades import (
+    UpgradeEngine,
+    UpgradePolicy,
+    UpgradeReport,
+)
+
+__all__ = [
+    "Impliance",
+    "ApplianceConfig",
+    "UpgradeEngine",
+    "UpgradePolicy",
+    "UpgradeReport",
+]

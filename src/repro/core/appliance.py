@@ -1,0 +1,418 @@
+"""The Impliance appliance: the public, single-system-image facade.
+
+This class is what a user of the appliance sees (Section 2.2's "stewing
+pot"): throw data in with no preparation, search it immediately, let
+asynchronous discovery enrich it, and query the enriched soup through
+keyword, faceted, SQL, and graph interfaces.  Internally it wires the
+simulated cluster, global indexes, the view catalog, the discovery
+engine, execution management, storage management, and rolling upgrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+
+from repro.cluster.network import Network
+from repro.cluster.node import NodeKind, SimNode
+from repro.cluster.topology import ImplianceCluster
+from repro.core.config import ApplianceConfig
+from repro.core.upgrades import UpgradeEngine, UpgradePolicy, UpgradeReport
+from repro.discovery.annotators import Annotator, default_annotators
+from repro.discovery.mining import PiggybackMiner
+from repro.discovery.pipeline import DiscoveryEngine
+from repro.discovery.relationships import RelationshipRule
+from repro.exec.parallel import ParallelExecutor
+from repro.index.facets import FacetDefinition, metadata_facet, source_format_facet
+from repro.index.manager import IndexManager
+from repro.model.converters import (
+    from_csv,
+    from_email,
+    from_json_object,
+    from_relational_row,
+    from_text,
+    from_xml,
+)
+from repro.model.document import Document, DocumentKind
+from repro.model.views import RelationalView, ViewCatalog, base_table_view
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.faceted import FacetedSession
+from repro.query.graph import GraphQuery
+from repro.query.keyword import KeywordHit, KeywordSearch
+from repro.storage.replication import ReplicaManager
+from repro.util import IdGenerator
+from repro.virt.execmgr import ExecutionManager, Task, TaskClass
+from repro.virt.storagemgr import StorageManager
+
+
+class Impliance:
+    """One appliance instance — operational out of the box.
+
+    >>> app = Impliance()
+    >>> app.ingest_text("hello world, the widget is great")
+    >>> app.discover()
+    >>> hits = app.search("widget")
+
+    The constructor performs the entire "deployment": hardware detection,
+    software wiring, index/creation, annotator installation.  No further
+    setup calls are required before ingesting or querying — the TCO
+    experiment counts exactly this.
+    """
+
+    def __init__(self, config: Optional[ApplianceConfig] = None) -> None:
+        self.config = config if config is not None else ApplianceConfig()
+        self.cluster = ImplianceCluster(
+            n_data=self.config.n_data_nodes,
+            n_grid=self.config.n_grid_nodes,
+            n_cluster=self.config.n_cluster_nodes,
+            network=Network(
+                latency_ms=self.config.network_latency_ms,
+                bandwidth=self.config.network_bandwidth,
+            ),
+            buffer_capacity=self.config.buffer_capacity,
+        )
+        # Single-system-image catalog: a global index over everything,
+        # plus the view catalog legacy SQL applications use (Figure 2).
+        self.indexes = IndexManager(
+            facets=[source_format_facet(), metadata_facet("table", "table")]
+        )
+        self.views = ViewCatalog()
+        self.engine = QueryEngine(self)
+        self.executor = ParallelExecutor(self.cluster)
+        self.miner = PiggybackMiner()
+
+        annotators = default_annotators(
+            products=self.config.product_lexicon,
+            locations=self.config.location_lexicon,
+            procedures=self.config.procedure_lexicon,
+        )
+        self.discovery = DiscoveryEngine(
+            repository=self,
+            persist=self._persist_annotation,
+            annotators=annotators,
+        )
+        self.background = ExecutionManager(
+            self.cluster.grid_nodes or self.cluster.data_nodes,
+            background_share=self.config.background_share,
+        )
+        self.upgrades = UpgradeEngine()
+
+        # Per-data-node storage managers + a miner on each buffer pool.
+        self._storage_managers: List[StorageManager] = []
+        data_ids = [n.node_id for n in self.cluster.data_nodes]
+        for node in self.cluster.data_nodes:
+            assert node.store is not None
+            self._storage_managers.append(
+                StorageManager(node.store, ReplicaManager(data_ids))
+            )
+            self.miner.attach(node.store.buffer_pool)
+            node.store.put_listeners.append(self._on_any_put)
+
+        self._ids: Dict[str, IdGenerator] = {}
+        self._auto_views: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Repository protocol (query engine / discovery look through this)
+    # ------------------------------------------------------------------
+    def documents(self) -> Iterator[Document]:
+        return self.cluster.scan_all()
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        return self.cluster.lookup(doc_id)
+
+    # ------------------------------------------------------------------
+    # internal wiring
+    # ------------------------------------------------------------------
+    def _on_any_put(self, document: Document, address) -> None:
+        """Every persisted document updates the global catalog and joins
+        the discovery queue (annotations excluded there)."""
+        self.indexes.index_document(document)
+        self.discovery.enqueue(document)
+        if document.metadata.get("table"):
+            self._ensure_auto_view(document)
+
+    def _ensure_auto_view(self, document: Document) -> None:
+        """Auto-define/extend the identity view of a tabular document —
+        rows are SQL-queryable immediately, with no schema declaration,
+        whatever channel they arrived by (relational, CSV, consolidated).
+        """
+        table = document.metadata.get("table")
+        if not table:
+            return
+        columns = {
+            path[-1] for path, _ in document.paths() if len(path) == 2 and path[0] == table
+        }
+        if not columns:
+            return  # content is not shaped like rows of this table
+        known = self._auto_views.get(table)
+        if known is None:
+            self._auto_views[table] = set(columns)
+            if table not in self.views:
+                self.views.define(base_table_view(table, table, sorted(columns)))
+        elif not columns <= known:
+            known |= columns
+            self.views.replace(base_table_view(table, table, sorted(known)))
+
+    def _persist_annotation(self, document: Document) -> Document:
+        home, _ = self.cluster.ingest(document)
+        assert home.store is not None
+        # Head lookup goes through the version index, not the buffer
+        # pool — persisting must not generate page traffic of its own.
+        return home.store.versions.head(document.doc_id)
+
+    def _next_id(self, prefix: str) -> str:
+        gen = self._ids.get(prefix)
+        if gen is None:
+            gen = IdGenerator(prefix)
+            self._ids[prefix] = gen
+        return gen.next()
+
+    # ------------------------------------------------------------------
+    # ingestion: any type, schema, or format — no preparation
+    # ------------------------------------------------------------------
+    def ingest_document(self, document: Document) -> Document:
+        """Persist an already-converted document (routes to its home
+        data node, indexes it, queues discovery)."""
+        home, _ = self.cluster.ingest(document)
+        assert home.store is not None
+        return home.store.versions.head(document.doc_id)
+
+    def ingest_row(
+        self,
+        table: str,
+        row: Mapping[str, Any],
+        primary_key: Optional[Sequence[str]] = None,
+        doc_id: Optional[str] = None,
+    ) -> Document:
+        doc_id = doc_id or self._next_id(f"row-{table}")
+        return self.ingest_document(from_relational_row(doc_id, table, row, primary_key))
+
+    def ingest_text(self, text: str, title: str = "", doc_id: Optional[str] = None) -> Document:
+        doc_id = doc_id or self._next_id("txt")
+        return self.ingest_document(from_text(doc_id, text, title))
+
+    def ingest_email(self, raw: str, doc_id: Optional[str] = None) -> Document:
+        doc_id = doc_id or self._next_id("eml")
+        return self.ingest_document(from_email(doc_id, raw))
+
+    def ingest_xml(self, payload: str, doc_id: Optional[str] = None) -> Document:
+        doc_id = doc_id or self._next_id("xml")
+        return self.ingest_document(from_xml(doc_id, payload))
+
+    def ingest_csv(self, table: str, payload: str) -> List[Document]:
+        prefix = self._next_id(f"csv-{table}")
+        return [self.ingest_document(d) for d in from_csv(prefix, table, payload)]
+
+    def ingest_json(self, obj: Any, doc_id: Optional[str] = None,
+                    metadata: Optional[Mapping[str, Any]] = None) -> Document:
+        doc_id = doc_id or self._next_id("doc")
+        return self.ingest_document(from_json_object(doc_id, obj, metadata))
+
+    def update_document(self, doc_id: str, content: Any) -> Document:
+        """Versioned update through the consistency group (never in
+        place, Section 4)."""
+        applied, _ = self.executor.cluster_update({doc_id: lambda _old: content})
+        if applied != 1:
+            raise LookupError(f"no document {doc_id!r} to update")
+        updated = self.lookup(doc_id)
+        assert updated is not None
+        return updated
+
+    # ------------------------------------------------------------------
+    # discovery control
+    # ------------------------------------------------------------------
+    def discover(self, budget: Optional[int] = None) -> int:
+        """Run discovery synchronously (drain, or up to *budget* docs)."""
+        if budget is None:
+            return self.discovery.drain()
+        return self.discovery.run_pass(budget)
+
+    def schedule_discovery(self, batch: int = 32, cost_ms_per_doc: float = 1.0) -> int:
+        """Queue the current backlog as background tasks; returns the
+        number of tasks submitted.  Use :meth:`run_background` to make
+        progress alongside interactive work."""
+        backlog = self.discovery.backlog
+        submitted = 0
+        while backlog > 0:
+            todo = min(batch, backlog)
+            self.background.submit(
+                Task(
+                    label="discovery-pass",
+                    cost_ms=todo * cost_ms_per_doc,
+                    task_class=TaskClass.BACKGROUND,
+                    action=lambda todo=todo: self.discovery.run_pass(todo),
+                )
+            )
+            backlog -= todo
+            submitted += 1
+        return submitted
+
+    def run_background(self, quantum_ms: float = 100.0) -> None:
+        self.background.run_quantum(quantum_ms)
+
+    def add_annotator(self, annotator: Annotator) -> None:
+        self.discovery.annotators.append(annotator)
+
+    def add_relationship_rule(self, rule: RelationshipRule) -> None:
+        self.discovery.add_rule(rule)
+
+    def consolidate(
+        self,
+        source_docs: Sequence[Document],
+        target_docs: Sequence[Document],
+        target_root: str,
+        dedup: bool = True,
+    ) -> List[Document]:
+        """Schema-map *source_docs* into the target schema and ingest the
+        consolidated DERIVED documents (Section 3.2: purchase orders "can
+        all be searched together" whatever channel they arrived by).
+
+        With *dedup* (default), a source record whose mapped values match
+        an existing target record is recognized as the *same business
+        object*: no derived copy is ingested — aggregates must not
+        "double-count revenues contained in diverse sources" (§2.2) —
+        and a ``same_as`` edge links the channels for provenance.
+
+        Returns the ingested consolidated documents (duplicates excluded).
+        """
+        from repro.discovery.schemamapping import SchemaMapper
+        from repro.index.joins import JoinEdge
+
+        mapper = SchemaMapper()
+        targets = list(target_docs)
+        mapping = mapper.propose(list(source_docs), targets, target_root)
+        consolidated = []
+        for document in source_docs:
+            duplicate_of = None
+            if dedup:
+                duplicate_of = mapper.find_duplicate(document, mapping, targets)
+            if duplicate_of is not None:
+                self.indexes.joins.add(
+                    JoinEdge("same_as", document.doc_id, duplicate_of, confidence=0.9)
+                )
+                continue
+            derived = mapper.consolidate(
+                document, mapping, self._next_id(f"cons-{target_root}")
+            )
+            consolidated.append(self.ingest_document(derived))
+        return consolidated
+
+    # ------------------------------------------------------------------
+    # query interfaces
+    # ------------------------------------------------------------------
+    def search(self, query: str, top_k: int = 10) -> List[KeywordHit]:
+        """Keyword search — works out of the box (Section 3.2.1)."""
+        return KeywordSearch(self).search(query, top_k=top_k)
+
+    def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
+        """SQL over views (Figure 2's legacy-application path)."""
+        return self.engine.sql(query, planner=planner, statistics=statistics)
+
+    def faceted(self, query: Optional[str] = None) -> FacetedSession:
+        """Start a guided-search session."""
+        return FacetedSession(self, query)
+
+    def graph(self) -> GraphQuery:
+        """The graph/connection query interface."""
+        return GraphQuery(self)
+
+    def as_of(self, ts: int):
+        """Time-travel: a queryable snapshot of the whole appliance at
+        logical time *ts* (Section 4 versioning, operationalized).
+
+        >>> snapshot = app.as_of(earlier_ts)
+        >>> snapshot.sql("SELECT * FROM orders")
+        """
+        from repro.query.snapshot import SnapshotRepository
+
+        return SnapshotRepository(self, ts, views=self.views)
+
+    def find(self, query, top_k: int = 10):
+        """Hybrid search: one conjunctive query over content, structure,
+        values, facets, and annotations (Section 3.2's unified search).
+
+        *query* is a :class:`repro.query.hybrid.HybridQuery`.
+        """
+        from repro.query.hybrid import HybridSearch
+
+        return HybridSearch(self).search(query, top_k=top_k)
+
+    def define_view(self, view: RelationalView) -> None:
+        self.views.define(view)
+
+    def secure_session(self, principal, policy, audit=None):
+        """A policy-scoped, audited view of the appliance for one
+        principal (Section 4 security extension).  All query interfaces
+        work on the returned session exactly as on the appliance."""
+        from repro.security.enforcement import SecureSession
+
+        return SecureSession(self, principal, policy, audit)
+
+    def define_facet(self, definition: FacetDefinition) -> None:
+        self.indexes.facets.define(definition)
+        # Back-fill the facet over already-stored documents.
+        for document in self.documents():
+            self.indexes.facets.add(document)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def upgrade_software(self, version: str, policy: Optional[UpgradePolicy] = None) -> UpgradeReport:
+        engine = UpgradeEngine(policy) if policy is not None else self.upgrades
+        return engine.apply(self.cluster.nodes(), version)
+
+    def fail_node(self, node_id: str) -> int:
+        """Inject a node failure; repair keeps the data available.
+
+        The replica managers re-plan placements, and the lost node's
+        version chains are re-homed onto surviving data nodes.  (In the
+        simulation the bytes are read from the dead node's store object,
+        standing in for the surviving replica copies the placement layer
+        tracked — the observable behaviour is identical: every document
+        remains queryable.)  Returns the number of chains re-homed.
+        """
+        victim = self.cluster.node(node_id)
+        chains = []
+        if victim.store is not None:
+            chains = [
+                list(victim.store.history(doc_id))
+                for doc_id in victim.store.doc_ids()
+            ]
+        self.cluster.fail_node(node_id)
+        for manager in self._storage_managers:
+            try:
+                manager.on_node_failure(node_id)
+            except LookupError:
+                pass  # this manager's replica set never used that node
+        rehomed = 0
+        for chain in chains:
+            home = self.cluster.home_of(chain[0].doc_id)
+            assert home.store is not None
+            if not home.store.contains(chain[0].doc_id):
+                home.store.import_chain(chain)
+                rehomed += 1
+        return rehomed
+
+    def health(self) -> Dict[str, Any]:
+        """Single-pane health report: topology, storage, discovery."""
+        inventory = self.cluster.inventory
+        storage_reports = [m.service_report() for m in self._storage_managers]
+        return {
+            "topology": {
+                "data": inventory.data_nodes,
+                "grid": inventory.grid_nodes,
+                "cluster": inventory.cluster_nodes,
+            },
+            "documents": self.cluster.doc_count,
+            "discovery_backlog": self.discovery.backlog,
+            "annotations": self.discovery.stats.annotations_created,
+            "join_edges": self.indexes.joins.edge_count,
+            "under_replicated": sum(
+                len(r["under_replicated"]) for r in storage_reports
+            ),
+            "admin_actions": 0,
+        }
+
+    @property
+    def doc_count(self) -> int:
+        return self.cluster.doc_count

@@ -1,0 +1,106 @@
+"""Rolling software upgrades under an availability policy (Section 3.1).
+
+"Impliance software upgrades are automatically pushed to the nodes and
+installed automatically according to user-modifiable policies that
+balance the performance and availability impact of doing the upgrade
+with the hope for security and reliability gains."
+
+The upgrade engine partitions the node set into waves such that no more
+than the policy's fraction of any flavor is offline at once, charges the
+install downtime to each node's timeline, and reports the schedule —
+zero administrator actions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.node import NodeKind, SimNode
+
+#: Simulated time to install and restart one node's software stack.
+DEFAULT_INSTALL_MS = 500.0
+
+
+@dataclass(frozen=True)
+class UpgradePolicy:
+    """How aggressively upgrades may take capacity offline."""
+
+    #: Maximum fraction of each node flavor offline simultaneously.
+    max_offline_fraction: float = 0.25
+    #: Per-node install time.
+    install_ms: float = DEFAULT_INSTALL_MS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_offline_fraction <= 1.0:
+            raise ValueError("max_offline_fraction must be in (0, 1]")
+        if self.install_ms <= 0:
+            raise ValueError("install time must be positive")
+
+
+@dataclass
+class UpgradeReport:
+    """What a rolling upgrade did."""
+
+    version: str
+    waves: List[List[str]] = field(default_factory=list)
+    finish_ms: float = 0.0
+
+    @property
+    def wave_count(self) -> int:
+        return len(self.waves)
+
+    @property
+    def nodes_upgraded(self) -> int:
+        return sum(len(w) for w in self.waves)
+
+
+class UpgradeEngine:
+    """Plans and applies rolling upgrades over a node set."""
+
+    def __init__(self, policy: UpgradePolicy = UpgradePolicy()) -> None:
+        self.policy = policy
+        self.installed_version: Dict[str, str] = {}
+
+    def plan_waves(self, nodes: Sequence[SimNode]) -> List[List[SimNode]]:
+        """Partition nodes into waves respecting per-flavor availability.
+
+        Each flavor contributes at most ``ceil(count * fraction)`` nodes
+        per wave, and at least one (otherwise single-node flavors could
+        never upgrade).
+        """
+        by_kind: Dict[NodeKind, List[SimNode]] = {}
+        for node in nodes:
+            if node.alive:
+                by_kind.setdefault(node.kind, []).append(node)
+        waves: List[List[SimNode]] = []
+        for kind, members in sorted(by_kind.items(), key=lambda kv: kv[0].value):
+            members.sort(key=lambda n: n.node_id)
+            per_wave = max(1, math.floor(len(members) * self.policy.max_offline_fraction))
+            for i in range(0, len(members), per_wave):
+                chunk = members[i:i + per_wave]
+                if i // per_wave < len(waves):
+                    waves[i // per_wave].extend(chunk)
+                else:
+                    waves.append(list(chunk))
+        return waves
+
+    def apply(self, nodes: Sequence[SimNode], version: str, after: float = 0.0) -> UpgradeReport:
+        """Run a rolling upgrade; waves execute sequentially, nodes
+        within a wave in parallel."""
+        report = UpgradeReport(version=version)
+        wave_start = after
+        for wave in self.plan_waves(nodes):
+            wave_finish = wave_start
+            for node in wave:
+                finish = node.run(self.policy.install_ms, wave_start, label=f"upgrade-{version}")
+                self.installed_version[node.node_id] = version
+                wave_finish = max(wave_finish, finish)
+            report.waves.append([n.node_id for n in wave])
+            wave_start = wave_finish
+        report.finish_ms = wave_start
+        return report
+
+    def versions(self) -> Dict[str, str]:
+        return dict(self.installed_version)

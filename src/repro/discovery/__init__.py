@@ -1,0 +1,69 @@
+"""Discovery engine: annotators, entity resolution, relationships, mining.
+
+Implements Section 3.2's automatic information discovery: annotators add
+annotation documents asynchronously, entity resolution clusters mentions,
+relationship rules materialize join indexes, and a piggyback miner rides
+buffer-pool traffic for trends and exceptions.
+"""
+
+from repro.discovery.annotators import (
+    Annotator,
+    LexiconAnnotator,
+    PersonAnnotator,
+    RegexAnnotator,
+    SentimentAnnotator,
+    date_annotator,
+    default_annotators,
+    email_address_annotator,
+    money_annotator,
+    phone_annotator,
+)
+from repro.discovery.resolution import (
+    Entity,
+    EntityResolver,
+    Mention,
+    normalize_name,
+    token_similarity,
+)
+from repro.discovery.relationships import (
+    CoMentionRule,
+    RelationshipDiscoverer,
+    RelationshipRule,
+)
+from repro.discovery.pipeline import DiscoveryEngine, DiscoveryStats
+from repro.discovery.mining import NumericSummary, PiggybackMiner
+from repro.discovery.schemamapping import (
+    DEFAULT_SYNONYMS,
+    PathCorrespondence,
+    SchemaMapper,
+    SchemaMapping,
+)
+
+__all__ = [
+    "Annotator",
+    "LexiconAnnotator",
+    "PersonAnnotator",
+    "RegexAnnotator",
+    "SentimentAnnotator",
+    "date_annotator",
+    "default_annotators",
+    "email_address_annotator",
+    "money_annotator",
+    "phone_annotator",
+    "Entity",
+    "EntityResolver",
+    "Mention",
+    "normalize_name",
+    "token_similarity",
+    "CoMentionRule",
+    "RelationshipDiscoverer",
+    "RelationshipRule",
+    "DiscoveryEngine",
+    "DiscoveryStats",
+    "NumericSummary",
+    "PiggybackMiner",
+    "DEFAULT_SYNONYMS",
+    "PathCorrespondence",
+    "SchemaMapper",
+    "SchemaMapping",
+]

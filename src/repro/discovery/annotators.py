@@ -1,0 +1,305 @@
+"""Annotators: rule- and lexicon-based information extraction.
+
+"Additional metadata will be extracted for each document by running
+different kinds of annotators.  This will identify not only entities
+such as person names and locations, but also relationships among them."
+(Section 3.2)
+
+Each annotator declares what it applies to and emits
+:class:`~repro.model.annotations.Annotation` objects with character
+spans into the document's text projection.  The UIMA-style statistical
+annotators of the paper are substituted by deterministic rule/lexicon
+extractors (see DESIGN.md) — the pipeline behaviour they exercise is
+identical.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Pattern, Sequence, Set, Tuple
+
+from repro.model.annotations import Annotation, Span
+from repro.model.document import Document, DocumentKind
+
+
+class Annotator:
+    """Base annotator: subclasses implement :meth:`annotate`."""
+
+    #: Annotator name; also recorded on every annotation produced.
+    name: str = "annotator"
+
+    def applies_to(self, document: Document) -> bool:
+        """Default: any non-annotation document with text content."""
+        if document.kind is DocumentKind.ANNOTATION:
+            return False
+        return bool(document.text)
+
+    def annotate(self, document: Document) -> List[Annotation]:
+        raise NotImplementedError
+
+
+class RegexAnnotator(Annotator):
+    """Extract every match of a pattern as one annotation.
+
+    Parameters
+    ----------
+    name / label:
+        Annotator identity and the label its annotations carry.
+    pattern:
+        Compiled or raw regular expression; group 0 is the payload value.
+    payload_field:
+        Key under which the matched text is stored in the payload.
+    normalizer:
+        Optional callable cleaning the matched text before storage.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        label: str,
+        pattern,
+        payload_field: str = "value",
+        normalizer=None,
+        confidence: float = 0.9,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.pattern: Pattern[str] = (
+            pattern if isinstance(pattern, re.Pattern) else re.compile(pattern)
+        )
+        self.payload_field = payload_field
+        self.normalizer = normalizer
+        self.confidence = confidence
+
+    def annotate(self, document: Document) -> List[Annotation]:
+        text = document.text
+        annotations = []
+        for match in self.pattern.finditer(text):
+            value = match.group(0)
+            if self.normalizer is not None:
+                value = self.normalizer(value)
+            annotations.append(
+                Annotation(
+                    annotator=self.name,
+                    label=self.label,
+                    subject_id=document.doc_id,
+                    payload={self.payload_field: value},
+                    spans=[Span(match.start(), match.end())],
+                    confidence=self.confidence,
+                )
+            )
+        return annotations
+
+
+def phone_annotator() -> RegexAnnotator:
+    """US-style phone numbers."""
+    return RegexAnnotator(
+        name="phone",
+        label="phone",
+        pattern=r"\(?\b\d{3}\)?[-. ]\d{3}[-.]\d{4}\b",
+        payload_field="number",
+        normalizer=lambda s: re.sub(r"[^\d]", "", s),
+    )
+
+
+def money_annotator() -> RegexAnnotator:
+    """Currency amounts like $1,234.56."""
+    return RegexAnnotator(
+        name="money",
+        label="money",
+        pattern=r"[$€£]\s?\d[\d,]*(?:\.\d{1,2})?",
+        payload_field="amount",
+        normalizer=lambda s: s.replace(",", "").lstrip("$€£ "),
+    )
+
+
+def date_annotator() -> RegexAnnotator:
+    """ISO dates (2007-01-10)."""
+    return RegexAnnotator(
+        name="date",
+        label="date",
+        pattern=r"\b\d{4}-\d{2}-\d{2}\b",
+        payload_field="date",
+        confidence=0.95,
+    )
+
+
+def email_address_annotator() -> RegexAnnotator:
+    return RegexAnnotator(
+        name="email-address",
+        label="email_address",
+        pattern=r"\b[\w.+-]+@[\w-]+\.[\w.]+\b",
+        payload_field="address",
+        normalizer=str.lower,
+    )
+
+
+class LexiconAnnotator(Annotator):
+    """Extract occurrences of a known vocabulary (products, locations,
+    medical procedures...).  Matching is case-insensitive on word
+    boundaries; multi-word entries are supported."""
+
+    def __init__(
+        self,
+        name: str,
+        label: str,
+        lexicon: Iterable[str],
+        payload_field: str = "value",
+        confidence: float = 0.85,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.payload_field = payload_field
+        self.confidence = confidence
+        entries = sorted({e.strip() for e in lexicon if e.strip()}, key=len, reverse=True)
+        if not entries:
+            raise ValueError(f"annotator {name!r} needs a non-empty lexicon")
+        self._canonical = {e.lower(): e for e in entries}
+        escaped = "|".join(re.escape(e) for e in entries)
+        self.pattern = re.compile(rf"\b(?:{escaped})\b", re.IGNORECASE)
+
+    def annotate(self, document: Document) -> List[Annotation]:
+        text = document.text
+        annotations = []
+        for match in self.pattern.finditer(text):
+            canonical = self._canonical[match.group(0).lower()]
+            annotations.append(
+                Annotation(
+                    annotator=self.name,
+                    label=self.label,
+                    subject_id=document.doc_id,
+                    payload={self.payload_field: canonical},
+                    spans=[Span(match.start(), match.end())],
+                    confidence=self.confidence,
+                )
+            )
+        return annotations
+
+
+class PersonAnnotator(Annotator):
+    """Person names: honorific-triggered or Firstname Lastname shapes.
+
+    A deterministic stand-in for a statistical NER model: matches
+    "Mr./Ms./Dr. X [Y]" always, and capitalized bigrams when the first
+    token is in the given-names lexicon.
+    """
+
+    name = "person"
+    label = "person"
+
+    _HONORIFIC = re.compile(
+        r"\b(?:Mr|Ms|Mrs|Dr|Prof)\.?\s+([A-Z][a-z]+(?:\s+[A-Z][a-z]+)?)"
+    )
+    _BIGRAM = re.compile(r"\b([A-Z][a-z]+)\s+([A-Z][a-z]+)\b")
+
+    DEFAULT_GIVEN_NAMES = frozenset(
+        """alice bob carol david erin frank grace henry irene jack karen
+        laura mike nancy oscar peggy quinn rachel steve trudy victor wendy
+        maria john linda james sarah robert emma daniel olivia""".split()
+    )
+
+    def __init__(self, given_names: Optional[Iterable[str]] = None) -> None:
+        names = given_names if given_names is not None else self.DEFAULT_GIVEN_NAMES
+        self._given = {n.lower() for n in names}
+
+    def annotate(self, document: Document) -> List[Annotation]:
+        text = document.text
+        annotations = []
+        seen_spans: Set[Tuple[int, int]] = set()
+        for match in self._HONORIFIC.finditer(text):
+            span = (match.start(1), match.end(1))
+            seen_spans.add(span)
+            annotations.append(self._make(document, match.group(1), span, 0.95))
+        for match in self._BIGRAM.finditer(text):
+            span = (match.start(), match.end())
+            if span in seen_spans:
+                continue
+            if match.group(1).lower() in self._given:
+                annotations.append(
+                    self._make(document, match.group(0), span, 0.8)
+                )
+        return annotations
+
+    def _make(self, document: Document, name: str, span: Tuple[int, int], conf: float) -> Annotation:
+        return Annotation(
+            annotator=self.name,
+            label=self.label,
+            subject_id=document.doc_id,
+            payload={"name": name},
+            spans=[Span(span[0], span[1])],
+            confidence=conf,
+        )
+
+
+class SentimentAnnotator(Annotator):
+    """Document-level sentiment from a polarity lexicon.
+
+    Emits one annotation per document with ``score`` in [-1, 1] and a
+    discrete ``polarity`` — the "sentiment detection within a single
+    document" task the paper assigns to data nodes (Section 3.3).
+    """
+
+    name = "sentiment"
+    label = "sentiment"
+
+    POSITIVE = frozenset(
+        """good great excellent happy love wonderful fantastic pleased
+        satisfied helpful resolved thanks thank perfect amazing easy
+        recommend delighted impressed reliable fast""".split()
+    )
+    NEGATIVE = frozenset(
+        """bad terrible awful unhappy hate horrible angry frustrated broken
+        useless slow disappointed complaint problem issue fail failed
+        cancel refund worst annoyed defective crash""".split()
+    )
+
+    def __init__(self, positive: Optional[Iterable[str]] = None,
+                 negative: Optional[Iterable[str]] = None) -> None:
+        self._positive = frozenset(positive) if positive is not None else self.POSITIVE
+        self._negative = frozenset(negative) if negative is not None else self.NEGATIVE
+
+    def annotate(self, document: Document) -> List[Annotation]:
+        words = re.findall(r"[a-z']+", document.text.lower())
+        pos = sum(1 for w in words if w in self._positive)
+        neg = sum(1 for w in words if w in self._negative)
+        total = pos + neg
+        if total == 0:
+            return []
+        score = (pos - neg) / total
+        polarity = "positive" if score > 0.2 else "negative" if score < -0.2 else "neutral"
+        confidence = min(1.0, 0.5 + 0.1 * total)
+        return [
+            Annotation(
+                annotator=self.name,
+                label=self.label,
+                subject_id=document.doc_id,
+                payload={"score": round(score, 4), "polarity": polarity,
+                         "positive_hits": pos, "negative_hits": neg},
+                confidence=confidence,
+            )
+        ]
+
+
+def default_annotators(
+    products: Iterable[str] = (),
+    locations: Iterable[str] = (),
+    procedures: Iterable[str] = (),
+) -> List[Annotator]:
+    """The out-of-the-box annotator suite; lexicon-driven annotators are
+    included only when a lexicon is supplied."""
+    suite: List[Annotator] = [
+        phone_annotator(),
+        money_annotator(),
+        date_annotator(),
+        email_address_annotator(),
+        PersonAnnotator(),
+        SentimentAnnotator(),
+    ]
+    if products:
+        suite.append(LexiconAnnotator("product", "product_mention", products, "product"))
+    if locations:
+        suite.append(LexiconAnnotator("location", "location", locations, "place"))
+    if procedures:
+        suite.append(LexiconAnnotator("procedure", "procedure_mention", procedures, "procedure"))
+    return suite

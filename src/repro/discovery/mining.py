@@ -1,0 +1,150 @@
+"""Piggybacked data mining (paper Section 3.2).
+
+"Impliance will optionally piggyback data mining algorithms on discovery
+passes, or perform both opportunistically on any page retrieved into the
+buffer for other reasons, to more proactively discover trends and
+exceptions in the data."
+
+:class:`PiggybackMiner` subscribes to buffer-pool page traffic: every
+page pulled in for *any* reason gets mined for term co-occurrence and
+running numeric statistics, for free.  Coverage (fraction of distinct
+documents mined) is the DISC experiment's metric: how far does
+opportunistic mining get without dedicated scans?
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.index.text import tokenize
+from repro.model.document import DocumentKind
+from repro.model.values import Path, classify_value, coerce_numeric
+from repro.storage.bufferpool import BufferPool, PageKey
+from repro.storage.pages import Page
+
+
+@dataclass
+class NumericSummary:
+    """Welford running mean/variance for one path."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def zscore(self, value: float) -> float:
+        sd = self.stddev
+        return (value - self.mean) / sd if sd > 0 else 0.0
+
+
+class PiggybackMiner:
+    """Opportunistic mining over buffer-pool page traffic."""
+
+    def __init__(self, top_terms_per_doc: int = 12) -> None:
+        self.top_terms_per_doc = top_terms_per_doc
+        self._seen_docs: Set[str] = set()
+        self._pages_observed = 0
+        self._term_counts: Counter = Counter()
+        self._pair_counts: Counter = Counter()
+        self._numeric: Dict[Path, NumericSummary] = defaultdict(NumericSummary)
+        self._numeric_values: Dict[Path, List[Tuple[str, float]]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def attach(self, pool: BufferPool) -> None:
+        """Subscribe to a buffer pool's demand reads."""
+        pool.page_observers.append(self.observe_page)
+
+    def observe_page(self, key: PageKey, page: Page) -> None:
+        """Mine every not-yet-seen document on an accessed page."""
+        self._pages_observed += 1
+        for document in page.documents():
+            if document.doc_id in self._seen_docs:
+                continue
+            self._seen_docs.add(document.doc_id)
+            self._mine_document(document)
+
+    def _mine_document(self, document) -> None:
+        # Annotation documents echo extracted values plus pipeline
+        # bookkeeping; mining their terms would report the pipeline's own
+        # vocabulary as a corpus trend.  Their numeric payloads (amounts,
+        # scores) are still worth summarizing.
+        if document.kind is not DocumentKind.ANNOTATION:
+            terms = [
+                t for t, _ in
+                Counter(tokenize(document.text)).most_common(self.top_terms_per_doc)
+            ]
+            self._term_counts.update(terms)
+            for i, a in enumerate(terms):
+                for b in terms[i + 1:]:
+                    self._pair_counts[tuple(sorted((a, b)))] += 1
+        for path, value in document.paths():
+            if value is None:
+                continue
+            if classify_value(value).is_numeric:
+                try:
+                    number = coerce_numeric(value)
+                except (TypeError, ValueError):
+                    continue
+                self._numeric[path].update(number)
+                self._numeric_values[path].append((document.doc_id, number))
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    @property
+    def docs_mined(self) -> int:
+        return len(self._seen_docs)
+
+    @property
+    def pages_observed(self) -> int:
+        return self._pages_observed
+
+    def coverage(self, total_docs: int) -> float:
+        """Fraction of the corpus reached opportunistically."""
+        if total_docs <= 0:
+            return 0.0
+        return min(1.0, len(self._seen_docs) / total_docs)
+
+    def top_terms(self, n: int = 10) -> List[Tuple[str, int]]:
+        return self._term_counts.most_common(n)
+
+    def top_cooccurrences(self, n: int = 10) -> List[Tuple[Tuple[str, str], int]]:
+        """Most frequent term pairs — the "trends" report."""
+        return self._pair_counts.most_common(n)
+
+    def summary(self, path: Path) -> Optional[NumericSummary]:
+        return self._numeric.get(tuple(path))
+
+    def exceptions(self, path: Path, z_threshold: float = 3.0) -> List[Tuple[str, float, float]]:
+        """Outlier values under *path*: (doc_id, value, z-score).
+
+        The "exceptions" the paper wants surfaced proactively — e.g. a
+        claim amount far outside the norm for its cohort.
+        """
+        path = tuple(path)
+        summary = self._numeric.get(path)
+        if summary is None or summary.count < 3:
+            return []
+        result = []
+        for doc_id, value in self._numeric_values[path]:
+            z = summary.zscore(value)
+            if abs(z) >= z_threshold:
+                result.append((doc_id, value, round(z, 3)))
+        result.sort(key=lambda t: -abs(t[2]))
+        return result

@@ -1,0 +1,168 @@
+"""The discovery engine: asynchronous enrichment passes (Figure 1).
+
+"All data entering into Impliance will also go through a number of
+asynchronous analysis phases."  Documents queue up as they are infused;
+:meth:`DiscoveryEngine.run_pass` is the background task that drains the
+queue under a budget, running annotators, persisting annotation
+documents, resolving entities, and registering discovered relationships
+as join-index edges.  Ingest never waits on any of this — the property
+the DISC experiment measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.discovery.annotators import Annotator
+from repro.discovery.relationships import CoMentionRule, RelationshipDiscoverer, RelationshipRule
+from repro.discovery.resolution import EntityResolver, Mention
+from repro.model.annotations import Annotation, make_annotation_document
+from repro.model.document import Document, DocumentKind
+from repro.model.schema import SchemaRegistry
+from repro.util import IdGenerator
+
+
+@dataclass
+class DiscoveryStats:
+    docs_processed: int = 0
+    annotations_created: int = 0
+    edges_added: int = 0
+    passes: int = 0
+
+
+class DiscoveryEngine:
+    """Coordinates annotators, resolution, and relationship discovery.
+
+    Parameters
+    ----------
+    repository:
+        Engine-protocol repository (indexes + lookup) whose join index
+        receives discovered edges.
+    persist:
+        Callable persisting a new annotation document (the appliance
+        routes it to storage + indexing).  Returns the stored document.
+    annotators:
+        The annotator suite to run.
+    rules:
+        Declarative relationship rules (annotation → master data).
+    entity_labels:
+        Payload fields per annotation label to feed entity resolution,
+        e.g. ``{"person": "name"}``; resolved entities generate
+        co-mention edges.
+    """
+
+    def __init__(
+        self,
+        repository,
+        persist: Callable[[Document], Document],
+        annotators: Sequence[Annotator],
+        rules: Iterable[RelationshipRule] = (),
+        entity_labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.repository = repository
+        self._persist = persist
+        self.annotators = list(annotators)
+        self.schema_registry = SchemaRegistry()
+        self.resolver = EntityResolver()
+        self._entity_labels = dict(entity_labels or {"person": "name"})
+        self._relationships = RelationshipDiscoverer(
+            rules, repository.indexes.values, repository.indexes.joins
+        )
+        self._co_mentions = CoMentionRule(repository.indexes.joins)
+        self._queue: Deque[str] = deque()
+        self._queued: Set[str] = set()
+        self._processed: Set[tuple] = set()  # (doc_id, version) already done
+        self._ids = IdGenerator("ann")
+        self.stats = DiscoveryStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, document: Document) -> None:
+        """Register a newly infused document for future discovery.
+
+        Annotation documents are not re-annotated by default (that keeps
+        the pipeline loop-free); everything else queues once per version.
+        """
+        if document.kind is DocumentKind.ANNOTATION:
+            return
+        if document.doc_id in self._queued:
+            return
+        if document.vid in self._processed:
+            # Already annotated this exact version — re-homed replicas
+            # after a node failure must not trigger duplicate discovery.
+            return
+        self._queue.append(document.doc_id)
+        self._queued.add(document.doc_id)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def add_rule(self, rule: RelationshipRule) -> None:
+        """Install a relationship rule at runtime."""
+        self._relationships.add_rule(rule)
+
+    # ------------------------------------------------------------------
+    def run_pass(self, budget: Optional[int] = None) -> int:
+        """Process up to *budget* queued documents; returns how many.
+
+        One document's processing: schema registration, every applicable
+        annotator, annotation persistence, entity resolution, and
+        relationship rules.
+        """
+        processed = 0
+        while self._queue and (budget is None or processed < budget):
+            doc_id = self._queue.popleft()
+            self._queued.discard(doc_id)
+            document = self.repository.lookup(doc_id)
+            if document is None:
+                continue
+            self.process_document(document)
+            processed += 1
+        if processed:
+            self.stats.passes += 1
+        return processed
+
+    def process_document(self, document: Document) -> List[Document]:
+        """Run the full discovery suite on one document; returns the
+        persisted annotation documents."""
+        self.schema_registry.register(document)
+        self._processed.add(document.vid)
+        persisted: List[Document] = []
+        for annotator in self.annotators:
+            if not annotator.applies_to(document):
+                continue
+            for annotation in annotator.annotate(document):
+                persisted.append(self._handle_annotation(annotation))
+        self.stats.docs_processed += 1
+        return persisted
+
+    def _handle_annotation(self, annotation: Annotation) -> Document:
+        ann_doc = make_annotation_document(self._ids.next(), annotation)
+        stored = self._persist(ann_doc)
+        self.stats.annotations_created += 1
+
+        edges = self._relationships.on_annotation(annotation)
+        self.stats.edges_added += len(edges)
+
+        payload_field = self._entity_labels.get(annotation.label)
+        if payload_field is not None:
+            value = annotation.payload.get(payload_field)
+            if value:
+                entity = self.resolver.resolve(
+                    Mention(annotation.subject_id, str(value), annotation.label)
+                )
+                co_edges = self._co_mentions.on_entity_docs(
+                    annotation.subject_id, entity.doc_ids
+                )
+                self.stats.edges_added += len(co_edges)
+        return stored
+
+    # ------------------------------------------------------------------
+    def drain(self, batch: int = 64) -> int:
+        """Run passes until the backlog is empty; returns total processed."""
+        total = 0
+        while self._queue:
+            total += self.run_pass(batch)
+        return total

@@ -1,0 +1,125 @@
+"""Cross-document relationship discovery → join indexes (Section 3.2).
+
+"As another example, a purchase order can be identified to reference
+several master data records ... Discovered relationships can be stored
+as join indexes and utilized at query time."
+
+Two discovery mechanisms:
+
+* :class:`RelationshipRule` — a declarative link: when an annotation's
+  payload value equals a master-data value at some path, emit an edge
+  (e.g. product mention in a transcript → the product master row).
+* :class:`CoMentionRule` — two documents mentioning the same resolved
+  entity get a ``co_mentions`` edge (partnership chains in the legal
+  use case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.index.joins import JoinEdge, JoinIndex
+from repro.index.structural import ValueIndex
+from repro.model.annotations import Annotation
+from repro.model.values import Path
+
+
+@dataclass(frozen=True)
+class RelationshipRule:
+    """Link annotations to master data by value equality.
+
+    Parameters
+    ----------
+    relation:
+        Name of the emitted relation (edge label).
+    annotation_label:
+        Which annotations trigger the rule.
+    payload_field:
+        The payload key whose value is looked up.
+    target_path:
+        Content path in master documents where the value must appear.
+    """
+
+    relation: str
+    annotation_label: str
+    payload_field: str
+    target_path: Path
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "target_path", tuple(self.target_path))
+
+
+class RelationshipDiscoverer:
+    """Applies relationship rules as annotations stream through."""
+
+    def __init__(
+        self,
+        rules: Iterable[RelationshipRule],
+        value_index: ValueIndex,
+        join_index: JoinIndex,
+    ) -> None:
+        self._rules: Dict[str, List[RelationshipRule]] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.annotation_label, []).append(rule)
+        self._values = value_index
+        self._joins = join_index
+        self.edges_added = 0
+
+    def rules_for(self, label: str) -> List[RelationshipRule]:
+        return list(self._rules.get(label, ()))
+
+    def add_rule(self, rule: RelationshipRule) -> None:
+        """Install a rule at runtime (rules may arrive after data)."""
+        self._rules.setdefault(rule.annotation_label, []).append(rule)
+
+    def on_annotation(self, annotation: Annotation) -> List[JoinEdge]:
+        """Apply matching rules to one annotation; returns new edges."""
+        added: List[JoinEdge] = []
+        for rule in self._rules.get(annotation.label, ()):
+            value = annotation.payload.get(rule.payload_field)
+            if value is None:
+                continue
+            for target in sorted(self._values.docs_with_value(rule.target_path, value)):
+                if target == annotation.subject_id:
+                    continue
+                edge = JoinEdge(
+                    relation=rule.relation,
+                    from_doc=annotation.subject_id,
+                    to_doc=target,
+                    confidence=annotation.confidence,
+                    payload={rule.payload_field: value},
+                )
+                if self._joins.add(edge):
+                    self.edges_added += 1
+                    added.append(edge)
+        return added
+
+
+class CoMentionRule:
+    """Emit ``co_mentions`` edges among documents sharing an entity.
+
+    To keep the edge count linear in practice, each new mention links
+    the new document to at most *fan_limit* earlier documents of the
+    same entity.
+    """
+
+    def __init__(self, join_index: JoinIndex, relation: str = "co_mentions",
+                 fan_limit: int = 8) -> None:
+        if fan_limit < 1:
+            raise ValueError("fan_limit must be >= 1")
+        self._joins = join_index
+        self.relation = relation
+        self.fan_limit = fan_limit
+        self.edges_added = 0
+
+    def on_entity_docs(self, new_doc: str, existing_docs: Set[str]) -> List[JoinEdge]:
+        added: List[JoinEdge] = []
+        others = sorted(d for d in existing_docs if d != new_doc)[: self.fan_limit]
+        for other in others:
+            a, b = sorted((new_doc, other))
+            edge = JoinEdge(relation=self.relation, from_doc=a, to_doc=b, confidence=0.7)
+            if self._joins.add(edge):
+                self.edges_added += 1
+                added.append(edge)
+        return added

@@ -1,0 +1,308 @@
+"""Schema mapping and consolidation (paper Section 3.2, refs Clio).
+
+"Second, using schema mapping technologies, structures from different
+sources can be consolidated.  Thus, customer purchase orders can all be
+searched together, whether they are ingested into Impliance via e-mail,
+a spreadsheet, a Microsoft Word document, a relational row, or other
+formats."
+
+The mapper proposes *path correspondences* between a source schema and a
+target (canonical) schema by combining three signals, in the spirit of
+instance-based matchers:
+
+1. **name similarity** of the leaf path component (token overlap plus a
+   synonym lexicon: qty≈quantity, amt≈amount, ...),
+2. **type compatibility** of the inferred value types,
+3. **value overlap** between sample instances (Jaccard on normalized
+   values), which catches renames that names alone would miss.
+
+Accepted correspondences rewrite documents into *derived* consolidated
+documents that reference their originals — so the unified view is just
+more documents, searchable and queryable by all the existing machinery.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.model.document import Document, DocumentKind
+from repro.model.schema import DocumentSchema, infer_schema
+from repro.model.values import Path, ValueType, classify_value
+
+#: Built-in synonym groups for common business-field abbreviations.
+DEFAULT_SYNONYMS: Tuple[Tuple[str, ...], ...] = (
+    ("quantity", "qty", "count", "units"),
+    ("amount", "amt", "total", "price", "cost", "value"),
+    ("customer", "cust", "client", "buyer", "account"),
+    ("identifier", "id", "number", "num", "no", "key"),
+    ("date", "day", "when", "time"),
+    ("product", "item", "sku", "article"),
+    ("address", "addr", "location"),
+    ("description", "desc", "note", "notes", "comment"),
+)
+
+
+def _tokens(name: str) -> List[str]:
+    """Split a field name into lowercase tokens (camelCase, snake_case)."""
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", name)
+    return [t for t in re.split(r"[^a-zA-Z0-9]+", spaced.lower()) if t]
+
+
+@dataclass(frozen=True)
+class PathCorrespondence:
+    """One proposed mapping: source path → target path."""
+
+    source: Path
+    target: Path
+    confidence: float
+    signals: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", tuple(self.source))
+        object.__setattr__(self, "target", tuple(self.target))
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must lie in [0, 1]")
+
+
+@dataclass
+class SchemaMapping:
+    """An accepted set of correspondences into one target schema."""
+
+    target_root: str
+    correspondences: List[PathCorrespondence] = field(default_factory=list)
+
+    def target_of(self, source: Path) -> Optional[Path]:
+        source = tuple(source)
+        for correspondence in self.correspondences:
+            if correspondence.source == source:
+                return correspondence.target
+        return None
+
+    @property
+    def mapped_sources(self) -> Set[Path]:
+        return {c.source for c in self.correspondences}
+
+
+class SchemaMapper:
+    """Proposes and applies mappings between document schemas."""
+
+    def __init__(
+        self,
+        synonyms: Iterable[Iterable[str]] = DEFAULT_SYNONYMS,
+        accept_threshold: float = 0.5,
+        sample_size: int = 32,
+    ) -> None:
+        if not 0.0 < accept_threshold <= 1.0:
+            raise ValueError("accept_threshold must be in (0, 1]")
+        self._syn_group: Dict[str, int] = {}
+        for group_id, group in enumerate(synonyms):
+            for word in group:
+                self._syn_group[word.lower()] = group_id
+        self.accept_threshold = accept_threshold
+        self.sample_size = sample_size
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def name_similarity(self, a: Path, b: Path) -> float:
+        """Token overlap of the leaf names, synonym groups unified."""
+        if not a or not b:
+            return 0.0
+        ta = self._canonical_tokens(a[-1])
+        tb = self._canonical_tokens(b[-1])
+        if not ta or not tb:
+            return 0.0
+        overlap = len(ta & tb) / len(ta | tb)
+        if a[-1].lower() == b[-1].lower():
+            overlap = 1.0
+        return overlap
+
+    def _canonical_tokens(self, name: str) -> Set:
+        canon = set()
+        for token in _tokens(name):
+            group = self._syn_group.get(token)
+            canon.add(("syn", group) if group is not None else ("tok", token))
+        return canon
+
+    @staticmethod
+    def type_compatible(a: Optional[ValueType], b: Optional[ValueType]) -> bool:
+        if a is None or b is None:
+            return True
+        if a == b:
+            return True
+        numeric = {ValueType.INTEGER, ValueType.FLOAT, ValueType.MONEY}
+        stringy = {ValueType.STRING, ValueType.TEXT}
+        return (a in numeric and b in numeric) or (a in stringy and b in stringy)
+
+    @staticmethod
+    def _normalize(value: Any) -> str:
+        return str(value).strip().lower()
+
+    def value_overlap(
+        self, source_values: Sequence[Any], target_values: Sequence[Any]
+    ) -> float:
+        sa = {self._normalize(v) for v in source_values if v is not None}
+        sb = {self._normalize(v) for v in target_values if v is not None}
+        if not sa or not sb:
+            return 0.0
+        return len(sa & sb) / len(sa | sb)
+
+    # ------------------------------------------------------------------
+    # mapping proposal
+    # ------------------------------------------------------------------
+    def _sample_values(self, documents: Sequence[Document], path: Path) -> List[Any]:
+        values: List[Any] = []
+        for document in documents[: self.sample_size]:
+            values.extend(document.get(path))
+        return values
+
+    def propose(
+        self,
+        source_docs: Sequence[Document],
+        target_docs: Sequence[Document],
+        target_root: str,
+    ) -> SchemaMapping:
+        """Propose a mapping from the source documents' schema into the
+        target documents' schema.
+
+        Greedy best-first assignment: each source path maps to its
+        best-scoring unclaimed target path above the accept threshold.
+        Score = 0.6·name + 0.4·value-overlap, gated on type compatibility.
+        """
+        if not source_docs or not target_docs:
+            raise ValueError("need sample documents on both sides")
+        source_schema = self._merged_schema(source_docs)
+        target_schema = self._merged_schema(target_docs)
+
+        scored: List[Tuple[float, Path, Path, Tuple[str, ...]]] = []
+        for source_path in sorted(source_schema.fields):
+            for target_path in sorted(target_schema.fields):
+                if not self.type_compatible(
+                    source_schema.type_of(source_path),
+                    target_schema.type_of(target_path),
+                ):
+                    continue
+                name_score = self.name_similarity(source_path, target_path)
+                value_score = self.value_overlap(
+                    self._sample_values(list(source_docs), source_path),
+                    self._sample_values(list(target_docs), target_path),
+                )
+                score = 0.6 * name_score + 0.4 * value_score
+                if score <= 0:
+                    continue
+                signals = tuple(
+                    s for s, v in (("name", name_score), ("values", value_score)) if v > 0
+                )
+                scored.append((score, source_path, target_path, signals))
+
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        mapping = SchemaMapping(target_root=target_root)
+        used_sources: Set[Path] = set()
+        used_targets: Set[Path] = set()
+        for score, source_path, target_path, signals in scored:
+            if score < self.accept_threshold:
+                break
+            if source_path in used_sources or target_path in used_targets:
+                continue
+            used_sources.add(source_path)
+            used_targets.add(target_path)
+            mapping.correspondences.append(
+                PathCorrespondence(source_path, target_path, round(score, 4), signals)
+            )
+        return mapping
+
+    @staticmethod
+    def _merged_schema(documents: Sequence[Document]) -> DocumentSchema:
+        merged: Optional[DocumentSchema] = None
+        for document in documents:
+            schema = infer_schema(document)
+            merged = schema if merged is None else merged.merge(schema)
+        assert merged is not None
+        return merged
+
+    # ------------------------------------------------------------------
+    # duplicate detection (§2.2: don't "double-count revenues contained
+    # in diverse sources (e.g., e-mail and a spreadsheet)")
+    # ------------------------------------------------------------------
+    def find_duplicate(
+        self,
+        document: Document,
+        mapping: SchemaMapping,
+        targets: Sequence[Document],
+        min_matching_fields: int = 4,
+    ) -> Optional[str]:
+        """Return the doc_id of a target that is the *same business
+        object* as *document*, or ``None``.
+
+        Two records match when at least *min_matching_fields* mapped
+        fields agree on (normalized) value — the instance-level test
+        that catches the same purchase order arriving through two
+        channels.
+        """
+        mapped_values: Dict[Path, str] = {}
+        for correspondence in mapping.correspondences:
+            values = document.get(correspondence.source)
+            if values:
+                mapped_values[correspondence.target] = self._normalize(values[0])
+        if len(mapped_values) < min_matching_fields:
+            return None
+        for target in targets:
+            matches = 0
+            for target_path, value in mapped_values.items():
+                target_values = [self._normalize(v) for v in target.get(target_path)]
+                if value in target_values:
+                    matches += 1
+            if matches >= min_matching_fields:
+                return target.doc_id
+        return None
+
+    # ------------------------------------------------------------------
+    # consolidation
+    # ------------------------------------------------------------------
+    def consolidate(
+        self, document: Document, mapping: SchemaMapping, doc_id: str
+    ) -> Document:
+        """Rewrite *document* into the target schema as a DERIVED doc.
+
+        Unmapped source paths are preserved under ``_unmapped`` so the
+        consolidation is lossless (the original is referenced anyway).
+        """
+        content: Dict[str, Any] = {}
+        unmapped: Dict[str, Any] = {}
+        for path, value in document.paths():
+            target = mapping.target_of(path)
+            if target is not None:
+                # Target paths carry the canonical root (they came from
+                # target-side documents); the rewrite re-roots below.
+                if target and target[0] == mapping.target_root:
+                    target = target[1:]
+                if not target:
+                    continue
+                node = content
+                for key in target[:-1]:
+                    node = node.setdefault(key, {})
+                existing = node.get(target[-1])
+                if existing is None:
+                    node[target[-1]] = value
+                elif isinstance(existing, list):
+                    existing.append(value)
+                else:
+                    node[target[-1]] = [existing, value]
+            else:
+                unmapped["/".join(path)] = value
+        if unmapped:
+            content["_unmapped"] = unmapped
+        return Document(
+            doc_id=doc_id,
+            content={mapping.target_root: content},
+            kind=DocumentKind.DERIVED,
+            source_format="consolidated",
+            metadata={
+                "table": mapping.target_root,
+                "consolidated_from": document.doc_id,
+                "original_format": document.source_format,
+            },
+            refs=(document.doc_id,),
+        )

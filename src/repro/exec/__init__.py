@@ -1,0 +1,59 @@
+"""Execution engine: the limited physical-operator vocabulary and the
+distributed executor that runs it over the simulated cluster.
+
+Implements Section 3.3's execution story: few physical operators, data
+reduced at data nodes, joined/sorted/aggregated on grid work crews,
+updated consistently through cluster nodes — with every step charged to
+node timelines and the network so experiments measure makespans and
+bytes on the wire.
+"""
+
+from repro.exec.operators import (
+    AggSpec,
+    AggregationTypeError,
+    OperatorStats,
+    Row,
+    filter_rows,
+    group_aggregate,
+    hash_join,
+    indexed_nl_join,
+    merge_partial_aggregates,
+    partial_aggregate,
+    project_rows,
+    sort_rows,
+    top_k,
+)
+from repro.exec.parallel import (
+    ExecReport,
+    ParallelExecutor,
+    Partitions,
+    StageTiming,
+)
+from repro.exec.discovery_flow import (
+    DistributedDiscoveryResult,
+    run_distributed_discovery,
+)
+from repro.exec import costs
+
+__all__ = [
+    "AggSpec",
+    "AggregationTypeError",
+    "OperatorStats",
+    "Row",
+    "filter_rows",
+    "group_aggregate",
+    "hash_join",
+    "indexed_nl_join",
+    "merge_partial_aggregates",
+    "partial_aggregate",
+    "project_rows",
+    "sort_rows",
+    "top_k",
+    "ExecReport",
+    "ParallelExecutor",
+    "Partitions",
+    "StageTiming",
+    "costs",
+    "DistributedDiscoveryResult",
+    "run_distributed_discovery",
+]

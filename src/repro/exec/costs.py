@@ -1,0 +1,52 @@
+"""Cost model for simulated execution.
+
+All values are *nominal* simulated milliseconds on a speed-1.0 node; node
+speed and operator affinity (see :mod:`repro.cluster.node`) scale them.
+Absolute values are arbitrary — the experiments report relative shapes —
+but the relative magnitudes are chosen to be realistic: random index
+probes cost more than streamed rows, annotators (text analytics) dominate
+per-byte costs, and locking is cheap but serialized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+# Per-document / per-row CPU costs (nominal ms).
+SCAN_CPU_MS_PER_DOC = 0.002        # read + deserialize one document
+FILTER_CPU_MS_PER_ROW = 0.0005
+PROJECT_CPU_MS_PER_ROW = 0.0002
+HASH_BUILD_MS_PER_ROW = 0.002
+HASH_PROBE_MS_PER_ROW = 0.001
+INDEX_PROBE_MS = 0.02              # one indexed-NL probe (random access)
+SORT_MS_PER_ROW_LOG = 0.0005       # multiplied by log2(n)
+AGG_MS_PER_ROW = 0.0008
+SEARCH_MS_PER_DOC_SCORED = 0.001   # BM25 scoring one candidate
+TOPK_MS_PER_ROW = 0.0003
+UPDATE_CPU_MS = 0.05               # apply one versioned update
+ANNOTATE_MS_PER_KB = 0.5           # text analytics are expensive
+COMPRESS_MS_PER_KB = 0.01
+ENCRYPT_MS_PER_KB = 0.02
+
+#: Fixed serialization overhead per shipped row.
+ROW_OVERHEAD_BYTES = 16
+
+
+def sort_cost_ms(n_rows: int) -> float:
+    """n log n sort cost."""
+    if n_rows <= 1:
+        return 0.0
+    return SORT_MS_PER_ROW_LOG * n_rows * math.log2(n_rows)
+
+
+def estimate_row_bytes(row: Dict[str, Any]) -> int:
+    """Approximate wire size of one row."""
+    total = ROW_OVERHEAD_BYTES
+    for key, value in row.items():
+        total += len(key) + len(str(value))
+    return total
+
+
+def estimate_rows_bytes(rows) -> int:
+    return sum(estimate_row_bytes(r) for r in rows)

@@ -1,0 +1,279 @@
+"""Physical row operators.
+
+The paper argues for "a simple planner that allows only a few limited
+choices of the underlying physical operators" (Section 3.3); this module
+is that limited operator vocabulary.  Operators are iterator-style over
+plain dict rows and keep row-count statistics so the executor can charge
+simulated cost for the work they actually did.
+
+Aggregation functions intentionally include the type guards motivated in
+Section 2.2 — summing a column that is not numeric raises instead of
+producing "averaged phone numbers".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.model.values import classify_value, coerce_numeric
+
+Row = Dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+@dataclass
+class OperatorStats:
+    rows_in: int = 0
+    rows_out: int = 0
+
+
+class AggregationTypeError(TypeError):
+    """Raised when a numeric aggregate is applied to non-numeric values."""
+
+
+def filter_rows(rows: Iterable[Row], predicate: Predicate, stats: Optional[OperatorStats] = None) -> Iterator[Row]:
+    for row in rows:
+        if stats is not None:
+            stats.rows_in += 1
+        if predicate(row):
+            if stats is not None:
+                stats.rows_out += 1
+            yield row
+
+
+def project_rows(rows: Iterable[Row], columns: Sequence[str]) -> Iterator[Row]:
+    columns = list(columns)
+    for row in rows:
+        yield {c: row.get(c) for c in columns}
+
+
+def hash_join(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    left_key: str,
+    right_key: str,
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[Row]:
+    """Build on *right*, probe with *left*; joined rows merge both sides
+    (right-side columns prefixed on collision)."""
+    table: Dict[Any, List[Row]] = {}
+    build_rows = 0
+    for row in right:
+        build_rows += 1
+        table.setdefault(row.get(right_key), []).append(row)
+    table.pop(None, None)  # null keys never join
+    if stats is not None:
+        stats.rows_in += build_rows
+    for row in left:
+        if stats is not None:
+            stats.rows_in += 1
+        for match in table.get(row.get(left_key), ()):
+            joined = dict(row)
+            for key, value in match.items():
+                if key in joined and joined[key] != value:
+                    joined[f"r_{key}"] = value
+                else:
+                    joined[key] = value
+            if stats is not None:
+                stats.rows_out += 1
+            yield joined
+
+
+def indexed_nl_join(
+    left: Iterable[Row],
+    left_key: str,
+    probe: Callable[[Any], List[Row]],
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[Row]:
+    """Indexed nested-loop join: probe an index for each left row.
+
+    "Given a keyword-search interface that requires only the top-k
+    results, indexed nested-loop joins may always be the preferred join
+    method" (Section 3.3) — because the left input is tiny, probes beat
+    building a hash table over the whole right side.
+    """
+    for row in left:
+        if stats is not None:
+            stats.rows_in += 1
+        key = row.get(left_key)
+        if key is None:
+            continue
+        for match in probe(key):
+            joined = dict(row)
+            for mkey, mvalue in match.items():
+                if mkey in joined and joined[mkey] != mvalue:
+                    joined[f"r_{mkey}"] = mvalue
+                else:
+                    joined[mkey] = mvalue
+            if stats is not None:
+                stats.rows_out += 1
+            yield joined
+
+
+def sort_rows(rows: Iterable[Row], keys: Sequence[str], descending: bool = False) -> List[Row]:
+    materialized = list(rows)
+
+    def sort_key(row: Row):
+        return tuple(_orderable(row.get(k)) for k in keys)
+
+    materialized.sort(key=sort_key, reverse=descending)
+    return materialized
+
+
+def _orderable(value: Any) -> Tuple[int, Any]:
+    """Total order over mixed None/number/string values."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def top_k(rows: Iterable[Row], k: int, key: str, descending: bool = True) -> List[Row]:
+    """Heap-based top-k by one column (the retrieval-interface shape)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    decorated = (( _orderable(row.get(key)), i, row) for i, row in enumerate(rows))
+    if descending:
+        selected = heapq.nlargest(k, decorated, key=lambda t: (t[0], -t[1]))
+    else:
+        selected = heapq.nsmallest(k, decorated, key=lambda t: (t[0], t[1]))
+    return [row for _, _, row in selected]
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: output name, function, input column.
+
+    ``func`` ∈ {count, sum, avg, min, max}.  ``column`` may be ``None``
+    only for count.
+    """
+
+    name: str
+    func: str
+    column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.func not in ("count", "sum", "avg", "min", "max"):
+            raise ValueError(f"unknown aggregate function {self.func!r}")
+        if self.func != "count" and self.column is None:
+            raise ValueError(f"aggregate {self.func} needs a column")
+
+
+class _AggState:
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def update(self, value: Any) -> None:
+        self.count += 1
+        if value is None:
+            return
+        if not classify_value(value).is_numeric:
+            raise AggregationTypeError(
+                f"cannot aggregate non-numeric value {value!r}; "
+                "the semantic layer should have excluded this column"
+            )
+        number = coerce_numeric(value)
+        self.total += number
+        self.minimum = number if self.minimum is None else min(self.minimum, number)
+        self.maximum = number if self.maximum is None else max(self.maximum, number)
+
+    def result(self, func: str) -> Any:
+        if func == "count":
+            return self.count
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return self.total / self.count if self.count else None
+        if func == "min":
+            return self.minimum
+        return self.maximum
+
+
+def group_aggregate(
+    rows: Iterable[Row],
+    group_by: Sequence[str],
+    aggs: Sequence[AggSpec],
+    stats: Optional[OperatorStats] = None,
+) -> List[Row]:
+    """Hash group-by with the guarded aggregate functions."""
+    group_by = list(group_by)
+    states: Dict[Tuple, Dict[str, _AggState]] = {}
+    key_rows: Dict[Tuple, Row] = {}
+    for row in rows:
+        if stats is not None:
+            stats.rows_in += 1
+        key = tuple(row.get(c) for c in group_by)
+        if key not in states:
+            states[key] = {a.name: _AggState() for a in aggs}
+            key_rows[key] = {c: row.get(c) for c in group_by}
+        bucket = states[key]
+        for agg in aggs:
+            if agg.func == "count" and agg.column is None:
+                bucket[agg.name].count += 1
+            else:
+                bucket[agg.name].update(row.get(agg.column))
+    output = []
+    for key in sorted(states, key=lambda k: tuple(_orderable(v) for v in k)):
+        out_row = dict(key_rows[key])
+        for agg in aggs:
+            out_row[agg.name] = states[key][agg.name].result(agg.func)
+        output.append(out_row)
+        if stats is not None:
+            stats.rows_out += 1
+    return output
+
+
+def partial_aggregate(
+    rows: Iterable[Row], group_by: Sequence[str], aggs: Sequence[AggSpec]
+) -> List[Row]:
+    """Local (per-data-node) pre-aggregation for pushdown.
+
+    avg is decomposed into sum+count partials so the final merge is
+    correct; the merge step is :func:`merge_partial_aggregates`.
+    """
+    decomposed: List[AggSpec] = []
+    for agg in aggs:
+        if agg.func == "avg":
+            decomposed.append(AggSpec(f"__{agg.name}_sum", "sum", agg.column))
+            decomposed.append(AggSpec(f"__{agg.name}_cnt", "count", agg.column))
+        else:
+            decomposed.append(agg)
+    return group_aggregate(rows, group_by, decomposed)
+
+
+def merge_partial_aggregates(
+    partials: Iterable[Row], group_by: Sequence[str], aggs: Sequence[AggSpec]
+) -> List[Row]:
+    """Combine per-node partial aggregates into final results."""
+    merge_specs: List[AggSpec] = []
+    for agg in aggs:
+        if agg.func == "avg":
+            merge_specs.append(AggSpec(f"__{agg.name}_sum", "sum", f"__{agg.name}_sum"))
+            merge_specs.append(AggSpec(f"__{agg.name}_cnt", "sum", f"__{agg.name}_cnt"))
+        elif agg.func == "count":
+            merge_specs.append(AggSpec(agg.name, "sum", agg.name))
+        else:
+            merge_specs.append(AggSpec(agg.name, agg.func, agg.name))
+    merged = group_aggregate(partials, group_by, merge_specs)
+    for row in merged:
+        for agg in aggs:
+            if agg.func == "avg":
+                total = row.pop(f"__{agg.name}_sum")
+                count = row.pop(f"__{agg.name}_cnt")
+                row[agg.name] = total / count if count else None
+            elif agg.func == "count":
+                row[agg.name] = int(row[agg.name])
+    return merged

@@ -1,0 +1,528 @@
+"""Distributed execution over the simulated cluster (paper Section 3.3).
+
+"A query can be parallelized by performing full-text index search on a
+set of data nodes, which then send the reduced data to a set of grid
+nodes for joining, sorting, and group-wise aggregation, the results of
+which are sent to a set of cluster nodes to drive a set of updates."
+
+The executor provides exactly those building blocks.  Every step does the
+real computation on real rows *and* charges simulated time to node
+timelines and bytes to the network, so experiments get both answers and
+costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cluster.groups import LockConflictError
+from repro.cluster.node import NodeKind, SimNode
+from repro.cluster.topology import ImplianceCluster
+from repro.exec import costs
+from repro.exec.operators import (
+    AggSpec,
+    Row,
+    filter_rows,
+    group_aggregate,
+    hash_join,
+    indexed_nl_join,
+    merge_partial_aggregates,
+    partial_aggregate,
+    project_rows,
+    sort_rows,
+    top_k,
+)
+from repro.model.document import Document
+
+DocExtractor = Callable[[Document], Optional[Row]]
+RowPredicate = Callable[[Row], bool]
+
+#: Partitioned intermediate result: node_id -> (rows, ready_at).
+Partitions = Dict[str, Tuple[List[Row], float]]
+
+
+@dataclass
+class StageTiming:
+    """Timing record of one executed stage."""
+
+    label: str
+    finish_ms: float
+    rows: int
+    bytes_shipped: int = 0
+    nodes: Tuple[str, ...] = ()
+
+
+@dataclass
+class ExecReport:
+    """Accumulated cost report of one distributed query."""
+
+    stages: List[StageTiming] = field(default_factory=list)
+
+    def record(self, stage: StageTiming) -> None:
+        self.stages.append(stage)
+
+    @property
+    def finish_ms(self) -> float:
+        return max((s.finish_ms for s in self.stages), default=0.0)
+
+    @property
+    def bytes_shipped(self) -> int:
+        return sum(s.bytes_shipped for s in self.stages)
+
+    def stage(self, label: str) -> StageTiming:
+        for stage in self.stages:
+            if stage.label == label:
+                return stage
+        raise KeyError(f"no stage labeled {label!r}")
+
+
+class ParallelExecutor:
+    """Runs distributed dataflows against an :class:`ImplianceCluster`.
+
+    With *use_scheduler* the executor delegates compute-stage placement
+    to the §3.3 :class:`~repro.cluster.scheduler.OperatorScheduler`
+    (completion-time based, any flavor); otherwise it uses the fixed
+    paper placement (grid work crews).
+    """
+
+    def __init__(self, cluster: ImplianceCluster, use_scheduler: bool = False) -> None:
+        self.cluster = cluster
+        self.scheduler = None
+        if use_scheduler:
+            from repro.cluster.scheduler import OperatorScheduler
+
+            self.scheduler = OperatorScheduler(cluster)
+
+    def _choose_compute_node(
+        self, operator: str, cost_ms: float, partitions: Partitions
+    ) -> SimNode:
+        """Destination for a gather+compute stage."""
+        if self.scheduler is not None:
+            input_bytes = {
+                node_id: costs.estimate_rows_bytes(rows)
+                for node_id, (rows, _) in partitions.items()
+            }
+            ready = max((f for _, f in partitions.values()), default=0.0)
+            decision = self.scheduler.place(
+                operator, cost_ms, input_bytes=input_bytes, ready_at=ready
+            )
+            return self.cluster.node(decision.node_id)
+        crew = self.cluster.work_crew(1)
+        return crew[0] if crew else self.cluster.data_nodes[0]
+
+    # ------------------------------------------------------------------
+    # stage 1: data-node row production
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        extract: DocExtractor,
+        predicate: Optional[RowPredicate] = None,
+        pushdown: bool = True,
+        after: float = 0.0,
+        report: Optional[ExecReport] = None,
+        label: str = "scan",
+    ) -> Partitions:
+        """Parallel scan: every data node converts its documents to rows.
+
+        With *pushdown* the predicate runs at the data node ("early data
+        reduction", Section 3.1); otherwise all extracted rows are kept
+        and the predicate must be applied after shipping — the baseline
+        the PUSH experiment compares.
+        """
+        partitions: Partitions = {}
+        total_rows = 0
+        for node in self.cluster.data_nodes:
+            assert node.store is not None
+            rows: List[Row] = []
+            n_docs = 0
+            for document in node.store.scan():
+                n_docs += 1
+                row = extract(document)
+                if row is None:
+                    continue
+                rows.append(row)
+            cost = n_docs * costs.SCAN_CPU_MS_PER_DOC
+            if pushdown and predicate is not None:
+                cost += len(rows) * costs.FILTER_CPU_MS_PER_ROW
+                rows = [r for r in rows if predicate(r)]
+            finish = node.run(cost, after, label=label, operator="scan")
+            partitions[node.node_id] = (rows, finish)
+            total_rows += len(rows)
+        if report is not None:
+            report.record(
+                StageTiming(
+                    label=label,
+                    finish_ms=max((f for _, f in partitions.values()), default=after),
+                    rows=total_rows,
+                    nodes=tuple(sorted(partitions)),
+                )
+            )
+        return partitions
+
+    def search(
+        self,
+        query: str,
+        top_n: int = 10,
+        after: float = 0.0,
+        report: Optional[ExecReport] = None,
+        label: str = "search",
+    ) -> Partitions:
+        """Parallel full-text search: each data node scores its local
+        index and keeps its top-n; the merge happens at gather time."""
+        partitions: Partitions = {}
+        total = 0
+        for node in self.cluster.data_nodes:
+            assert node.indexes is not None
+            hits = node.indexes.text.search(query, top_k=top_n)
+            scored = len(node.indexes.text.match_all(query)) or len(hits)
+            cost = max(scored, len(hits)) * costs.SEARCH_MS_PER_DOC_SCORED
+            finish = node.run(cost, after, label=label, operator="search")
+            rows = [{"doc_id": h.doc_id, "score": h.score} for h in hits]
+            partitions[node.node_id] = (rows, finish)
+            total += len(rows)
+        if report is not None:
+            report.record(
+                StageTiming(
+                    label=label,
+                    finish_ms=max((f for _, f in partitions.values()), default=after),
+                    rows=total,
+                    nodes=tuple(sorted(partitions)),
+                )
+            )
+        return partitions
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def gather(
+        self,
+        partitions: Partitions,
+        dest: SimNode,
+        report: Optional[ExecReport] = None,
+        label: str = "ship",
+    ) -> Tuple[List[Row], float]:
+        """Ship every partition to *dest*; returns (rows, ready time)."""
+        gathered: List[Row] = []
+        ready = 0.0
+        shipped_bytes = 0
+        for node_id in sorted(partitions):
+            rows, produced_at = partitions[node_id]
+            nbytes = costs.estimate_rows_bytes(rows)
+            wire = self.cluster.network.transfer(nbytes, node_id, dest.node_id)
+            if node_id != dest.node_id:
+                shipped_bytes += nbytes
+            gathered.extend(rows)
+            ready = max(ready, produced_at + wire)
+        if report is not None:
+            report.record(
+                StageTiming(
+                    label=label,
+                    finish_ms=ready,
+                    rows=len(gathered),
+                    bytes_shipped=shipped_bytes,
+                    nodes=(dest.node_id,),
+                )
+            )
+        return gathered, ready
+
+    # ------------------------------------------------------------------
+    # stage 2: grid computation
+    # ------------------------------------------------------------------
+    def compute_filter(
+        self,
+        rows: List[Row],
+        predicate: RowPredicate,
+        node: SimNode,
+        after: float,
+        report: Optional[ExecReport] = None,
+        label: str = "filter",
+    ) -> Tuple[List[Row], float]:
+        result = [r for r in rows if predicate(r)]
+        finish = node.run(
+            len(rows) * costs.FILTER_CPU_MS_PER_ROW, after, label=label, operator="filter"
+        )
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    def compute_hash_join(
+        self,
+        left: List[Row],
+        right: List[Row],
+        left_key: str,
+        right_key: str,
+        node: SimNode,
+        after: float,
+        report: Optional[ExecReport] = None,
+        label: str = "join",
+    ) -> Tuple[List[Row], float]:
+        result = list(hash_join(left, right, left_key, right_key))
+        cost = (
+            len(right) * costs.HASH_BUILD_MS_PER_ROW
+            + len(left) * costs.HASH_PROBE_MS_PER_ROW
+        )
+        finish = node.run(cost, after, label=label, operator="join")
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    def compute_indexed_join(
+        self,
+        left: List[Row],
+        left_key: str,
+        probe: Callable[[Any], List[Row]],
+        node: SimNode,
+        after: float,
+        report: Optional[ExecReport] = None,
+        label: str = "inljoin",
+    ) -> Tuple[List[Row], float]:
+        """Indexed nested-loop join; each probe pays a random-access cost
+        plus one network round-trip to the data node holding the index."""
+        result = list(indexed_nl_join(left, left_key, probe))
+        probe_wire = self.cluster.network.latency_ms * 2 if self.cluster.data_nodes else 0
+        cost = len(left) * costs.INDEX_PROBE_MS
+        finish = node.run(cost, after + probe_wire * min(1, len(left)), label=label, operator="join")
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    def compute_sort(
+        self,
+        rows: List[Row],
+        keys: Sequence[str],
+        node: SimNode,
+        after: float,
+        descending: bool = False,
+        report: Optional[ExecReport] = None,
+        label: str = "sort",
+    ) -> Tuple[List[Row], float]:
+        result = sort_rows(rows, keys, descending)
+        finish = node.run(costs.sort_cost_ms(len(rows)), after, label=label, operator="sort")
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    def compute_aggregate(
+        self,
+        rows: List[Row],
+        group_by: Sequence[str],
+        aggs: Sequence[AggSpec],
+        node: SimNode,
+        after: float,
+        report: Optional[ExecReport] = None,
+        label: str = "aggregate",
+    ) -> Tuple[List[Row], float]:
+        result = group_aggregate(rows, group_by, aggs)
+        finish = node.run(
+            len(rows) * costs.AGG_MS_PER_ROW, after, label=label, operator="aggregate"
+        )
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    def compute_top_k(
+        self,
+        rows: List[Row],
+        k: int,
+        key: str,
+        node: SimNode,
+        after: float,
+        descending: bool = True,
+        report: Optional[ExecReport] = None,
+        label: str = "topk",
+    ) -> Tuple[List[Row], float]:
+        result = top_k(rows, k, key, descending)
+        finish = node.run(len(rows) * costs.TOPK_MS_PER_ROW, after, label=label, operator="sort")
+        if report is not None:
+            report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
+        return result, finish
+
+    # ------------------------------------------------------------------
+    # distributed aggregate pipeline (the PUSH experiment's subject)
+    # ------------------------------------------------------------------
+    def aggregate_distributed(
+        self,
+        extract: DocExtractor,
+        group_by: Sequence[str],
+        aggs: Sequence[AggSpec],
+        predicate: Optional[RowPredicate] = None,
+        pushdown: bool = True,
+        report: Optional[ExecReport] = None,
+        merge_crew: Optional[int] = None,
+    ) -> Tuple[List[Row], ExecReport]:
+        """Scan → (maybe local partial-agg) → ship → final aggregate.
+
+        With pushdown, filtering and partial aggregation run on the data
+        nodes and only group partials travel; without it, raw rows travel
+        and all reduction happens on the grid node.  With *merge_crew*,
+        the final merge itself parallelizes: partials hash-repartition by
+        group key across a crew of that size, removing the single-node
+        merge bottleneck the strong-scaling experiment shows at high node
+        counts.
+        """
+        if report is None:
+            report = ExecReport()
+        partitions = self.scan(
+            extract, predicate=predicate, pushdown=pushdown, report=report
+        )
+        if pushdown and merge_crew is not None and merge_crew > 1:
+            return self._repartitioned_merge(
+                partitions, group_by, aggs, merge_crew, report
+            )
+        total_rows = sum(len(rows) for rows, _ in partitions.values())
+        dest = self._choose_compute_node(
+            "aggregate", total_rows * costs.AGG_MS_PER_ROW, partitions
+        )
+        if pushdown:
+            reduced: Partitions = {}
+            for node_id, (rows, ready) in partitions.items():
+                node = self.cluster.node(node_id)
+                partials = partial_aggregate(rows, group_by, aggs)
+                finish = node.run(
+                    len(rows) * costs.AGG_MS_PER_ROW,
+                    ready,
+                    label="partial-agg",
+                    operator="aggregate",
+                )
+                reduced[node_id] = (partials, finish)
+            gathered, ready = self.gather(reduced, dest, report=report)
+            result = merge_partial_aggregates(gathered, group_by, aggs)
+            finish = dest.run(
+                len(gathered) * costs.AGG_MS_PER_ROW,
+                ready,
+                label="merge-agg",
+                operator="aggregate",
+            )
+        else:
+            gathered, ready = self.gather(partitions, dest, report=report)
+            if predicate is not None:
+                gathered, ready = self.compute_filter(
+                    gathered, predicate, dest, ready, report=report
+                )
+            result, finish = self.compute_aggregate(
+                gathered, group_by, aggs, dest, ready, report=report
+            )
+        report.record(StageTiming("final", finish, len(result), nodes=(dest.node_id,)))
+        return result, report
+
+    def _repartitioned_merge(
+        self,
+        partitions: Partitions,
+        group_by: Sequence[str],
+        aggs: Sequence[AggSpec],
+        crew_size: int,
+        report: ExecReport,
+    ) -> Tuple[List[Row], ExecReport]:
+        """Partial-agg at data nodes, hash-repartition partials by group
+        key across a grid crew, merge shards in parallel."""
+        from repro.util import stable_hash
+
+        group_by = list(group_by)
+        # local partial aggregation at each data node
+        reduced: Partitions = {}
+        for node_id, (rows, ready) in partitions.items():
+            node = self.cluster.node(node_id)
+            partials = partial_aggregate(rows, group_by, aggs)
+            finish = node.run(
+                len(rows) * costs.AGG_MS_PER_ROW, ready,
+                label="partial-agg", operator="aggregate",
+            )
+            reduced[node_id] = (partials, finish)
+
+        crew = self.cluster.work_crew(crew_size)
+        if not crew:
+            crew = self.cluster.data_nodes[:1]
+
+        def shard_of(row: Row) -> int:
+            key = "\x1f".join(str(row.get(c)) for c in group_by)
+            return stable_hash(key, len(crew))
+
+        # repartition: each data node ships each shard to its crew member
+        shards: List[List[Row]] = [[] for _ in crew]
+        shard_ready = [0.0] * len(crew)
+        shipped_bytes = 0
+        for node_id, (partials, produced_at) in sorted(reduced.items()):
+            per_shard: Dict[int, List[Row]] = {}
+            for row in partials:
+                per_shard.setdefault(shard_of(row), []).append(row)
+            for shard_no, rows in per_shard.items():
+                nbytes = costs.estimate_rows_bytes(rows)
+                wire = self.cluster.network.transfer(
+                    nbytes, node_id, crew[shard_no].node_id
+                )
+                if node_id != crew[shard_no].node_id:
+                    shipped_bytes += nbytes
+                shards[shard_no].extend(rows)
+                shard_ready[shard_no] = max(shard_ready[shard_no], produced_at + wire)
+        report.record(
+            StageTiming(
+                "repartition",
+                max(shard_ready, default=0.0),
+                sum(len(s) for s in shards),
+                bytes_shipped=shipped_bytes,
+                nodes=tuple(n.node_id for n in crew),
+            )
+        )
+
+        # parallel merge: each crew member reduces its own shard
+        result: List[Row] = []
+        finish = 0.0
+        for shard_no, node in enumerate(crew):
+            merged = merge_partial_aggregates(shards[shard_no], group_by, aggs)
+            end = node.run(
+                len(shards[shard_no]) * costs.AGG_MS_PER_ROW,
+                shard_ready[shard_no],
+                label="merge-shard",
+                operator="aggregate",
+            )
+            result.extend(merged)
+            finish = max(finish, end)
+        result.sort(key=lambda r: tuple(str(r.get(c)) for c in group_by))
+        report.record(
+            StageTiming("final", finish, len(result),
+                        nodes=tuple(n.node_id for n in crew))
+        )
+        return result, report
+
+    # ------------------------------------------------------------------
+    # stage 3: consistent updates through cluster nodes
+    # ------------------------------------------------------------------
+    def cluster_update(
+        self,
+        updates: Mapping[str, Callable[[Document], Any]],
+        after: float = 0.0,
+        holder: str = "query",
+        report: Optional[ExecReport] = None,
+    ) -> Tuple[int, float]:
+        """Apply versioned updates under consistency-group locks.
+
+        *updates* maps doc_id → function(old document) → new content.
+        Each update acquires the key's lock at its owning cluster node,
+        writes a new version at the document's home data node, then
+        releases.  Returns (applied count, finish time).
+        """
+        group = self.cluster.consistency_group
+        applied = 0
+        finish = after
+        for doc_id in sorted(updates):
+            home = None
+            for node in self.cluster.data_nodes:
+                assert node.store is not None
+                if node.store.contains(doc_id):
+                    home = node
+                    break
+            if home is None:
+                continue
+            granted = group.acquire(doc_id, holder, home.node_id, after)
+            assert home.store is not None
+            old = home.store.get(doc_id)
+            new_content = updates[doc_id](old)
+            home.store.put(old.new_version(new_content))
+            end = home.run(costs.UPDATE_CPU_MS, granted, label="update", operator="update")
+            group.release(doc_id, holder)
+            applied += 1
+            finish = max(finish, end)
+        if report is not None:
+            report.record(StageTiming("update", finish, applied))
+        return applied, finish

@@ -1,0 +1,175 @@
+"""Discovered join indexes and the association graph (paper Section 3.2).
+
+"Discovered relationships can be stored as join indexes and utilized at
+query time."  The discovery engine registers edges like
+(transcript-doc) --mentions--> (product-row); the join index keeps them
+per relation name, and the association graph view over all relations
+answers the Section 3.2.1 connection query: "given two pieces of data,
+we should be able to ask how they are connected."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A directed, labeled association between two documents."""
+
+    relation: str
+    from_doc: str
+    to_doc: str
+    confidence: float = 1.0
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("relation name must be non-empty")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must lie in [0, 1]")
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.relation, self.from_doc, self.to_doc)
+
+
+class JoinIndex:
+    """Edges grouped by relation, with forward and reverse adjacency."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str, str], JoinEdge] = {}
+        self._forward: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        self._reverse: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        self._doc_edges: Dict[str, Set[Tuple[str, str, str]]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    def add(self, edge: JoinEdge) -> bool:
+        """Insert *edge*; a repeated key keeps the higher confidence.
+        Returns True when the index changed."""
+        existing = self._edges.get(edge.key)
+        if existing is not None:
+            if edge.confidence > existing.confidence:
+                self._edges[edge.key] = edge
+                return True
+            return False
+        self._edges[edge.key] = edge
+        self._forward[(edge.relation, edge.from_doc)].add(edge.to_doc)
+        self._reverse[(edge.relation, edge.to_doc)].add(edge.from_doc)
+        self._doc_edges[edge.from_doc].add(edge.key)
+        self._doc_edges[edge.to_doc].add(edge.key)
+        return True
+
+    def remove_doc(self, doc_id: str) -> int:
+        """Drop every edge touching *doc_id*; returns how many."""
+        keys = list(self._doc_edges.pop(doc_id, ()))
+        for key in keys:
+            edge = self._edges.pop(key, None)
+            if edge is None:
+                continue
+            self._forward[(edge.relation, edge.from_doc)].discard(edge.to_doc)
+            self._reverse[(edge.relation, edge.to_doc)].discard(edge.from_doc)
+            other = edge.to_doc if edge.from_doc == doc_id else edge.from_doc
+            self._doc_edges[other].discard(key)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    def targets(self, relation: str, from_doc: str) -> Set[str]:
+        """Join probe: all docs related to *from_doc* under *relation*."""
+        return set(self._forward.get((relation, from_doc), set()))
+
+    def sources(self, relation: str, to_doc: str) -> Set[str]:
+        return set(self._reverse.get((relation, to_doc), set()))
+
+    def edges_of(self, relation: str) -> List[JoinEdge]:
+        return sorted(
+            (e for e in self._edges.values() if e.relation == relation),
+            key=lambda e: e.key,
+        )
+
+    def relations(self) -> List[str]:
+        return sorted({e.relation for e in self._edges.values()})
+
+    def degree(self, doc_id: str) -> int:
+        return len(self._doc_edges.get(doc_id, ()))
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # association-graph queries
+    # ------------------------------------------------------------------
+    def neighbors(self, doc_id: str, relations: Optional[Set[str]] = None) -> Set[str]:
+        """Documents one association step away, in either direction."""
+        result: Set[str] = set()
+        for key in self._doc_edges.get(doc_id, ()):
+            edge = self._edges[key]
+            if relations is not None and edge.relation not in relations:
+                continue
+            result.add(edge.to_doc if edge.from_doc == doc_id else edge.from_doc)
+        result.discard(doc_id)
+        return result
+
+    def connection(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 4,
+        relations: Optional[Set[str]] = None,
+    ) -> Optional[List[str]]:
+        """Shortest undirected association path source → target.
+
+        Returns the doc-id path (inclusive), or ``None`` when the two are
+        not connected within *max_hops* — the paper's "how are these two
+        pieces of data connected" query.
+        """
+        if source == target:
+            return [source]
+        if max_hops < 1:
+            return None
+        frontier = deque([(source, [source])])
+        visited = {source}
+        while frontier:
+            doc_id, path = frontier.popleft()
+            if len(path) > max_hops:
+                continue
+            for neighbor in sorted(self.neighbors(doc_id, relations)):
+                if neighbor in visited:
+                    continue
+                next_path = path + [neighbor]
+                if neighbor == target:
+                    return next_path
+                visited.add(neighbor)
+                frontier.append((neighbor, next_path))
+        return None
+
+    def transitive_closure(
+        self,
+        seed: str,
+        relations: Optional[Set[str]] = None,
+        max_hops: Optional[int] = None,
+    ) -> Set[str]:
+        """Everything reachable from *seed* via associations.
+
+        This implements the legal-discovery requirement of Section 2.1.3:
+        "the relevance of data may ... require determining the transitive
+        closure of relationships extracted from the content."
+        """
+        reached: Set[str] = set()
+        frontier = deque([(seed, 0)])
+        visited = {seed}
+        while frontier:
+            doc_id, hops = frontier.popleft()
+            if max_hops is not None and hops >= max_hops:
+                continue
+            for neighbor in self.neighbors(doc_id, relations):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                reached.add(neighbor)
+                frontier.append((neighbor, hops + 1))
+        return reached

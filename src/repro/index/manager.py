@@ -1,0 +1,125 @@
+"""Index manager: keeps every index current as documents arrive.
+
+Subscribes to the document store's put hook, so "this indexing need not
+take place as part of the same transaction that infused that document
+initially" (Section 3.2) — the manager can run in immediate mode (index
+on put) or deferred mode (queue and apply in batches from a background
+task), and the IDX experiment measures the difference against periodic
+full rebuilds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.index.facets import FacetDefinition, FacetIndex
+from repro.index.joins import JoinIndex
+from repro.index.structural import StructuralIndex, ValueIndex
+from repro.index.text import InvertedIndex
+from repro.model.document import Document
+from repro.storage.pages import PageAddress
+from repro.storage.store import DocumentStore
+
+
+@dataclass
+class IndexManagerStats:
+    indexed: int = 0
+    deferred: int = 0
+    batches_applied: int = 0
+
+
+class IndexManager:
+    """One handle owning the text, structural, value, and facet indexes.
+
+    Parameters
+    ----------
+    store:
+        The document store to attach to (may be ``None`` for standalone
+        index use; call :meth:`index_document` directly).
+    facets:
+        Facet definitions to maintain.
+    deferred:
+        When True, puts are queued and indexed by :meth:`apply_pending`
+        (a background-task budget decides when); when False, indexing is
+        synchronous with the put.
+    """
+
+    def __init__(
+        self,
+        store: Optional[DocumentStore] = None,
+        facets: Iterable[FacetDefinition] = (),
+        deferred: bool = False,
+    ) -> None:
+        self.text = InvertedIndex()
+        self.structure = StructuralIndex()
+        self.values = ValueIndex()
+        self.facets = FacetIndex(facets)
+        self.joins = JoinIndex()
+        self.deferred = deferred
+        self.stats = IndexManagerStats()
+        self._pending: Deque[Document] = deque()
+        self._store = store
+        if store is not None:
+            store.put_listeners.append(self._on_put)
+
+    # ------------------------------------------------------------------
+    def _on_put(self, document: Document, address: PageAddress) -> None:
+        if self.deferred:
+            self._pending.append(document)
+            self.stats.deferred += 1
+        else:
+            self.index_document(document)
+
+    def index_document(self, document: Document) -> None:
+        """(Re-)index one document version across all indexes.
+
+        Indexing the same doc_id again replaces the previous version's
+        entries — superseded versions never pollute search results.
+        """
+        self.text.add(document.doc_id, document.text)
+        self.structure.add(document)
+        self.values.add(document)
+        self.facets.add(document)
+        self.stats.indexed += 1
+
+    def unindex(self, doc_id: str) -> None:
+        self.text.remove(doc_id)
+        self.structure.remove(doc_id)
+        self.values.remove(doc_id)
+        self.facets.remove(doc_id)
+        self.joins.remove_doc(doc_id)
+
+    # ------------------------------------------------------------------
+    def apply_pending(self, budget: Optional[int] = None) -> int:
+        """Index up to *budget* queued documents (all, when ``None``).
+
+        Returns how many were applied.  Called from the execution
+        manager's background-task slots.
+        """
+        applied = 0
+        while self._pending and (budget is None or applied < budget):
+            self.index_document(self._pending.popleft())
+            applied += 1
+        if applied:
+            self.stats.batches_applied += 1
+        return applied
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def rebuild_from(self, store: DocumentStore) -> None:
+        """Full rebuild from a store scan (the IDX baseline strategy)."""
+        self.text = InvertedIndex()
+        self.structure = StructuralIndex()
+        self.values = ValueIndex()
+        rebuilt_facets = FacetIndex()
+        for name in self.facets.facet_names():
+            rebuilt_facets.define(self.facets._definitions[name])
+        self.facets = rebuilt_facets
+        self._pending.clear()
+        for document in store.scan(latest_only=True):
+            self.index_document(document)

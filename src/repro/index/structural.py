@@ -1,0 +1,202 @@
+"""Structural and value indexes (paper Section 3.2).
+
+"Impliance automatically indexes each document by its values as well as
+its structures (e.g., every path in the document) for efficient keyword
+and structural search."
+
+* :class:`StructuralIndex` answers "which documents contain path P"
+  including suffix matches ("…/amount" matches ``/claim/amount`` and
+  ``/order/amount``), which is what schema-chaotic data needs.
+* :class:`ValueIndex` answers exact-value and numeric-range predicates
+  per path; this is the index the simple planner's indexed-nested-loop
+  join probes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.document import Document
+from repro.model.values import Path, classify_value, coerce_numeric, ValueType
+
+
+class StructuralIndex:
+    """path → doc-ids, with suffix lookup for schema-agnostic queries."""
+
+    def __init__(self) -> None:
+        self._exact: Dict[Path, Set[str]] = defaultdict(set)
+        self._by_leaf: Dict[str, Set[Path]] = defaultdict(set)
+        self._doc_paths: Dict[str, Set[Path]] = {}
+
+    def add(self, document: Document) -> None:
+        paths = set(document.structure())
+        if document.doc_id in self._doc_paths:
+            self.remove(document.doc_id)
+        self._doc_paths[document.doc_id] = paths
+        for path in paths:
+            self._exact[path].add(document.doc_id)
+            if path:
+                self._by_leaf[path[-1]].add(path)
+
+    def remove(self, doc_id: str) -> None:
+        paths = self._doc_paths.pop(doc_id, None)
+        if paths is None:
+            return
+        for path in paths:
+            bucket = self._exact.get(path)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._exact[path]
+                    if path:
+                        leaf_paths = self._by_leaf.get(path[-1])
+                        if leaf_paths is not None:
+                            leaf_paths.discard(path)
+                            if not leaf_paths:
+                                del self._by_leaf[path[-1]]
+
+    # ------------------------------------------------------------------
+    def docs_with_path(self, path: Path) -> Set[str]:
+        """Documents containing exactly *path*."""
+        return set(self._exact.get(tuple(path), set()))
+
+    def docs_with_suffix(self, suffix: Path) -> Set[str]:
+        """Documents containing any path ending in *suffix*.
+
+        ``docs_with_suffix(("amount",))`` finds amounts wherever they sit
+        in heterogeneous schemas.
+        """
+        suffix = tuple(suffix)
+        if not suffix:
+            return set()
+        result: Set[str] = set()
+        for path in self._by_leaf.get(suffix[-1], set()):
+            if path[-len(suffix):] == suffix:
+                result |= self._exact[path]
+        return result
+
+    def paths_with_suffix(self, suffix: Path) -> List[Path]:
+        suffix = tuple(suffix)
+        if not suffix:
+            return []
+        return sorted(
+            path
+            for path in self._by_leaf.get(suffix[-1], set())
+            if path[-len(suffix):] == suffix
+        )
+
+    def all_paths(self) -> List[Path]:
+        return sorted(self._exact)
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._doc_paths)
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A numeric range predicate on one path (inclusive bounds)."""
+
+    path: Path
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ValueError("range low bound exceeds high bound")
+        object.__setattr__(self, "path", tuple(self.path))
+
+
+class ValueIndex:
+    """(path, value) → doc-ids, plus sorted numeric entries per path."""
+
+    def __init__(self) -> None:
+        self._equality: Dict[Tuple[Path, Any], Set[str]] = defaultdict(set)
+        self._numeric: Dict[Path, List[Tuple[float, str]]] = defaultdict(list)
+        self._numeric_sorted: Dict[Path, bool] = defaultdict(lambda: True)
+        self._doc_entries: Dict[str, List[Tuple[Path, Any, Optional[float]]]] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(value: Any) -> Any:
+        if isinstance(value, str):
+            return value.strip().lower()
+        return value
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._doc_entries:
+            self.remove(document.doc_id)
+        entries: List[Tuple[Path, Any, Optional[float]]] = []
+        for path, value in document.paths():
+            if value is None:
+                continue
+            normalized = self._normalize(value)
+            self._equality[(path, normalized)].add(document.doc_id)
+            numeric: Optional[float] = None
+            if classify_value(value).is_numeric:
+                try:
+                    numeric = coerce_numeric(value)
+                except (TypeError, ValueError):
+                    numeric = None
+            if numeric is not None:
+                self._numeric[path].append((numeric, document.doc_id))
+                self._numeric_sorted[path] = False
+            entries.append((path, normalized, numeric))
+        self._doc_entries[document.doc_id] = entries
+
+    def remove(self, doc_id: str) -> None:
+        entries = self._doc_entries.pop(doc_id, None)
+        if entries is None:
+            return
+        for path, normalized, numeric in entries:
+            bucket = self._equality.get((path, normalized))
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._equality[(path, normalized)]
+            if numeric is not None:
+                rows = self._numeric.get(path)
+                if rows:
+                    try:
+                        rows.remove((numeric, doc_id))
+                    except ValueError:
+                        pass
+                    if not rows:
+                        del self._numeric[path]
+
+    # ------------------------------------------------------------------
+    def docs_with_value(self, path: Path, value: Any) -> Set[str]:
+        """Documents where *path* holds exactly *value* (case-insensitive
+        for strings)."""
+        return set(self._equality.get((tuple(path), self._normalize(value)), set()))
+
+    def docs_in_range(self, query: RangeQuery) -> Set[str]:
+        """Documents whose numeric value at ``query.path`` lies in range."""
+        rows = self._numeric.get(query.path)
+        if not rows:
+            return set()
+        if not self._numeric_sorted[query.path]:
+            rows.sort(key=lambda item: item[0])
+            self._numeric_sorted[query.path] = True
+        keys = [item[0] for item in rows]
+        lo = 0 if query.low is None else bisect.bisect_left(keys, query.low)
+        hi = len(rows) if query.high is None else bisect.bisect_right(keys, query.high)
+        return {doc_id for _, doc_id in rows[lo:hi]}
+
+    def values_of(self, path: Path) -> List[Any]:
+        """Distinct indexed values under *path* (facet vocabulary)."""
+        path = tuple(path)
+        return sorted(
+            {value for (p, value), docs in self._equality.items() if p == path and docs},
+            key=repr,
+        )
+
+    def cardinality(self, path: Path, value: Any) -> int:
+        return len(self._equality.get((tuple(path), self._normalize(value)), ()))
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._doc_entries)

@@ -1,0 +1,66 @@
+"""Uniform data model (paper Section 3.2, Figure 2).
+
+Impliance views all ingested data as a collection of *documents*, each of
+which carries its own schema.  A document is an immutable, versioned tree
+of values; relational rows, e-mails, XML, CSV records, and free text are
+all mapped into this one model by the converters in
+:mod:`repro.model.converters`.  Annotations produced by the discovery
+engine are themselves documents that *reference* the documents they
+describe (:mod:`repro.model.annotations`), and relational applications see
+documents again through system-supplied views
+(:mod:`repro.model.views`) — the round trip of the paper's Figure 2.
+"""
+
+from repro.model.document import Document, DocumentKind, Path
+from repro.model.schema import DocumentSchema, SchemaRegistry, infer_schema
+from repro.model.values import (
+    ValueType,
+    classify_value,
+    iter_paths,
+    path_to_string,
+    string_to_path,
+)
+from repro.model.converters import (
+    from_csv,
+    from_email,
+    from_json_object,
+    from_relational_row,
+    from_text,
+    from_xml,
+)
+from repro.model.annotations import (
+    Annotation,
+    Span,
+    make_annotation_document,
+    spans_of,
+    payload_of,
+)
+from repro.model.views import RelationalView, ViewCatalog, ViewColumn
+
+__all__ = [
+    "Document",
+    "DocumentKind",
+    "Path",
+    "DocumentSchema",
+    "SchemaRegistry",
+    "infer_schema",
+    "ValueType",
+    "classify_value",
+    "iter_paths",
+    "path_to_string",
+    "string_to_path",
+    "from_csv",
+    "from_email",
+    "from_json_object",
+    "from_relational_row",
+    "from_text",
+    "from_xml",
+    "Annotation",
+    "Span",
+    "make_annotation_document",
+    "spans_of",
+    "payload_of",
+    "RelationalView",
+    "ViewCatalog",
+    "ViewColumn",
+]

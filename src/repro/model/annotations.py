@@ -1,0 +1,132 @@
+"""Annotations as documents (paper Section 3.2, Figure 2).
+
+"The annotators create new annotation documents that refer to the initial
+row document, and contain information extracted from the row or additional
+references forming an association between this document and others."
+
+An annotation is therefore just a :class:`~repro.model.document.Document`
+of kind ANNOTATION whose ``refs`` name its subject(s) and whose content
+carries the extracted payload plus the character spans it was extracted
+from.  Because annotations are ordinary documents, they are indexed,
+queried, versioned, and even re-annotated by exactly the same machinery as
+base data — the query engine does not "understand" them (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.model.document import Document, DocumentKind
+
+
+@dataclass(frozen=True)
+class Span:
+    """A character range inside a subject document's text projection."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def to_content(self) -> Dict[str, int]:
+        return {"start": self.start, "end": self.end}
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """An in-flight extraction result, before being persisted as a document.
+
+    Annotators emit these; the discovery pipeline turns them into
+    annotation documents via :func:`make_annotation_document`.
+    """
+
+    annotator: str
+    label: str
+    subject_id: str
+    payload: Mapping[str, Any]
+    spans: Sequence[Span] = ()
+    confidence: float = 1.0
+    extra_refs: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        if not self.annotator:
+            raise ValueError("annotator name must be non-empty")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must lie in [0, 1]")
+        object.__setattr__(self, "payload", dict(self.payload))
+        object.__setattr__(self, "spans", tuple(self.spans))
+        object.__setattr__(self, "extra_refs", tuple(self.extra_refs))
+
+
+def make_annotation_document(doc_id: str, annotation: Annotation, ingest_ts: int = 0) -> Document:
+    """Persistable annotation document referencing its subject(s)."""
+    content = {
+        "annotation": {
+            "annotator": annotation.annotator,
+            "label": annotation.label,
+            "subject": annotation.subject_id,
+            "confidence": annotation.confidence,
+            "payload": dict(annotation.payload),
+            "spans": [span.to_content() for span in annotation.spans],
+        }
+    }
+    refs = (annotation.subject_id,) + tuple(annotation.extra_refs)
+    return Document(
+        doc_id=doc_id,
+        content=content,
+        kind=DocumentKind.ANNOTATION,
+        source_format="annotation",
+        metadata={"annotator": annotation.annotator, "label": annotation.label},
+        refs=refs,
+        ingest_ts=ingest_ts,
+    )
+
+
+def is_annotation_document(document: Document) -> bool:
+    return document.kind is DocumentKind.ANNOTATION and "annotation" in document.content
+
+
+def payload_of(document: Document) -> Dict[str, Any]:
+    """Extract the annotator payload from an annotation document."""
+    if not is_annotation_document(document):
+        raise ValueError(f"{document.doc_id} is not an annotation document")
+    payload = document.content["annotation"].get("payload", {})
+    return dict(payload)
+
+
+def label_of(document: Document) -> str:
+    if not is_annotation_document(document):
+        raise ValueError(f"{document.doc_id} is not an annotation document")
+    return document.content["annotation"]["label"]
+
+
+def subject_of(document: Document) -> str:
+    if not is_annotation_document(document):
+        raise ValueError(f"{document.doc_id} is not an annotation document")
+    return document.content["annotation"]["subject"]
+
+
+def confidence_of(document: Document) -> float:
+    if not is_annotation_document(document):
+        raise ValueError(f"{document.doc_id} is not an annotation document")
+    return float(document.content["annotation"].get("confidence", 1.0))
+
+
+def spans_of(document: Document) -> List[Span]:
+    """The character spans an annotation covers in its subject's text."""
+    if not is_annotation_document(document):
+        raise ValueError(f"{document.doc_id} is not an annotation document")
+    return [
+        Span(raw["start"], raw["end"])
+        for raw in document.content["annotation"].get("spans", [])
+    ]

@@ -1,0 +1,216 @@
+"""Per-document schema inference and the schema registry.
+
+Impliance does not require a schema up front ("no preparation and in any
+type, schema, or format", Section 2.2).  Instead each document's schema is
+*inferred* from its content, and the registry clusters documents whose
+schemas look alike so the discovery engine can consolidate structures from
+different sources (Section 3.2, schema mapping).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.model.document import Document
+from repro.model.values import Path, ValueType, classify_value, path_to_string
+
+
+@dataclass(frozen=True)
+class DocumentSchema:
+    """The inferred shape of one document: each leaf path with its type.
+
+    Two documents with the same schema signature are structurally
+    interchangeable for query processing, even if they arrived through
+    different channels (a purchase order via e-mail vs. via a relational
+    row, once schema-mapped, share a signature).
+    """
+
+    fields: Mapping[Path, ValueType]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    @property
+    def paths(self) -> FrozenSet[Path]:
+        return frozenset(self.fields)
+
+    def type_of(self, path: Path) -> Optional[ValueType]:
+        return self.fields.get(path)
+
+    def signature(self) -> Tuple[Tuple[str, str], ...]:
+        """Canonical, hashable rendering of the schema."""
+        return tuple(
+            sorted((path_to_string(p), t.value) for p, t in self.fields.items())
+        )
+
+    def compatible_with(self, other: "DocumentSchema") -> bool:
+        """True when the shared paths agree on type.
+
+        Compatibility is the precondition for merging documents into one
+        searchable collection; it prevents the paper's "oranges and
+        orangutans" aggregation mistakes.
+        """
+        for path, vtype in self.fields.items():
+            other_type = other.fields.get(path)
+            if other_type is None:
+                continue
+            if not _types_mergeable(vtype, other_type):
+                return False
+        return True
+
+    def overlap(self, other: "DocumentSchema") -> float:
+        """Jaccard similarity of the two path sets (schema-mapping signal)."""
+        mine, theirs = self.paths, other.paths
+        if not mine and not theirs:
+            return 1.0
+        union = mine | theirs
+        return len(mine & theirs) / len(union)
+
+    def merge(self, other: "DocumentSchema") -> "DocumentSchema":
+        """Union schema; conflicting types widen to the more general type."""
+        merged: Dict[Path, ValueType] = dict(self.fields)
+        for path, vtype in other.fields.items():
+            if path in merged:
+                merged[path] = _widen(merged[path], vtype)
+            else:
+                merged[path] = vtype
+        return DocumentSchema(merged)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+def _types_mergeable(a: ValueType, b: ValueType) -> bool:
+    if a == b:
+        return True
+    numeric = {ValueType.INTEGER, ValueType.FLOAT, ValueType.MONEY}
+    stringy = {ValueType.STRING, ValueType.TEXT}
+    if a in numeric and b in numeric:
+        return True
+    if a in stringy and b in stringy:
+        return True
+    if ValueType.NULL in (a, b):
+        return True
+    return False
+
+
+def _widen(a: ValueType, b: ValueType) -> ValueType:
+    if a == b:
+        return a
+    if ValueType.NULL in (a, b):
+        return b if a is ValueType.NULL else a
+    numeric_order = [ValueType.INTEGER, ValueType.FLOAT, ValueType.MONEY]
+    if a in numeric_order and b in numeric_order:
+        return numeric_order[max(numeric_order.index(a), numeric_order.index(b))]
+    if {a, b} <= {ValueType.STRING, ValueType.TEXT}:
+        return ValueType.TEXT
+    return ValueType.STRING
+
+
+def infer_schema(document: Document) -> DocumentSchema:
+    """Infer the schema of *document* from its leaf values.
+
+    When the same path holds values of several types (across list
+    elements), the types widen.
+    """
+    fields: Dict[Path, ValueType] = {}
+    for path, value in document.paths():
+        vtype = classify_value(value)
+        if path in fields:
+            fields[path] = _widen(fields[path], vtype)
+        else:
+            fields[path] = vtype
+    return DocumentSchema(fields)
+
+
+@dataclass
+class SchemaCluster:
+    """A group of documents sharing (approximately) one schema."""
+
+    cluster_id: int
+    schema: DocumentSchema
+    doc_ids: Set[str] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.doc_ids)
+
+
+class SchemaRegistry:
+    """Clusters inferred document schemas.
+
+    Documents whose schema overlaps an existing cluster by at least
+    ``similarity_threshold`` (and is type-compatible) join that cluster,
+    widening its schema; otherwise they seed a new cluster.  This is the
+    substrate that lets "customer purchase orders all be searched
+    together, whether they are ingested via e-mail, a spreadsheet ... or a
+    relational row" (Section 3.2).
+    """
+
+    def __init__(self, similarity_threshold: float = 0.6) -> None:
+        if not 0.0 < similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+        self.similarity_threshold = similarity_threshold
+        self._clusters: Dict[int, SchemaCluster] = {}
+        self._doc_cluster: Dict[str, int] = {}
+        self._next_id = 0
+        self._path_types: Dict[Path, Counter] = defaultdict(Counter)
+
+    # ------------------------------------------------------------------
+    def register(self, document: Document) -> int:
+        """Record *document*'s schema; return the cluster id it joined."""
+        schema = infer_schema(document)
+        for path, vtype in schema.fields.items():
+            self._path_types[path][vtype] += 1
+
+        best_id, best_score = None, 0.0
+        for cluster in self._clusters.values():
+            if not schema.compatible_with(cluster.schema):
+                continue
+            score = schema.overlap(cluster.schema)
+            if score > best_score:
+                best_id, best_score = cluster.cluster_id, score
+
+        if best_id is not None and best_score >= self.similarity_threshold:
+            cluster = self._clusters[best_id]
+            cluster.schema = cluster.schema.merge(schema)
+            cluster.doc_ids.add(document.doc_id)
+            self._doc_cluster[document.doc_id] = best_id
+            return best_id
+
+        cluster_id = self._next_id
+        self._next_id += 1
+        self._clusters[cluster_id] = SchemaCluster(
+            cluster_id=cluster_id, schema=schema, doc_ids={document.doc_id}
+        )
+        self._doc_cluster[document.doc_id] = cluster_id
+        return cluster_id
+
+    def cluster_of(self, doc_id: str) -> Optional[SchemaCluster]:
+        cluster_id = self._doc_cluster.get(doc_id)
+        if cluster_id is None:
+            return None
+        return self._clusters[cluster_id]
+
+    def clusters(self) -> List[SchemaCluster]:
+        return sorted(self._clusters.values(), key=lambda c: -c.size)
+
+    def dominant_type(self, path: Path) -> Optional[ValueType]:
+        """Most common value type observed under *path* repository-wide."""
+        counter = self._path_types.get(path)
+        if not counter:
+            return None
+        return counter.most_common(1)[0][0]
+
+    def paths_of_type(self, vtype: ValueType) -> List[Path]:
+        """Every path whose dominant type is *vtype* (annotator targeting)."""
+        result = []
+        for path, counter in self._path_types.items():
+            if counter and counter.most_common(1)[0][0] is vtype:
+                result.append(path)
+        return sorted(result)
+
+    def __len__(self) -> int:
+        return len(self._clusters)

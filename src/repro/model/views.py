@@ -1,0 +1,219 @@
+"""System-supplied relational views over documents (Figure 2).
+
+"These derived annotations and associations may themselves be exposed to
+SQL applications through system-supplied views that map the native data
+types back into relational rows.  Exploiting views in this way facilitates
+adding new functionality to existing applications without having to
+rewrite the entire application to use new APIs."
+
+A :class:`RelationalView` selects matching documents (by source table,
+document kind, or annotation label), projects paths into named columns,
+and can *widen* annotation rows with columns drawn from the annotation's
+subject document — so a legacy SQL application sees discovered sentiment
+or extracted entities as just another table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.model.annotations import is_annotation_document, subject_of
+from repro.model.document import Document, DocumentKind
+from repro.model.values import Path, string_to_path
+
+Row = Dict[str, Any]
+DocumentLookup = Callable[[str], Optional[Document]]
+
+
+@dataclass(frozen=True)
+class ViewColumn:
+    """One output column: a name and the document path feeding it.
+
+    ``source`` selects whether the path is resolved against the matched
+    document itself (``"self"``) or against the annotation's subject
+    document (``"subject"``).
+    """
+
+    name: str
+    path: Path
+    source: str = "self"
+
+    def __post_init__(self) -> None:
+        if self.source not in ("self", "subject"):
+            raise ValueError(f"unknown column source {self.source!r}")
+        if isinstance(self.path, str):  # accept "/a/b" convenience form
+            object.__setattr__(self, "path", string_to_path(self.path))
+        else:
+            object.__setattr__(self, "path", tuple(self.path))
+
+
+@dataclass(frozen=True)
+class RelationalView:
+    """A named projection of documents into rows.
+
+    Parameters
+    ----------
+    name:
+        View (virtual table) name used in SQL.
+    columns:
+        Output columns, in order.
+    table:
+        If set, only documents whose ``metadata['table']`` matches qualify.
+    kind:
+        If set, only documents of this kind qualify.
+    annotation_label:
+        If set, only annotation documents carrying this label qualify.
+    predicate:
+        Optional extra row filter applied after projection.
+    """
+
+    name: str
+    columns: Sequence[ViewColumn]
+    table: Optional[str] = None
+    kind: Optional[DocumentKind] = None
+    annotation_label: Optional[str] = None
+    predicate: Optional[Callable[[Row], bool]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("view name must be non-empty")
+        if not self.columns:
+            raise ValueError(f"view {self.name!r} has no columns")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"view {self.name!r} has duplicate column names")
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def needs_subject(self) -> bool:
+        return any(c.source == "subject" for c in self.columns)
+
+    # ------------------------------------------------------------------
+    def matches(self, document: Document) -> bool:
+        """Does *document* feed this view?"""
+        if self.kind is not None and document.kind is not self.kind:
+            return False
+        if self.table is not None and document.metadata.get("table") != self.table:
+            return False
+        if self.annotation_label is not None:
+            if not is_annotation_document(document):
+                return False
+            if document.metadata.get("label") != self.annotation_label:
+                return False
+        return True
+
+    def project(
+        self,
+        document: Document,
+        lookup: Optional[DocumentLookup] = None,
+    ) -> Optional[Row]:
+        """Project one matching document into a row (``None`` if filtered).
+
+        Subject-sourced columns require *lookup* to resolve the annotated
+        document; a missing subject yields NULL columns rather than an
+        error, because annotations may outlive a superseded base version.
+        """
+        subject: Optional[Document] = None
+        if self.needs_subject:
+            if lookup is None:
+                raise ValueError(
+                    f"view {self.name!r} has subject columns but no lookup was provided"
+                )
+            if is_annotation_document(document):
+                subject = lookup(subject_of(document))
+
+        row: Row = {}
+        for column in self.columns:
+            if column.source == "self":
+                row[column.name] = document.first(column.path)
+            else:
+                row[column.name] = subject.first(column.path) if subject else None
+        if self.predicate is not None and not self.predicate(row):
+            return None
+        return row
+
+    def rows(
+        self,
+        documents: Iterable[Document],
+        lookup: Optional[DocumentLookup] = None,
+    ) -> Iterator[Row]:
+        """Evaluate the view over a document stream."""
+        for document in documents:
+            if not self.matches(document):
+                continue
+            row = self.project(document, lookup)
+            if row is not None:
+                yield row
+
+
+def base_table_view(name: str, table: str, columns: Sequence[str]) -> RelationalView:
+    """Convenience: the identity view over rows infused from *table*.
+
+    This is the Figure 2 fast path — "the row can immediately be queried
+    by SQL and retrieved without change".
+    """
+    view_columns = [ViewColumn(col, (table, col)) for col in columns]
+    return RelationalView(name=name, columns=view_columns, table=table)
+
+
+def annotation_view(
+    name: str,
+    label: str,
+    payload_fields: Sequence[str],
+    subject_columns: Optional[Mapping[str, Sequence[str]]] = None,
+) -> RelationalView:
+    """Convenience: expose annotations with *label* as a relational table.
+
+    ``payload_fields`` become columns drawn from the annotation payload;
+    ``subject_columns`` maps output column names to paths resolved in the
+    subject document, widening each annotation row with base-data context.
+    """
+    columns: List[ViewColumn] = [
+        ViewColumn("subject_id", ("annotation", "subject")),
+        ViewColumn("confidence", ("annotation", "confidence")),
+    ]
+    for fieldname in payload_fields:
+        columns.append(ViewColumn(fieldname, ("annotation", "payload", fieldname)))
+    for col_name, path in (subject_columns or {}).items():
+        columns.append(ViewColumn(col_name, tuple(path), source="subject"))
+    return RelationalView(
+        name=name,
+        columns=columns,
+        kind=DocumentKind.ANNOTATION,
+        annotation_label=label,
+    )
+
+
+class ViewCatalog:
+    """Registry of system-supplied and user-defined views."""
+
+    def __init__(self) -> None:
+        self._views: Dict[str, RelationalView] = {}
+
+    def define(self, view: RelationalView) -> None:
+        if view.name in self._views:
+            raise ValueError(f"view {view.name!r} already defined")
+        self._views[view.name] = view
+
+    def replace(self, view: RelationalView) -> None:
+        self._views[view.name] = view
+
+    def get(self, name: str) -> RelationalView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise KeyError(f"no view named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def names(self) -> List[str]:
+        return sorted(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)

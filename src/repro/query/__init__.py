@@ -1,0 +1,100 @@
+"""Query layer: SQL subset, keyword/faceted/graph interfaces, planners.
+
+Implements the two query interfaces of Section 3.2.1 (keyword/faceted
+out of the box, graph-based for applications), the SQL mapping of Figure
+2, and Section 3.3's simple planner with a conventional cost-based
+optimizer as its experimental baseline.
+"""
+
+from repro.query.plans import (
+    Aggregate,
+    CompareOp,
+    Comparison,
+    Conjunction,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    ScanView,
+    Sort,
+    base_views,
+    describe,
+)
+from repro.query.sql import SqlError, parse_sql
+from repro.query.stats import ColumnStatistics, Statistics, ViewStatistics
+from repro.query.planner import (
+    CostBasedOptimizer,
+    INDEXED_NL_OUTER_THRESHOLD,
+    PhysHashJoin,
+    PhysicalPlan,
+    PhysIndexedJoin,
+    SimplePlanner,
+)
+from repro.query.engine import (
+    LocalRepository,
+    QueryEngine,
+    QueryResult,
+    Repository,
+)
+from repro.query.keyword import KeywordHit, KeywordSearch
+from repro.query.faceted import DrillStep, FacetedSession
+from repro.query.graph import ConnectionResult, GraphQuery
+from repro.query.adaptive import (
+    AdaptiveJoinReport,
+    DEFAULT_PROBE_BUDGET,
+    adaptive_indexed_join,
+)
+from repro.query.hybrid import HybridQuery, HybridSearch
+from repro.query.materialized import (
+    MaterializationManager,
+    MaterializationStats,
+    MaterializedQuery,
+)
+from repro.query.snapshot import SnapshotRepository
+
+__all__ = [
+    "Aggregate",
+    "CompareOp",
+    "Comparison",
+    "Conjunction",
+    "Filter",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "Project",
+    "ScanView",
+    "Sort",
+    "base_views",
+    "describe",
+    "SqlError",
+    "parse_sql",
+    "ColumnStatistics",
+    "Statistics",
+    "ViewStatistics",
+    "CostBasedOptimizer",
+    "INDEXED_NL_OUTER_THRESHOLD",
+    "PhysHashJoin",
+    "PhysicalPlan",
+    "PhysIndexedJoin",
+    "SimplePlanner",
+    "LocalRepository",
+    "QueryEngine",
+    "QueryResult",
+    "Repository",
+    "KeywordHit",
+    "KeywordSearch",
+    "DrillStep",
+    "FacetedSession",
+    "ConnectionResult",
+    "GraphQuery",
+    "AdaptiveJoinReport",
+    "DEFAULT_PROBE_BUDGET",
+    "adaptive_indexed_join",
+    "HybridQuery",
+    "HybridSearch",
+    "MaterializationManager",
+    "MaterializationStats",
+    "MaterializedQuery",
+    "SnapshotRepository",
+]

@@ -1,0 +1,368 @@
+"""Query engine: interprets physical plans against a repository.
+
+The engine executes for real (rows out are correct) while charging a
+simulated cost meter, so the PLAN experiment can compare planner choices
+by simulated latency without depending on host noise.
+
+A *repository* is anything exposing documents, point lookup, a view
+catalog, and indexes — :class:`LocalRepository` wraps a single document
+store; the appliance facade (:class:`repro.core.appliance.Impliance`)
+implements the same protocol over a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Union
+
+from repro.exec import costs
+from repro.exec.operators import (
+    AggSpec,
+    Row,
+    group_aggregate,
+    hash_join,
+    sort_rows,
+)
+from repro.index.manager import IndexManager
+from repro.model.document import Document
+from repro.model.views import RelationalView, ViewCatalog
+from repro.query.planner import (
+    CostBasedOptimizer,
+    PhysHashJoin,
+    PhysicalPlan,
+    PhysIndexedJoin,
+    SimplePlanner,
+)
+from repro.query.plans import (
+    Aggregate,
+    Conjunction,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    ScanView,
+    Sort,
+    describe,
+)
+from repro.query.sql import parse_sql
+from repro.storage.store import DocumentStore
+
+
+class Repository(Protocol):
+    """What the engine needs from a data home."""
+
+    views: ViewCatalog
+    indexes: IndexManager
+
+    def documents(self) -> Iterable[Document]:
+        """All live (latest-version) documents."""
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        """Latest version of one document, or None."""
+
+
+class LocalRepository:
+    """Single-store repository for embedded/standalone use."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        views: Optional[ViewCatalog] = None,
+        indexes: Optional[IndexManager] = None,
+    ) -> None:
+        self.store = store
+        self.views = views if views is not None else ViewCatalog()
+        self.indexes = indexes if indexes is not None else IndexManager(store)
+
+    def documents(self) -> Iterable[Document]:
+        return self.store.scan()
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        return self.store.lookup(doc_id)
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the simulated cost of producing them."""
+
+    rows: List[Row]
+    sim_ms: float
+    plan_text: str = ""
+    adaptive_reports: List[Any] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class _CostMeter:
+    __slots__ = ("ms", "adaptive", "adaptive_reports")
+
+    def __init__(self, adaptive: bool = False) -> None:
+        self.ms = 0.0
+        self.adaptive = adaptive
+        self.adaptive_reports: List[Any] = []
+
+    def charge(self, ms: float) -> None:
+        self.ms += ms
+
+
+class QueryEngine:
+    """Plan interpreter with a simulated cost meter."""
+
+    def __init__(self, repository: Repository) -> None:
+        self.repository = repository
+        self.simple_planner = SimplePlanner(
+            can_probe=self._can_probe, columns_of=self._columns_of_view
+        )
+
+    # ------------------------------------------------------------------
+    def optimizer(self, statistics) -> CostBasedOptimizer:
+        """A cost-based optimizer wired to this engine's probe check."""
+        return CostBasedOptimizer(
+            statistics, can_probe=self._can_probe, columns_of=self._columns_of_view
+        )
+
+    def _columns_of_view(self, view_name: str) -> frozenset:
+        if view_name not in self.repository.views:
+            return frozenset()
+        return frozenset(self.repository.views.get(view_name).column_names)
+
+    def _can_probe(self, view_name: str, column: str) -> bool:
+        """A (view, column) is probe-able when the view is defined, the
+        column maps to a self-sourced path, and the value index actually
+        covers documents — an empty index (e.g. a historical snapshot,
+        which has no index) must force scan-based plans, or probes would
+        silently return nothing."""
+        if self.repository.indexes.values.doc_count == 0:
+            return False
+        if view_name not in self.repository.views:
+            return False
+        view = self.repository.views.get(view_name)
+        for vcolumn in view.columns:
+            if vcolumn.name == column and vcolumn.source == "self":
+                return True
+        return False
+
+    def _column_path(self, view: RelationalView, column: str):
+        for vcolumn in view.columns:
+            if vcolumn.name == column and vcolumn.source == "self":
+                return vcolumn.path
+        raise KeyError(f"view {view.name!r} has no self column {column!r}")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sql(
+        self,
+        query: str,
+        planner: str = "simple",
+        statistics=None,
+        adaptive: bool = False,
+    ) -> QueryResult:
+        """Parse, plan, and execute a SQL query.
+
+        ``planner`` selects ``"simple"`` (default, the Impliance way) or
+        ``"costbased"`` (requires *statistics*).  With ``adaptive``, an
+        indexed-NL join may migrate to a hash join mid-flight when its
+        probe budget is exceeded (Section 3.3 adaptive operators).
+        """
+        logical = parse_sql(query)
+        return self.execute(
+            logical, planner=planner, statistics=statistics, adaptive=adaptive
+        )
+
+    def execute(
+        self,
+        logical: LogicalPlan,
+        planner: str = "simple",
+        statistics=None,
+        adaptive: bool = False,
+    ) -> QueryResult:
+        if planner == "simple":
+            physical = self.simple_planner.plan(logical)
+        elif planner == "costbased":
+            if statistics is None:
+                raise ValueError("cost-based planning requires statistics")
+            physical = self.optimizer(statistics).plan(logical)
+        else:
+            raise ValueError(f"unknown planner {planner!r}")
+        return self.run_physical(physical, adaptive=adaptive)
+
+    def run_physical(self, physical: PhysicalPlan, adaptive: bool = False) -> QueryResult:
+        meter = _CostMeter(adaptive=adaptive)
+        rows = self._run(physical, meter)
+        return QueryResult(
+            rows=rows,
+            sim_ms=meter.ms,
+            plan_text=_describe_physical(physical),
+            adaptive_reports=list(meter.adaptive_reports),
+        )
+
+    # ------------------------------------------------------------------
+    # interpreter
+    # ------------------------------------------------------------------
+    def _view_rows(self, view_name: str, meter: _CostMeter) -> List[Row]:
+        view = self.repository.views.get(view_name)
+        rows: List[Row] = []
+        n_docs = 0
+        for document in self.repository.documents():
+            n_docs += 1
+            if not view.matches(document):
+                continue
+            row = view.project(document, self.repository.lookup)
+            if row is not None:
+                rows.append(row)
+        meter.charge(n_docs * costs.SCAN_CPU_MS_PER_DOC)
+        meter.charge(len(rows) * costs.PROJECT_CPU_MS_PER_ROW)
+        return rows
+
+    def _run(self, plan: PhysicalPlan, meter: _CostMeter) -> List[Row]:
+        if isinstance(plan, ScanView):
+            return self._view_rows(plan.view, meter)
+        if isinstance(plan, Filter):
+            child = self._run(plan.child, meter)
+            meter.charge(len(child) * costs.FILTER_CPU_MS_PER_ROW)
+            return [r for r in child if plan.predicate.matches(r)]
+        if isinstance(plan, Project):
+            child = self._run(plan.child, meter)
+            meter.charge(len(child) * costs.PROJECT_CPU_MS_PER_ROW)
+            return [{c: r.get(c) for c in plan.columns} for r in child]
+        if isinstance(plan, Aggregate):
+            child = self._run(plan.child, meter)
+            meter.charge(len(child) * costs.AGG_MS_PER_ROW)
+            rows = group_aggregate(child, plan.group_by, plan.aggs)
+            return [
+                {k: v for k, v in row.items() if k != "__distinct"} for row in rows
+            ]
+        if isinstance(plan, Sort):
+            child = self._run(plan.child, meter)
+            meter.charge(costs.sort_cost_ms(len(child)))
+            return sort_rows(child, plan.keys, plan.descending)
+        if isinstance(plan, Limit):
+            child = self._run(plan.child, meter)
+            return child[: plan.count]
+        if isinstance(plan, PhysHashJoin):
+            probe = self._run(plan.probe, meter)
+            build = self._run(plan.build, meter)
+            meter.charge(
+                len(build) * costs.HASH_BUILD_MS_PER_ROW
+                + len(probe) * costs.HASH_PROBE_MS_PER_ROW
+            )
+            return list(hash_join(probe, build, plan.probe_column, plan.build_column))
+        if isinstance(plan, PhysIndexedJoin):
+            return self._run_indexed_join(plan, meter)
+        if isinstance(plan, Join):
+            raise TypeError("logical Join reached the interpreter; run a planner first")
+        raise TypeError(f"cannot execute {plan!r}")
+
+    def _run_indexed_join(self, plan: PhysIndexedJoin, meter: _CostMeter) -> List[Row]:
+        outer = self._run(plan.outer, meter)
+        view = self.repository.views.get(plan.inner_view)
+        path = self._column_path(view, plan.inner_column)
+        if meter.adaptive:
+            return self._run_adaptive_indexed_join(plan, outer, view, path, meter)
+        results: List[Row] = []
+        for row in outer:
+            key = row.get(plan.outer_column)
+            if key is None:
+                continue
+            meter.charge(costs.INDEX_PROBE_MS)
+            doc_ids = self.repository.indexes.values.docs_with_value(path, key)
+            for doc_id in sorted(doc_ids):
+                document = self.repository.lookup(doc_id)
+                if document is None or not view.matches(document):
+                    continue
+                inner_row = view.project(document, self.repository.lookup)
+                if inner_row is None:
+                    continue
+                if plan.inner_predicate is not None and not plan.inner_predicate.matches(inner_row):
+                    continue
+                joined = dict(row)
+                for ikey, ivalue in inner_row.items():
+                    if ikey in joined and joined[ikey] != ivalue:
+                        joined[f"r_{ikey}"] = ivalue
+                    else:
+                        joined[ikey] = ivalue
+                results.append(joined)
+        return results
+
+    def _run_adaptive_indexed_join(
+        self, plan: PhysIndexedJoin, outer: List[Row], view, path, meter: _CostMeter
+    ) -> List[Row]:
+        """Indexed-NL with mid-flight migration (Section 3.3)."""
+        from repro.query.adaptive import adaptive_indexed_join
+
+        def probe(key) -> List[Row]:
+            matches: List[Row] = []
+            for doc_id in sorted(self.repository.indexes.values.docs_with_value(path, key)):
+                document = self.repository.lookup(doc_id)
+                if document is None or not view.matches(document):
+                    continue
+                inner_row = view.project(document, self.repository.lookup)
+                if inner_row is None:
+                    continue
+                if plan.inner_predicate is not None and not plan.inner_predicate.matches(inner_row):
+                    continue
+                matches.append(inner_row)
+            return matches
+
+        def inner_scan() -> List[Row]:
+            scan_meter = _CostMeter()
+            rows = self._view_rows(plan.inner_view, scan_meter)
+            meter.charge(scan_meter.ms)
+            if plan.inner_predicate is not None:
+                rows = [r for r in rows if plan.inner_predicate.matches(r)]
+            return rows
+
+        results, report = adaptive_indexed_join(
+            outer, plan.outer_column, probe, inner_scan, plan.inner_column
+        )
+        meter.charge(report.sim_ms)
+        meter.adaptive_reports.append(report)
+        return results
+
+    # ------------------------------------------------------------------
+    def collect_statistics(self, view_names: Sequence[str]):
+        """Scan views and build fresh :class:`Statistics` (charging the
+        collection cost the paper's simple planner avoids)."""
+        from repro.query.stats import Statistics
+
+        statistics = Statistics()
+        meter = _CostMeter()
+        statistics.collect({name: self._view_rows(name, meter) for name in view_names})
+        return statistics
+
+
+def _describe_physical(plan: PhysicalPlan, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(plan, PhysHashJoin):
+        return (
+            f"{pad}HashJoin(probe.{plan.probe_column} = build.{plan.build_column})\n"
+            + _describe_physical(plan.probe, indent + 1)
+            + "\n"
+            + _describe_physical(plan.build, indent + 1)
+        )
+    if isinstance(plan, PhysIndexedJoin):
+        header = (
+            f"{pad}IndexedNLJoin(outer.{plan.outer_column} -> "
+            f"{plan.inner_view}.{plan.inner_column})"
+        )
+        return header + "\n" + _describe_physical(plan.outer, indent + 1)
+    if isinstance(plan, ScanView):
+        return f"{pad}Scan({plan.view})"
+    if isinstance(plan, Filter):
+        return f"{pad}Filter({plan.predicate})\n" + _describe_physical(plan.child, indent + 1)
+    if isinstance(plan, Project):
+        return f"{pad}Project({', '.join(plan.columns)})\n" + _describe_physical(plan.child, indent + 1)
+    if isinstance(plan, Aggregate):
+        aggs = ", ".join(f"{a.func}({a.column or '*'})" for a in plan.aggs)
+        return f"{pad}Aggregate({aggs})\n" + _describe_physical(plan.child, indent + 1)
+    if isinstance(plan, Sort):
+        return f"{pad}Sort({', '.join(plan.keys)})\n" + _describe_physical(plan.child, indent + 1)
+    if isinstance(plan, Limit):
+        return f"{pad}Limit({plan.count})\n" + _describe_physical(plan.child, indent + 1)
+    return f"{pad}{plan!r}"

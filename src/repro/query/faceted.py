@@ -1,0 +1,233 @@
+"""Faceted (guided) search with analytics (paper Section 3.2.1).
+
+"We envision an interface for Impliance that extends the concept of
+faceted search by incorporating more sophisticated analytical
+capabilities than just counting entities in one dimension, via a
+sequence of processes that guide the user."
+
+A :class:`FacetedSession` is that sequence: start from a keyword query
+(or everything), drill down facet by facet, and at any point ask for
+facet counts (navigation), ranked results, or per-bucket aggregates of a
+numeric measure — joins and aggregates folded into the guided interface
+without exposing schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.values import Path, coerce_numeric
+from repro.query.keyword import KeywordHit, KeywordSearch
+
+
+@dataclass(frozen=True)
+class DrillStep:
+    """One navigation action taken in a session (for breadcrumbs)."""
+
+    facet: str
+    value: Any
+
+
+class FacetedSession:
+    """An interactive guided-search session over a repository."""
+
+    def __init__(
+        self,
+        repository,
+        query: Optional[str] = None,
+        within: Optional[Set[str]] = None,
+    ) -> None:
+        """*within*, when given, restricts the whole session to that
+        doc-id set — the hook security scoping uses."""
+        self.repository = repository
+        self._keyword = KeywordSearch(repository)
+        self.query = query
+        self._within = None if within is None else set(within)
+        self._steps: List[DrillStep] = []
+        self._selection: Optional[Set[str]] = None
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    def _base_set(self) -> Optional[Set[str]]:
+        if self.query is None:
+            base = None  # None means "everything"
+        else:
+            base = self._keyword.all_terms(self.query)
+        if self._within is not None:
+            base = self._within if base is None else base & self._within
+        return base
+
+    def _recompute(self) -> None:
+        selection = self._base_set()
+        for step in self._steps:
+            bucket = self.repository.indexes.facets.docs_with(step.facet, step.value)
+            selection = bucket if selection is None else selection & bucket
+        self._selection = selection
+
+    # ------------------------------------------------------------------
+    @property
+    def breadcrumbs(self) -> List[DrillStep]:
+        return list(self._steps)
+
+    @property
+    def selection(self) -> Optional[Set[str]]:
+        """Current doc-id selection (``None`` = unrestricted)."""
+        return None if self._selection is None else set(self._selection)
+
+    def count(self) -> int:
+        if self._selection is not None:
+            return len(self._selection)
+        return self.repository.indexes.facets.doc_count
+
+    # ------------------------------------------------------------------
+    def drill(self, facet: str, value: Any) -> "FacetedSession":
+        """Drill down: narrow the selection by one facet value."""
+        if facet not in self.repository.indexes.facets.facet_names():
+            raise KeyError(f"no facet named {facet!r}")
+        self._steps.append(DrillStep(facet, value))
+        self._recompute()
+        return self
+
+    def back(self) -> "FacetedSession":
+        """Undo the most recent drill step."""
+        if self._steps:
+            self._steps.pop()
+            self._recompute()
+        return self
+
+    def across(self, facet: str, value: Any) -> "FacetedSession":
+        """Drill *across*: replace the last step's value within the same
+        facet (sideways navigation in guided search)."""
+        if self._steps and self._steps[-1].facet == facet:
+            self._steps.pop()
+        return self.drill(facet, value)
+
+    # ------------------------------------------------------------------
+    def facet_counts(self, facet: str, top: int = 10) -> List[Tuple[Any, int]]:
+        """The navigation menu: counts of *facet* within the selection."""
+        return self.repository.indexes.facets.counts(
+            facet, within=self._selection, top=top
+        )
+
+    def results(self, top_k: int = 10) -> List[KeywordHit]:
+        """Ranked hits within the current selection."""
+        if self.query is not None:
+            return self._keyword.search(self.query, top_k=top_k, within=self._selection)
+        selection = self._selection
+        if selection is None:
+            doc_ids = sorted(
+                d.doc_id for d in self.repository.documents()
+            )[:top_k]
+        else:
+            doc_ids = sorted(selection)[:top_k]
+        return [
+            KeywordHit(doc_id=d, score=0.0, document=self.repository.lookup(d))
+            for d in doc_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # mining operations inside the guided interface (§3.2.1: "as well as
+    # certain mining operations")
+    # ------------------------------------------------------------------
+    def related_terms(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Most frequent content terms within the current selection —
+        the "what else is in here" mining prompt guided search shows."""
+        from collections import Counter
+
+        from repro.index.text import tokenize
+
+        counter: Counter = Counter()
+        for doc_id in self._selected_doc_ids():
+            document = self.repository.lookup(doc_id)
+            if document is not None:
+                counter.update(set(tokenize(document.text)))
+        return counter.most_common(top)
+
+    def correlate(self, facet_a: str, facet_b: str, top: int = 10
+                  ) -> List[Tuple[Any, Any, int]]:
+        """Co-occurrence mining across two facets within the selection:
+        which (a, b) pairs appear together unusually often."""
+        from collections import Counter
+
+        facets = self.repository.indexes.facets
+        selection = self._selected_doc_ids()
+        pair_counts: Counter = Counter()
+        for value_a, count_a in facets.counts(facet_a, within=selection):
+            docs_a = facets.docs_with(facet_a, value_a)
+            if selection is not None:
+                docs_a &= selection
+            for value_b, _ in facets.counts(facet_b, within=docs_a):
+                overlap = len(docs_a & facets.docs_with(facet_b, value_b))
+                if overlap:
+                    pair_counts[(value_a, value_b)] = overlap
+        return [(a, b, n) for (a, b), n in pair_counts.most_common(top)]
+
+    def exceptions(self, measure_path: Path, z_threshold: float = 3.0
+                   ) -> List[Tuple[str, float, float]]:
+        """Numeric outliers within the selection: (doc_id, value, z).
+
+        The guided interface surfacing "trends and exceptions" without
+        the user writing analytics (§3.2)."""
+        import math
+
+        measure_path = tuple(measure_path)
+        values: List[Tuple[str, float]] = []
+        for doc_id in self._selected_doc_ids() or set():
+            document = self.repository.lookup(doc_id)
+            if document is None:
+                continue
+            for value in document.get(measure_path):
+                try:
+                    values.append((doc_id, coerce_numeric(value)))
+                    break
+                except (TypeError, ValueError):
+                    continue
+        if len(values) < 3:
+            return []
+        mean = sum(v for _, v in values) / len(values)
+        variance = sum((v - mean) ** 2 for _, v in values) / (len(values) - 1)
+        stddev = math.sqrt(variance)
+        if stddev == 0:
+            return []
+        flagged = [
+            (doc_id, value, round((value - mean) / stddev, 3))
+            for doc_id, value in values
+            if abs(value - mean) / stddev >= z_threshold
+        ]
+        flagged.sort(key=lambda t: -abs(t[2]))
+        return flagged
+
+    def _selected_doc_ids(self) -> Optional[Set[str]]:
+        """Selection as a concrete id set (materializes 'everything')."""
+        if self._selection is not None:
+            return set(self._selection)
+        return {d.doc_id for d in self.repository.documents()}
+
+    def aggregate(
+        self, facet: str, measure_path: Path, top: int = 10
+    ) -> List[Tuple[Any, Dict[str, float]]]:
+        """Per-bucket aggregates of a numeric measure within the selection.
+
+        This is faceted search doing OLAP: e.g. facet = product, measure
+        = /claim/amount → average claim amount per product.
+        """
+        measure_path = tuple(measure_path)
+
+        def measure(doc_id: str) -> Optional[float]:
+            document = self.repository.lookup(doc_id)
+            if document is None:
+                return None
+            values = document.get(measure_path)
+            for value in values:
+                try:
+                    return coerce_numeric(value)
+                except (TypeError, ValueError):
+                    continue
+            return None
+
+        report = self.repository.indexes.facets.aggregate(
+            facet, measure, within=self._selection
+        )
+        ranked = sorted(report.items(), key=lambda kv: (-kv[1]["sum"], repr(kv[0])))
+        return ranked[:top]

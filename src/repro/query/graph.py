@@ -1,0 +1,112 @@
+"""Graph query interface (paper Section 3.2.1).
+
+"Our preliminary study suggests that it will be a graph-based, web
+semantics-oriented query interface ... For example, given two pieces of
+data, we should be able to ask how they are connected."
+
+Queries run over the association graph the discovery engine built into
+the join index: connection paths, neighborhoods, and transitive closure
+with relation filters — the latter powering the legal-discovery use case
+(Section 2.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.model.document import Document
+
+
+@dataclass
+class ConnectionResult:
+    """An answer to "how are these two connected?"."""
+
+    path: List[str]                       # doc-ids, inclusive
+    edges: List[Tuple[str, str, str]]     # (from, relation, to) per hop
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def render(self) -> str:
+        if not self.edges:
+            return self.path[0] if self.path else "(no path)"
+        pieces = [self.edges[0][0]]
+        for from_doc, relation, to_doc in self.edges:
+            pieces.append(f"--[{relation}]--> {to_doc}")
+        return " ".join(pieces)
+
+
+class GraphQuery:
+    """Association-graph queries over a repository."""
+
+    def __init__(self, repository) -> None:
+        self.repository = repository
+
+    @property
+    def _joins(self):
+        return self.repository.indexes.joins
+
+    # ------------------------------------------------------------------
+    def how_connected(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 4,
+        relations: Optional[Set[str]] = None,
+    ) -> Optional[ConnectionResult]:
+        """Shortest association path between two documents."""
+        path = self._joins.connection(source, target, max_hops, relations)
+        if path is None:
+            return None
+        edges: List[Tuple[str, str, str]] = []
+        for from_doc, to_doc in zip(path, path[1:]):
+            relation = self._edge_relation(from_doc, to_doc, relations)
+            edges.append((from_doc, relation, to_doc))
+        return ConnectionResult(path=path, edges=edges)
+
+    def _edge_relation(
+        self, a: str, b: str, relations: Optional[Set[str]]
+    ) -> str:
+        for relation in self._joins.relations():
+            if relations is not None and relation not in relations:
+                continue
+            if b in self._joins.targets(relation, a) or a in self._joins.targets(relation, b):
+                return relation
+        return "related"
+
+    # ------------------------------------------------------------------
+    def related(
+        self,
+        doc_id: str,
+        relation: Optional[str] = None,
+        fetch: bool = False,
+    ) -> Dict[str, Optional[Document]]:
+        """One-hop neighborhood, optionally restricted to a relation."""
+        relations = {relation} if relation else None
+        neighbors = self._joins.neighbors(doc_id, relations)
+        return {
+            n: (self.repository.lookup(n) if fetch else None)
+            for n in sorted(neighbors)
+        }
+
+    def closure(
+        self,
+        seed: str,
+        relations: Optional[Set[str]] = None,
+        max_hops: Optional[int] = None,
+    ) -> Set[str]:
+        """Transitive closure of associations from *seed* — the
+        e-discovery "everything pertinent" query."""
+        return self._joins.transitive_closure(seed, relations, max_hops)
+
+    def hubs(self, top: int = 10) -> List[Tuple[str, int]]:
+        """Most-connected documents (degree ranking)."""
+        degrees: Dict[str, int] = {}
+        for relation in self._joins.relations():
+            for edge in self._joins.edges_of(relation):
+                degrees[edge.from_doc] = degrees.get(edge.from_doc, 0) + 1
+                degrees[edge.to_doc] = degrees.get(edge.to_doc, 0) + 1
+        ranked = sorted(degrees.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]

@@ -1,0 +1,131 @@
+"""Hybrid search: one query over content, structure, and values.
+
+Section 3.2: "Impliance unifies the management of all data under one
+umbrella, providing interfaces to search structured and unstructured
+content and metadata alike."  A :class:`HybridQuery` conjoins
+
+* keyword terms (full-text index),
+* an exact phrase (positional index),
+* structural constraints — paths or path suffixes that must exist,
+* value constraints — path = value, or numeric path ranges,
+* facet constraints,
+* annotation constraints — the document must carry an annotation label,
+
+and intersects the candidate sets index-side before any document is
+fetched, then BM25-ranks the survivors when keyword terms are present.
+This is the query shape the insurance use case needs: *text* mentions a
+procedure AND *structure* has /claims/amount AND *value* amount > 2000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from repro.index.structural import RangeQuery
+from repro.model.annotations import subject_of
+from repro.model.document import Document
+from repro.model.values import Path
+from repro.query.keyword import KeywordHit
+
+
+@dataclass
+class HybridQuery:
+    """A conjunctive query across all index families.
+
+    Every populated constraint narrows the candidate set; an empty query
+    is rejected (it would mean "everything").
+    """
+
+    text: Optional[str] = None
+    phrase: Optional[str] = None
+    has_path: Sequence[Path] = ()
+    has_path_suffix: Sequence[Path] = ()
+    value_equals: Sequence[Tuple[Path, Any]] = ()
+    value_ranges: Sequence[RangeQuery] = ()
+    facets: Sequence[Tuple[str, Any]] = ()
+    annotated_with: Sequence[str] = ()  # annotation labels on the doc
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "has_path", [tuple(p) for p in self.has_path])
+        object.__setattr__(
+            self, "has_path_suffix", [tuple(p) for p in self.has_path_suffix]
+        )
+        object.__setattr__(
+            self, "value_equals", [(tuple(p), v) for p, v in self.value_equals]
+        )
+        if not any(
+            (
+                self.text,
+                self.phrase,
+                self.has_path,
+                self.has_path_suffix,
+                self.value_equals,
+                self.value_ranges,
+                self.facets,
+                self.annotated_with,
+            )
+        ):
+            raise ValueError("hybrid query needs at least one constraint")
+
+
+class HybridSearch:
+    """Executes hybrid queries against a repository's index families."""
+
+    def __init__(self, repository) -> None:
+        self.repository = repository
+
+    # ------------------------------------------------------------------
+    def candidates(self, query: HybridQuery) -> Set[str]:
+        """Index-side conjunction; ``None`` never appears (empty set is
+        the no-match result)."""
+        indexes = self.repository.indexes
+        result: Optional[Set[str]] = None
+
+        def narrow(doc_ids: Set[str]) -> None:
+            nonlocal result
+            result = doc_ids if result is None else result & doc_ids
+
+        if query.text:
+            narrow(indexes.text.match_all(query.text))
+        if query.phrase:
+            narrow(indexes.text.match_phrase(query.phrase))
+        for path in query.has_path:
+            narrow(indexes.structure.docs_with_path(path))
+        for suffix in query.has_path_suffix:
+            narrow(indexes.structure.docs_with_suffix(suffix))
+        for path, value in query.value_equals:
+            narrow(indexes.values.docs_with_value(path, value))
+        for range_query in query.value_ranges:
+            narrow(indexes.values.docs_in_range(range_query))
+        for facet, value in query.facets:
+            narrow(indexes.facets.docs_with(facet, value))
+        for label in query.annotated_with:
+            # Annotation documents carry their label at /annotation/label;
+            # the value index finds them, and refs point at the subjects.
+            annotated: Set[str] = set()
+            for ann_id in indexes.values.docs_with_value(("annotation", "label"), label):
+                document = self.repository.lookup(ann_id)
+                if document is not None:
+                    annotated.add(subject_of(document))
+            narrow(annotated)
+        return result if result is not None else set()
+
+    def search(self, query: HybridQuery, top_k: int = 10) -> List[KeywordHit]:
+        """Rank candidates (BM25 when text terms exist, id order else)."""
+        candidate_ids = self.candidates(query)
+        if not candidate_ids:
+            return []
+        if query.text:
+            ranked = self.repository.indexes.text.search(
+                query.text, top_k=top_k, candidates=candidate_ids
+            )
+            hits = [KeywordHit(h.doc_id, h.score) for h in ranked]
+        else:
+            hits = [KeywordHit(d, 0.0) for d in sorted(candidate_ids)[:top_k]]
+        for hit in hits:
+            hit.document = self.repository.lookup(hit.doc_id)
+        return hits
+
+    def count(self, query: HybridQuery) -> int:
+        return len(self.candidates(query))

@@ -1,0 +1,152 @@
+"""Materialized query results as derived data (paper Sections 3.2 / 3.4).
+
+Section 3.2: base data "may subsequently be transformed into different
+formats or combined with other documents ... and stored in one or more
+transformed states that are easier to process."  Section 3.4 lists
+"materialized views, indexes, and replicas" as the re-creatable derived
+data the storage manager may replicate cheaply (BRONZE class).
+
+A :class:`MaterializedQuery` caches the result of one SQL query.  Puts
+against the repository invalidate it (listeners mark it dirty); reads
+either serve the cache, refresh on demand, or — the Impliance twist —
+persist the cached rows as a DERIVED document so the transformed state is
+itself searchable, versioned, and replicated like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exec.operators import Row
+from repro.model.document import Document, DocumentKind
+from repro.query.engine import QueryEngine, QueryResult
+from repro.query.plans import base_views
+from repro.query.sql import parse_sql
+
+
+@dataclass
+class MaterializationStats:
+    refreshes: int = 0
+    cache_hits: int = 0
+    invalidations: int = 0
+
+
+class MaterializedQuery:
+    """One cached SQL result with dependency-based invalidation.
+
+    Parameters
+    ----------
+    name:
+        Identity of the materialization (also used for persisted state).
+    sql:
+        The SELECT this caches.
+    engine:
+        Engine to (re)compute through.
+    """
+
+    def __init__(self, name: str, sql: str, engine: QueryEngine) -> None:
+        if not name:
+            raise ValueError("materialization needs a name")
+        self.name = name
+        self.sql = sql
+        self.engine = engine
+        self._dependencies = frozenset(base_views(parse_sql(sql)))
+        self._cache: Optional[List[Row]] = None
+        self._dirty = True
+        self.stats = MaterializationStats()
+
+    @property
+    def dependencies(self) -> frozenset:
+        """The views whose base tables invalidate this cache."""
+        return self._dependencies
+
+    @property
+    def is_fresh(self) -> bool:
+        return self._cache is not None and not self._dirty
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        self._dirty = True
+        self.stats.invalidations += 1
+
+    def on_put(self, document: Document, address=None) -> None:
+        """Put-listener: a write to a dependency table marks us dirty.
+
+        Writes to unrelated tables leave the cache valid — dependency
+        tracking is what makes materialization cheap under mixed load.
+        """
+        table = document.metadata.get("table")
+        if table in self._dependencies:
+            self.invalidate()
+
+    def refresh(self) -> List[Row]:
+        result = self.engine.sql(self.sql)
+        self._cache = list(result.rows)
+        self._dirty = False
+        self.stats.refreshes += 1
+        return list(self._cache)
+
+    def rows(self) -> List[Row]:
+        """Serve from cache; refresh first when dirty."""
+        if self._cache is None or self._dirty:
+            return self.refresh()
+        self.stats.cache_hits += 1
+        return list(self._cache)
+
+    # ------------------------------------------------------------------
+    def to_document(self, doc_id: str) -> Document:
+        """Persist the current state as a DERIVED (BRONZE-class) document.
+
+        The storage manager replicates derived data at the lowest class
+        because this document is exactly re-creatable from its SQL.
+        """
+        rows = self.rows()
+        return Document(
+            doc_id=doc_id,
+            content={"materialized": {"name": self.name, "sql": self.sql, "rows": rows}},
+            kind=DocumentKind.DERIVED,
+            source_format="materialized",
+            metadata={"table": f"mv_{self.name}", "materialization": self.name},
+        )
+
+
+class MaterializationManager:
+    """Registry wiring materializations to a repository's put streams."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+        self._materializations: Dict[str, MaterializedQuery] = {}
+        self._put_hooks: List[Callable[[Document], None]] = []
+
+    def define(self, name: str, sql: str) -> MaterializedQuery:
+        if name in self._materializations:
+            raise ValueError(f"materialization {name!r} already defined")
+        materialized = MaterializedQuery(name, sql, self.engine)
+        self._materializations[name] = materialized
+        return materialized
+
+    def get(self, name: str) -> MaterializedQuery:
+        try:
+            return self._materializations[name]
+        except KeyError:
+            raise KeyError(f"no materialization named {name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._materializations)
+
+    def on_put(self, document: Document, address=None) -> None:
+        """Fan a put event out to every materialization's tracker."""
+        for materialized in self._materializations.values():
+            materialized.on_put(document, address)
+
+    def attach_to_store(self, store) -> None:
+        store.put_listeners.append(self.on_put)
+
+    def refresh_all(self) -> int:
+        refreshed = 0
+        for materialized in self._materializations.values():
+            if not materialized.is_fresh:
+                materialized.refresh()
+                refreshed += 1
+        return refreshed

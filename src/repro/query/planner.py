@@ -1,0 +1,294 @@
+"""The simple planner and the cost-based optimizer baseline (Section 3.3).
+
+"Instead of implementing a full-fledged cost-based optimizer as a
+conventional database system does, we propose to build a simple planner
+that allows only a few limited choices of the underlying physical
+operators.  Such a planner is desirable because it offers predictable
+performance (as opposed to optimal performance) and obviates the need
+for maintaining complex statistics."
+
+* :class:`SimplePlanner` — no statistics, fixed rules, join order as
+  written.  Indexed nested-loop joins whenever the inner side is probe-
+  able (the paper: with a top-k interface they "may always be the
+  preferred join method"); hash join otherwise.
+* :class:`CostBasedOptimizer` — the conventional baseline: consults
+  :class:`~repro.query.stats.Statistics` to reorder joins and pick
+  methods.  Optimal when statistics are fresh; with stale statistics it
+  confidently picks wrong, which is the PLAN experiment's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from repro.query.plans import (
+    Aggregate,
+    Conjunction,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    ScanView,
+    Sort,
+)
+from repro.query.stats import Statistics
+
+#: Estimated outer cardinality below which the optimizer prefers
+#: indexed-NL probes over building a hash table.
+INDEXED_NL_OUTER_THRESHOLD = 64.0
+
+
+@dataclass(frozen=True)
+class PhysHashJoin:
+    """Hash join: build on *build*, probe with *probe*."""
+
+    probe: "PhysicalPlan"
+    build: "PhysicalPlan"
+    probe_column: str
+    build_column: str
+
+
+@dataclass(frozen=True)
+class PhysIndexedJoin:
+    """Indexed nested-loop join: for each outer row, probe the inner
+    view's value index on *inner_column*."""
+
+    outer: "PhysicalPlan"
+    outer_column: str
+    inner_view: str
+    inner_column: str
+    inner_predicate: Optional[Conjunction] = None
+
+
+PhysicalPlan = Union[
+    ScanView, Filter, Join, Project, Aggregate, Sort, Limit,
+    PhysHashJoin, PhysIndexedJoin,
+]
+
+#: Callable telling planners whether (view, column) can be index-probed.
+IndexProbeCheck = Callable[[str, str], bool]
+
+#: Callable returning the output column names of a view.
+ViewColumns = Callable[[str], frozenset]
+
+
+def push_filters(plan: LogicalPlan, columns_of: Optional[ViewColumns]) -> LogicalPlan:
+    """Push filter terms below joins when they reference one side only.
+
+    A semantically safe rewrite both planners apply — the experimental
+    contrast between them is join order/method, not filter placement.
+    Terms that cannot be attributed to a single side stay above the join.
+    Without *columns_of* (no catalog knowledge) the plan is unchanged.
+    """
+    if columns_of is None:
+        return plan
+    if isinstance(plan, Filter):
+        child = push_filters(plan.child, columns_of)
+        if isinstance(child, Join):
+            rewritten = _split_filter_over_join(plan.predicate, child, columns_of)
+            if rewritten is not None:
+                return rewritten
+        return Filter(child, plan.predicate)
+    if isinstance(plan, Join):
+        return Join(
+            push_filters(plan.left, columns_of),
+            push_filters(plan.right, columns_of),
+            plan.left_column,
+            plan.right_column,
+        )
+    if isinstance(plan, Project):
+        return Project(push_filters(plan.child, columns_of), plan.columns)
+    if isinstance(plan, Aggregate):
+        return Aggregate(push_filters(plan.child, columns_of), plan.group_by, plan.aggs)
+    if isinstance(plan, Sort):
+        return Sort(push_filters(plan.child, columns_of), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(push_filters(plan.child, columns_of), plan.count)
+    return plan
+
+
+def _subtree_columns(plan: LogicalPlan, columns_of: ViewColumns) -> frozenset:
+    if isinstance(plan, ScanView):
+        return columns_of(plan.view)
+    if isinstance(plan, Join):
+        return _subtree_columns(plan.left, columns_of) | _subtree_columns(
+            plan.right, columns_of
+        )
+    if isinstance(plan, (Filter, Sort, Limit)):
+        return _subtree_columns(plan.child, columns_of)
+    if isinstance(plan, Project):
+        return frozenset(plan.columns)
+    if isinstance(plan, Aggregate):
+        return frozenset(plan.group_by) | frozenset(a.name for a in plan.aggs)
+    return frozenset()
+
+
+def _split_filter_over_join(
+    predicate: Conjunction, join: Join, columns_of: ViewColumns
+) -> Optional[LogicalPlan]:
+    left_cols = _subtree_columns(join.left, columns_of)
+    right_cols = _subtree_columns(join.right, columns_of)
+    left_terms, right_terms, residual = [], [], []
+    for term in predicate.terms:
+        in_left = term.column in left_cols
+        in_right = term.column in right_cols
+        if in_left and not in_right:
+            left_terms.append(term)
+        elif in_right and not in_left:
+            right_terms.append(term)
+        else:
+            residual.append(term)
+    if not left_terms and not right_terms:
+        return None
+    left: LogicalPlan = join.left
+    right: LogicalPlan = join.right
+    if left_terms:
+        left = Filter(left, Conjunction(tuple(left_terms)))
+    if right_terms:
+        right = Filter(right, Conjunction(tuple(right_terms)))
+    rewritten: LogicalPlan = Join(left, right, join.left_column, join.right_column)
+    if residual:
+        rewritten = Filter(rewritten, Conjunction(tuple(residual)))
+    return push_filters(rewritten, columns_of)
+
+
+def _scan_with_filter(plan: LogicalPlan) -> Optional[Tuple[ScanView, Optional[Conjunction]]]:
+    """Match ``ScanView`` or ``Filter(ScanView)`` — the inner shapes an
+    indexed join can serve."""
+    if isinstance(plan, ScanView):
+        return plan, None
+    if isinstance(plan, Filter) and isinstance(plan.child, ScanView):
+        return plan.child, plan.predicate
+    return None
+
+
+class SimplePlanner:
+    """Few operators, no statistics, predictable plans."""
+
+    def __init__(
+        self,
+        can_probe: Optional[IndexProbeCheck] = None,
+        columns_of: Optional[ViewColumns] = None,
+    ) -> None:
+        self._can_probe = can_probe if can_probe is not None else (lambda v, c: True)
+        self._columns_of = columns_of
+
+    def plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        logical = push_filters(logical, self._columns_of)
+        return self._plan(logical)
+
+    def _plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        if isinstance(logical, ScanView):
+            return logical
+        if isinstance(logical, Filter):
+            return Filter(self._plan(logical.child), logical.predicate)
+        if isinstance(logical, Project):
+            return Project(self._plan(logical.child), logical.columns)
+        if isinstance(logical, Aggregate):
+            return Aggregate(self._plan(logical.child), logical.group_by, logical.aggs)
+        if isinstance(logical, Sort):
+            return Sort(self._plan(logical.child), logical.keys, logical.descending)
+        if isinstance(logical, Limit):
+            return Limit(self._plan(logical.child), logical.count)
+        if isinstance(logical, Join):
+            return self._plan_join(logical)
+        raise TypeError(f"cannot plan {logical!r}")
+
+    def _plan_join(self, join: Join) -> PhysicalPlan:
+        inner = _scan_with_filter(join.right)
+        if inner is not None:
+            scan, predicate = inner
+            if self._can_probe(scan.view, join.right_column):
+                return PhysIndexedJoin(
+                    outer=self._plan(join.left),
+                    outer_column=join.left_column,
+                    inner_view=scan.view,
+                    inner_column=join.right_column,
+                    inner_predicate=predicate,
+                )
+        # Fixed fallback: hash join, build on the right side as written.
+        return PhysHashJoin(
+            probe=self._plan(join.left),
+            build=self._plan(join.right),
+            probe_column=join.left_column,
+            build_column=join.right_column,
+        )
+
+
+class CostBasedOptimizer:
+    """Conventional optimizer: statistics-driven join order and method."""
+
+    def __init__(
+        self,
+        statistics: Statistics,
+        can_probe: Optional[IndexProbeCheck] = None,
+        columns_of: Optional[ViewColumns] = None,
+    ) -> None:
+        self.statistics = statistics
+        self._can_probe = can_probe if can_probe is not None else (lambda v, c: True)
+        self._columns_of = columns_of
+
+    def plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        logical = push_filters(logical, self._columns_of)
+        return self._plan(logical)
+
+    def _plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        if isinstance(logical, ScanView):
+            return logical
+        if isinstance(logical, Filter):
+            return Filter(self._plan(logical.child), logical.predicate)
+        if isinstance(logical, Project):
+            return Project(self._plan(logical.child), logical.columns)
+        if isinstance(logical, Aggregate):
+            return Aggregate(self._plan(logical.child), logical.group_by, logical.aggs)
+        if isinstance(logical, Sort):
+            return Sort(self._plan(logical.child), logical.keys, logical.descending)
+        if isinstance(logical, Limit):
+            return Limit(self._plan(logical.child), logical.count)
+        if isinstance(logical, Join):
+            return self._plan_join(logical)
+        raise TypeError(f"cannot plan {logical!r}")
+
+    def _plan_join(self, join: Join) -> PhysicalPlan:
+        left_rows = self.statistics.estimate(join.left)
+        right_rows = self.statistics.estimate(join.right)
+
+        # Consider indexed-NL with either side as outer, if the other
+        # side is a probe-able base scan and the outer looks tiny.
+        candidates = [
+            (left_rows, join.left, join.left_column, join.right, join.right_column),
+            (right_rows, join.right, join.right_column, join.left, join.left_column),
+        ]
+        candidates.sort(key=lambda c: c[0])
+        for outer_est, outer, outer_col, inner, inner_col in candidates:
+            if outer_est > INDEXED_NL_OUTER_THRESHOLD:
+                continue
+            matched = _scan_with_filter(inner)
+            if matched is None:
+                continue
+            scan, predicate = matched
+            if self._can_probe(scan.view, inner_col):
+                return PhysIndexedJoin(
+                    outer=self._plan(outer),
+                    outer_column=outer_col,
+                    inner_view=scan.view,
+                    inner_column=inner_col,
+                    inner_predicate=predicate,
+                )
+
+        # Hash join, building on the (estimated) smaller side.
+        if right_rows <= left_rows:
+            return PhysHashJoin(
+                probe=self._plan(join.left),
+                build=self._plan(join.right),
+                probe_column=join.left_column,
+                build_column=join.right_column,
+            )
+        return PhysHashJoin(
+            probe=self._plan(join.right),
+            build=self._plan(join.left),
+            probe_column=join.right_column,
+            build_column=join.left_column,
+        )

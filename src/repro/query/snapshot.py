@@ -1,0 +1,72 @@
+"""Time-travel queries: the repository as of a logical timestamp (§4).
+
+Versioning "obviates the need to update all replicas of a document
+consistently and synchronously" and keeps every state auditable; this
+module makes those retained states *queryable*: a
+:class:`SnapshotRepository` serves exactly the document versions visible
+at a pinned logical time, so SQL, keyword-over-scan, and views all run
+against history unchanged.
+
+Indexes track head state only, so the snapshot exposes an *empty* index
+manager: planners see nothing probe-able and fall back to scan-based
+plans — slower, but correct against history, which is what an audit
+wants. (Maintaining historical indexes is the classic space/time trade
+the paper leaves open.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.index.manager import IndexManager
+from repro.model.document import Document
+from repro.model.views import ViewCatalog
+from repro.query.engine import QueryEngine, QueryResult
+
+
+class SnapshotRepository:
+    """Engine-protocol repository pinned at a logical timestamp.
+
+    Works over anything exposing per-data-node stores (an
+    :class:`~repro.cluster.topology.ImplianceCluster` or the appliance)
+    or a single :class:`~repro.storage.store.DocumentStore`.
+    """
+
+    def __init__(self, source, ts: int, views: Optional[ViewCatalog] = None) -> None:
+        self.ts = ts
+        self._stores = self._resolve_stores(source)
+        self.views = views if views is not None else getattr(source, "views", ViewCatalog())
+        # Head-only indexes must not leak future state into the past:
+        # the snapshot advertises empty indexes instead.
+        self.indexes = IndexManager()
+
+    @staticmethod
+    def _resolve_stores(source) -> List:
+        if hasattr(source, "cluster"):  # the appliance facade
+            source = source.cluster
+        if hasattr(source, "data_nodes"):  # a cluster
+            return [node.store for node in source.data_nodes if node.store]
+        return [source]  # a bare DocumentStore
+
+    # ------------------------------------------------------------------
+    def documents(self) -> Iterator[Document]:
+        """Every document version visible at the pinned time."""
+        for store in self._stores:
+            for doc_id in store.versions.doc_ids():
+                visible = store.versions.as_of(doc_id, self.ts)
+                if visible is not None:
+                    yield visible
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        for store in self._stores:
+            if store.contains(doc_id):
+                return store.versions.as_of(doc_id, self.ts)
+        return None
+
+    # ------------------------------------------------------------------
+    def sql(self, query: str) -> QueryResult:
+        """SQL against the snapshot (scan-based plans only)."""
+        return QueryEngine(self).sql(query)
+
+    def doc_count(self) -> int:
+        return sum(1 for _ in self.documents())

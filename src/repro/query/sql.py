@@ -1,0 +1,346 @@
+"""SQL subset: enough of SELECT for legacy applications over views.
+
+Figure 2's promise is that relational applications keep working: rows go
+in, views come out, and "traditional structured query languages such as
+SQL ... can be mapped to this new query interface".  This module parses
+
+    SELECT [DISTINCT] cols | agg(col) [AS name], ...
+    FROM view [alias] [JOIN view [alias] ON a = b]...
+    [WHERE col op literal [AND ...]]
+    [GROUP BY cols] [HAVING name op literal [AND ...]]
+    [ORDER BY col [ASC|DESC]] [LIMIT n]
+
+into the logical algebra of :mod:`repro.query.plans`.  Qualified column
+names (``alias.col``) are accepted and resolved by suffix.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.exec.operators import AggSpec
+from repro.query.plans import (
+    Aggregate,
+    CompareOp,
+    Comparison,
+    Conjunction,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    ScanView,
+    Sort,
+)
+
+
+class SqlError(ValueError):
+    """Raised on any syntax or semantic error in the SQL text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),.*])
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "join", "on", "where", "and", "group",
+    "by", "having", "order", "limit", "as", "asc", "desc", "contains",
+    "count", "sum", "avg", "min", "max", "true", "false", "null",
+}
+
+_AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+
+@dataclass
+class _Token:
+    kind: str  # string | number | op | punct | word
+    text: str
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            remainder = sql[pos:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize near: {remainder[:30]!r}")
+        pos = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.text.lower() == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            found = self._peek().text if self._peek() else "end of query"
+            raise SqlError(f"expected {word.upper()}, found {found!r}")
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == punct:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            found = self._peek().text if self._peek() else "end of query"
+            raise SqlError(f"expected {punct!r}, found {found!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word":
+            raise SqlError(f"expected identifier, found {token.text!r}")
+        if token.text.lower() in _KEYWORDS:
+            raise SqlError(f"unexpected keyword {token.text!r}")
+        return token.text
+
+    def _column_ref(self) -> str:
+        """ident[.ident] — qualified names keep only the column part."""
+        name = self._identifier()
+        if self._accept_punct("."):
+            name = self._identifier()
+        return name
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "word":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+        raise SqlError(f"expected literal, found {token.text!r}")
+
+    # ------------------------------------------------------------------
+    def parse(self) -> LogicalPlan:
+        self._expect_word("select")
+        distinct = self._accept_word("distinct")
+        select_items = self._select_list()
+        self._expect_word("from")
+        plan = self._table_expression()
+        predicate = self._where_clause()
+        if predicate is not None:
+            plan = Filter(plan, predicate)
+        group_by = self._group_by_clause()
+        plan = self._apply_select(plan, select_items, group_by, distinct)
+        having = self._having_clause()
+        if having is not None:
+            if group_by == () and not any(s for _, s in select_items if s):
+                raise SqlError("HAVING requires GROUP BY or aggregates")
+            plan = Filter(plan, having)
+        plan = self._order_by_clause(plan)
+        plan = self._limit_clause(plan)
+        if self._peek() is not None:
+            raise SqlError(f"trailing tokens starting at {self._peek().text!r}")
+        return plan
+
+    # ------------------------------------------------------------------
+    def _select_list(self) -> List[Tuple[str, Optional[AggSpec]]]:
+        """Returns [(output_name, agg_or_None)]; '*' yields [('*', None)]."""
+        items: List[Tuple[str, Optional[AggSpec]]] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SqlError("unexpected end in select list")
+            if token.kind == "punct" and token.text == "*":
+                self._next()
+                items.append(("*", None))
+            elif token.kind == "word" and token.text.lower() in _AGG_FUNCS:
+                func = self._next().text.lower()
+                self._expect_punct("(")
+                if self._accept_punct("*"):
+                    column: Optional[str] = None
+                    if func != "count":
+                        raise SqlError(f"{func}(*) is not valid")
+                else:
+                    column = self._column_ref()
+                self._expect_punct(")")
+                name = f"{func}_{column or 'all'}"
+                if self._accept_word("as"):
+                    name = self._identifier()
+                items.append((name, AggSpec(name, func, column)))
+            else:
+                column = self._column_ref()
+                name = column
+                if self._accept_word("as"):
+                    name = self._identifier()
+                items.append((name if name != column else column, None))
+            if not self._accept_punct(","):
+                break
+        return items
+
+    def _table_expression(self) -> LogicalPlan:
+        plan: LogicalPlan = self._table_ref()
+        while self._accept_word("join"):
+            right = self._table_ref()
+            self._expect_word("on")
+            left_col = self._column_ref()
+            op = self._next()
+            if op.kind != "op" or op.text != "=":
+                raise SqlError("JOIN ... ON only supports equality")
+            right_col = self._column_ref()
+            plan = Join(plan, right, left_col, right_col)
+        return plan
+
+    def _table_ref(self) -> ScanView:
+        view = self._identifier()
+        alias: Optional[str] = None
+        token = self._peek()
+        if self._accept_word("as"):
+            alias = self._identifier()
+        elif (
+            token is not None
+            and token.kind == "word"
+            and token.text.lower() not in _KEYWORDS
+        ):
+            alias = self._identifier()
+        return ScanView(view, alias)
+
+    def _where_clause(self) -> Optional[Conjunction]:
+        if not self._accept_word("where"):
+            return None
+        terms: List[Comparison] = [self._condition()]
+        while self._accept_word("and"):
+            terms.append(self._condition())
+        return Conjunction(tuple(terms))
+
+    def _condition(self) -> Comparison:
+        column = self._column_ref()
+        token = self._next()
+        if token.kind == "word" and token.text.lower() == "contains":
+            value = self._literal()
+            return Comparison(column, CompareOp.CONTAINS, value)
+        if token.kind != "op":
+            raise SqlError(f"expected comparison operator, found {token.text!r}")
+        op_text = "!=" if token.text == "<>" else token.text
+        try:
+            op = CompareOp(op_text)
+        except ValueError:
+            raise SqlError(f"unsupported operator {token.text!r}") from None
+        return Comparison(column, op, self._literal())
+
+    def _group_by_clause(self) -> Tuple[str, ...]:
+        if not self._accept_word("group"):
+            return ()
+        self._expect_word("by")
+        columns = [self._column_ref()]
+        while self._accept_punct(","):
+            columns.append(self._column_ref())
+        return tuple(columns)
+
+    def _having_clause(self) -> Optional[Conjunction]:
+        """HAVING is a filter over the aggregate's output columns (use
+        the aggregate aliases, e.g. HAVING total > 100)."""
+        if not self._accept_word("having"):
+            return None
+        terms: List[Comparison] = [self._condition()]
+        while self._accept_word("and"):
+            terms.append(self._condition())
+        return Conjunction(tuple(terms))
+
+    def _apply_select(
+        self,
+        plan: LogicalPlan,
+        items: List[Tuple[str, Optional[AggSpec]]],
+        group_by: Tuple[str, ...],
+        distinct: bool,
+    ) -> LogicalPlan:
+        aggs = [spec for _, spec in items if spec is not None]
+        plain = [name for name, spec in items if spec is None and name != "*"]
+        has_star = any(name == "*" for name, spec in items if spec is None)
+
+        if aggs:
+            unexpected = [c for c in plain if c not in group_by]
+            if unexpected:
+                raise SqlError(
+                    f"non-aggregated columns {unexpected} must appear in GROUP BY"
+                )
+            return Aggregate(plan, group_by, tuple(aggs))
+        if group_by:
+            raise SqlError("GROUP BY requires at least one aggregate in SELECT")
+        if distinct:
+            # DISTINCT over plain columns is a group-by with no aggregates;
+            # model it as count-discarded aggregation.
+            if has_star or not plain:
+                raise SqlError("DISTINCT requires explicit columns")
+            return Aggregate(plan, tuple(plain), (AggSpec("__distinct", "count"),))
+        if has_star:
+            return plan
+        return Project(plan, tuple(plain))
+
+    def _order_by_clause(self, plan: LogicalPlan) -> LogicalPlan:
+        if not self._accept_word("order"):
+            return plan
+        self._expect_word("by")
+        keys = [self._column_ref()]
+        while self._accept_punct(","):
+            keys.append(self._column_ref())
+        descending = False
+        if self._accept_word("desc"):
+            descending = True
+        else:
+            self._accept_word("asc")
+        return Sort(plan, tuple(keys), descending)
+
+    def _limit_clause(self, plan: LogicalPlan) -> LogicalPlan:
+        if not self._accept_word("limit"):
+            return plan
+        token = self._next()
+        if token.kind != "number" or "." in token.text:
+            raise SqlError(f"LIMIT expects an integer, found {token.text!r}")
+        return Limit(plan, int(token.text))
+
+
+def parse_sql(sql: str) -> LogicalPlan:
+    """Parse *sql* into a logical plan (raises :class:`SqlError`)."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise SqlError("empty query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,208 @@
+"""Statistics for the cost-based optimizer baseline.
+
+The paper argues *against* maintaining these: a simple planner "obviates
+the need for maintaining complex statistics".  The reproduction needs
+them anyway — the PLAN experiment compares the simple planner against a
+conventional cost-based optimizer whose statistics may be stale, which is
+exactly how the predictability-vs-optimality trade-off shows up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.model.values import classify_value, coerce_numeric
+from repro.query.plans import (
+    Aggregate,
+    CompareOp,
+    Comparison,
+    Conjunction,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    ScanView,
+    Sort,
+)
+
+#: Fallback selectivity for predicates we cannot estimate.
+DEFAULT_SELECTIVITY = 0.1
+#: Fallback join selectivity when neither side has column stats.
+DEFAULT_JOIN_SELECTIVITY = 0.05
+
+
+@dataclass
+class ColumnStatistics:
+    """Distinct count and numeric range of one column."""
+
+    n_distinct: int = 0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def eq_selectivity(self) -> float:
+        if self.n_distinct <= 0:
+            return DEFAULT_SELECTIVITY
+        return 1.0 / self.n_distinct
+
+    def range_selectivity(self, op: CompareOp, value: Any) -> float:
+        if (
+            self.minimum is None
+            or self.maximum is None
+            or self.maximum <= self.minimum
+        ):
+            return DEFAULT_SELECTIVITY
+        try:
+            point = coerce_numeric(value)
+        except (TypeError, ValueError):
+            return DEFAULT_SELECTIVITY
+        span = self.maximum - self.minimum
+        fraction = (point - self.minimum) / span
+        fraction = min(1.0, max(0.0, fraction))
+        if op in (CompareOp.LT, CompareOp.LE):
+            return max(fraction, 1e-4)
+        if op in (CompareOp.GT, CompareOp.GE):
+            return max(1.0 - fraction, 1e-4)
+        return DEFAULT_SELECTIVITY
+
+
+@dataclass
+class ViewStatistics:
+    """Row count and per-column stats of one view."""
+
+    row_count: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+
+class Statistics:
+    """Collected statistics over a set of views.
+
+    :meth:`collect` scans the views through the engine's row source —
+    the maintenance cost the simple planner avoids (and which the PLAN
+    experiment charges to the optimizer's side of the ledger).  Once
+    collected, statistics do NOT track later data changes; staleness is
+    the experiment's independent variable.
+    """
+
+    def __init__(self) -> None:
+        self._views: Dict[str, ViewStatistics] = {}
+        self.collect_row_count = 0
+
+    def collect(self, view_rows: Dict[str, Iterable[dict]]) -> None:
+        """(Re-)collect from {view name: row iterable}."""
+        for view, rows in view_rows.items():
+            distinct: Dict[str, set] = {}
+            minmax: Dict[str, Tuple[float, float]] = {}
+            count = 0
+            for row in rows:
+                count += 1
+                self.collect_row_count += 1
+                for column, value in row.items():
+                    if value is None:
+                        continue
+                    distinct.setdefault(column, set()).add(
+                        value if not isinstance(value, dict) else str(value)
+                    )
+                    if classify_value(value).is_numeric:
+                        try:
+                            number = coerce_numeric(value)
+                        except (TypeError, ValueError):
+                            continue
+                        low, high = minmax.get(column, (number, number))
+                        minmax[column] = (min(low, number), max(high, number))
+            stats = ViewStatistics(row_count=count)
+            for column, values in distinct.items():
+                col_stats = ColumnStatistics(n_distinct=len(values))
+                if column in minmax:
+                    col_stats.minimum, col_stats.maximum = minmax[column]
+                stats.columns[column] = col_stats
+            self._views[view] = stats
+
+    # ------------------------------------------------------------------
+    def view(self, name: str) -> Optional[ViewStatistics]:
+        return self._views.get(name)
+
+    def has_view(self, name: str) -> bool:
+        return name in self._views
+
+    def column(self, view: str, column: str) -> Optional[ColumnStatistics]:
+        stats = self._views.get(view)
+        return stats.columns.get(column) if stats else None
+
+    # ------------------------------------------------------------------
+    # cardinality estimation
+    # ------------------------------------------------------------------
+    def selectivity(self, view: Optional[str], predicate: Conjunction) -> float:
+        result = 1.0
+        for term in predicate.terms:
+            result *= self._term_selectivity(view, term)
+        return result
+
+    def _term_selectivity(self, view: Optional[str], term: Comparison) -> float:
+        col_stats = self.column(view, term.column) if view else None
+        if col_stats is None:
+            # search all views for the column (post-join predicates)
+            for stats in self._views.values():
+                if term.column in stats.columns:
+                    col_stats = stats.columns[term.column]
+                    break
+        if col_stats is None:
+            return DEFAULT_SELECTIVITY
+        if term.op is CompareOp.EQ:
+            return col_stats.eq_selectivity()
+        if term.op is CompareOp.NE:
+            return max(0.0, 1.0 - col_stats.eq_selectivity())
+        if term.op is CompareOp.CONTAINS:
+            return DEFAULT_SELECTIVITY
+        return col_stats.range_selectivity(term.op, term.value)
+
+    def estimate(self, plan: LogicalPlan) -> float:
+        """Estimated output cardinality of *plan*."""
+        if isinstance(plan, ScanView):
+            stats = self._views.get(plan.view)
+            return float(stats.row_count) if stats else 1000.0
+        if isinstance(plan, Filter):
+            view = self._single_view(plan.child)
+            return self.estimate(plan.child) * self.selectivity(view, plan.predicate)
+        if isinstance(plan, Join):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            right_view = self._single_view(plan.right)
+            col = self.column(right_view, plan.right_column) if right_view else None
+            if col is not None and col.n_distinct > 0:
+                return left * right / col.n_distinct
+            return left * right * DEFAULT_JOIN_SELECTIVITY
+        if isinstance(plan, Aggregate):
+            child = self.estimate(plan.child)
+            if not plan.group_by:
+                return 1.0
+            distinct = 1.0
+            view_names = self._all_views(plan.child)
+            for column in plan.group_by:
+                best = None
+                for view in view_names:
+                    col = self.column(view, column)
+                    if col is not None:
+                        best = col.n_distinct if best is None else max(best, col.n_distinct)
+                distinct *= best if best else 10.0
+            return min(child, distinct)
+        if isinstance(plan, Limit):
+            return min(self.estimate(plan.child), float(plan.count))
+        if isinstance(plan, (Project, Sort)):
+            return self.estimate(plan.child)
+        raise TypeError(f"cannot estimate {plan!r}")
+
+    @staticmethod
+    def _single_view(plan: LogicalPlan) -> Optional[str]:
+        if isinstance(plan, ScanView):
+            return plan.view
+        if isinstance(plan, (Filter, Project, Sort, Limit)):
+            return Statistics._single_view(plan.child)
+        return None
+
+    @staticmethod
+    def _all_views(plan: LogicalPlan) -> List[str]:
+        from repro.query.plans import base_views
+
+        return base_views(plan)

@@ -1,0 +1,38 @@
+"""Security extension (paper Section 4): access control and auditing.
+
+The paper declares security "important to Impliance but not the initial
+focus"; this package implements the two capabilities it names —
+policy-driven access control ("information is provided to the right
+people, and only to the right people") and access auditing ("trace ...
+queries that have accessed it") — as a layer over the repository
+protocol, so every query interface inherits enforcement unchanged.
+"""
+
+from repro.security.policy import (
+    AccessDenied,
+    AccessPolicy,
+    Action,
+    Effect,
+    Principal,
+    Rule,
+    Scope,
+    SYSTEM_ROLE,
+    open_policy,
+)
+from repro.security.audit import AuditLog, AuditRecord
+from repro.security.enforcement import SecureSession
+
+__all__ = [
+    "AccessDenied",
+    "AccessPolicy",
+    "Action",
+    "Effect",
+    "Principal",
+    "Rule",
+    "Scope",
+    "SYSTEM_ROLE",
+    "open_policy",
+    "AuditLog",
+    "AuditRecord",
+    "SecureSession",
+]

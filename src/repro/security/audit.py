@@ -1,0 +1,84 @@
+"""Auditing: who touched what, and what touched this (paper Section 4).
+
+"Another aspect of security is monitoring and auditing. Impliance should
+be able to trace the lineage of a piece of data as well as queries that
+have accessed it" (citing Hippocratic-database auditing).
+
+The audit log records every enforced access (granted or denied) with the
+principal, action, document, and logical timestamp; the two query shapes
+the paper asks for — accesses *by* a principal, and accesses *to* a
+document — are both indexed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.security.policy import Action
+from repro.util import LogicalClock
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforced access decision."""
+
+    ts: int
+    principal: str
+    action: Action
+    doc_id: str
+    granted: bool
+    context: str = ""  # e.g. the query text or interface used
+
+
+class AuditLog:
+    """Append-only access log with per-principal and per-document indexes."""
+
+    def __init__(self, clock: Optional[LogicalClock] = None) -> None:
+        self._clock = clock if clock is not None else LogicalClock()
+        self._records: List[AuditRecord] = []
+        self._by_principal: Dict[str, List[int]] = defaultdict(list)
+        self._by_doc: Dict[str, List[int]] = defaultdict(list)
+
+    def record(
+        self,
+        principal: str,
+        action: Action,
+        doc_id: str,
+        granted: bool,
+        context: str = "",
+    ) -> AuditRecord:
+        entry = AuditRecord(
+            ts=self._clock.tick(),
+            principal=principal,
+            action=action,
+            doc_id=doc_id,
+            granted=granted,
+            context=context,
+        )
+        index = len(self._records)
+        self._records.append(entry)
+        self._by_principal[principal].append(index)
+        self._by_doc[doc_id].append(index)
+        return entry
+
+    # ------------------------------------------------------------------
+    def accesses_by(self, principal: str) -> List[AuditRecord]:
+        """Everything one principal did (the insider-review query)."""
+        return [self._records[i] for i in self._by_principal.get(principal, ())]
+
+    def accesses_to(self, doc_id: str) -> List[AuditRecord]:
+        """Every query that touched one document (the paper's
+        'queries that have accessed it')."""
+        return [self._records[i] for i in self._by_doc.get(doc_id, ())]
+
+    def denials(self) -> List[AuditRecord]:
+        """All denied attempts — the proactive-auditing feed."""
+        return [r for r in self._records if not r.granted]
+
+    def between(self, start_ts: int, end_ts: int) -> List[AuditRecord]:
+        return [r for r in self._records if start_ts <= r.ts <= end_ts]
+
+    def __len__(self) -> int:
+        return len(self._records)

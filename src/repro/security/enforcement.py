@@ -1,0 +1,119 @@
+"""Enforcement wrapper: a secured session over an appliance.
+
+A :class:`SecureSession` wraps the appliance's repository protocol for one
+principal: every lookup checks READ, every search/SQL result set is
+filtered by QUERY, every update checks UPDATE, and everything lands in the
+audit log. Query interfaces built on the repository protocol (keyword,
+faceted, graph) work unchanged on top of the session — security composes
+instead of being woven through each interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.model.document import Document
+from repro.query.engine import QueryResult
+from repro.query.faceted import FacetedSession
+from repro.query.graph import GraphQuery
+from repro.query.keyword import KeywordHit, KeywordSearch
+from repro.security.audit import AuditLog
+from repro.security.policy import AccessDenied, AccessPolicy, Action, Principal
+
+
+class SecureSession:
+    """One principal's view of the appliance.
+
+    Implements the engine's Repository protocol (documents / lookup /
+    views / indexes) with QUERY filtering applied at the document
+    boundary, so anything built on that protocol is transparently
+    policy-scoped.
+    """
+
+    def __init__(
+        self,
+        app,
+        principal: Principal,
+        policy: AccessPolicy,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self._app = app
+        self.principal = principal
+        self.policy = policy
+        self.audit = audit if audit is not None else AuditLog()
+
+    # ------------------------------------------------------------------
+    # Repository protocol (policy-scoped)
+    # ------------------------------------------------------------------
+    @property
+    def views(self):
+        return self._app.views
+
+    @property
+    def indexes(self):
+        return self._app.indexes
+
+    def documents(self) -> Iterator[Document]:
+        for document in self._app.documents():
+            if self.policy.allows(self.principal, Action.QUERY, document):
+                yield document
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        document = self._app.lookup(doc_id)
+        if document is None:
+            return None
+        granted = self.policy.allows(self.principal, Action.READ, document)
+        self.audit.record(self.principal.name, Action.READ, doc_id, granted, "lookup")
+        return document if granted else None
+
+    # ------------------------------------------------------------------
+    # query interfaces
+    # ------------------------------------------------------------------
+    def search(self, query: str, top_k: int = 10) -> List[KeywordHit]:
+        hits = KeywordSearch(self).search(query, top_k=top_k)
+        visible = []
+        for hit in hits:
+            if hit.document is None:
+                continue
+            self.audit.record(
+                self.principal.name, Action.QUERY, hit.doc_id, True, f"search:{query}"
+            )
+            visible.append(hit)
+        return visible
+
+    def sql(self, query: str) -> QueryResult:
+        """SQL scoped to visible documents.
+
+        Enforcement happens at the repository boundary: the engine built
+        over this session only ever sees permitted documents, so joins
+        and aggregates cannot leak through side channels.
+        """
+        from repro.query.engine import QueryEngine
+
+        result = QueryEngine(self).sql(query)
+        self.audit.record(self.principal.name, Action.QUERY, "-", True, f"sql:{query}")
+        return result
+
+    def faceted(self, query: Optional[str] = None) -> FacetedSession:
+        # The facet index is global; scope the whole session to the
+        # principal's visible set so counts cannot leak denied documents.
+        visible = {d.doc_id for d in self.documents()}
+        return FacetedSession(self, query, within=visible)
+
+    def graph(self) -> GraphQuery:
+        return GraphQuery(self)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def update_document(self, doc_id: str, content: Any) -> Document:
+        document = self._app.lookup(doc_id)
+        if document is None:
+            raise LookupError(f"no document {doc_id!r}")
+        granted = self.policy.allows(self.principal, Action.UPDATE, document)
+        self.audit.record(self.principal.name, Action.UPDATE, doc_id, granted, "update")
+        if not granted:
+            raise AccessDenied(
+                f"{self.principal.name} may not update {doc_id}"
+            )
+        return self._app.update_document(doc_id, content)

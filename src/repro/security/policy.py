@@ -1,0 +1,186 @@
+"""Policy-driven access control (paper Section 4).
+
+"Since Impliance is designed for enterprise information management, it
+needs to support policy-driven access controls in such a way that
+information is provided to the right people, and only to the right
+people."
+
+The model is deliberately simple and declarative: *principals* carry
+roles; *policies* grant an action (read/query/update) on a document
+*scope* (by table, source format, annotation label, kind, or an explicit
+predicate) to a set of roles. Default is deny. Policies compose by union
+of grants; an explicit DENY rule wins over any grant, which is what lets
+a blanket "analysts may read everything" coexist with "…except legal
+hold material".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.model.document import Document, DocumentKind
+
+
+class Action(enum.Enum):
+    READ = "read"      # fetch document content
+    QUERY = "query"    # see the document in search/SQL results
+    UPDATE = "update"  # append a new version
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated user with roles."""
+
+    name: str
+    roles: FrozenSet[str]
+
+    def __init__(self, name: str, roles: Iterable[str]) -> None:
+        if not name:
+            raise ValueError("principal name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "roles", frozenset(roles))
+
+    def has_any_role(self, roles: FrozenSet[str]) -> bool:
+        return bool(self.roles & roles)
+
+
+#: Role granted to system components (discovery, storage manager).
+SYSTEM_ROLE = "system"
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Which documents a rule covers. Unset fields match everything."""
+
+    table: Optional[str] = None
+    source_format: Optional[str] = None
+    annotation_label: Optional[str] = None
+    kind: Optional[DocumentKind] = None
+    predicate: Optional[Callable[[Document], bool]] = None
+
+    def matches(self, document: Document) -> bool:
+        if self.table is not None and document.metadata.get("table") != self.table:
+            return False
+        if self.source_format is not None and document.source_format != self.source_format:
+            return False
+        if (
+            self.annotation_label is not None
+            and document.metadata.get("label") != self.annotation_label
+        ):
+            return False
+        if self.kind is not None and document.kind is not self.kind:
+            return False
+        if self.predicate is not None and not self.predicate(document):
+            return False
+        return True
+
+
+class Effect(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Grant or deny *actions* on *scope* to *roles*."""
+
+    name: str
+    roles: FrozenSet[str]
+    actions: FrozenSet[Action]
+    scope: Scope = Scope()
+    effect: Effect = Effect.ALLOW
+
+    def __init__(
+        self,
+        name: str,
+        roles: Iterable[str],
+        actions: Iterable[Action],
+        scope: Scope = Scope(),
+        effect: Effect = Effect.ALLOW,
+    ) -> None:
+        if not name:
+            raise ValueError("rule name must be non-empty")
+        roles = frozenset(roles)
+        actions = frozenset(actions)
+        if not roles:
+            raise ValueError(f"rule {name!r} grants to no roles")
+        if not actions:
+            raise ValueError(f"rule {name!r} covers no actions")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "roles", roles)
+        object.__setattr__(self, "actions", actions)
+        object.__setattr__(self, "scope", scope)
+        object.__setattr__(self, "effect", effect)
+
+
+class AccessDenied(Exception):
+    """Raised when an enforced operation is not permitted."""
+
+
+class AccessPolicy:
+    """An ordered rule set with deny-overrides semantics, default deny."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: List[Rule] = list(rules)
+        names = [r.name for r in self._rules]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate rule names")
+
+    def add(self, rule: Rule) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise ValueError(f"rule {rule.name!r} already exists")
+        self._rules.append(rule)
+
+    def remove(self, name: str) -> None:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.name != name]
+        if len(self._rules) == before:
+            raise KeyError(f"no rule named {name!r}")
+
+    def rules(self) -> List[Rule]:
+        return list(self._rules)
+
+    # ------------------------------------------------------------------
+    def allows(self, principal: Principal, action: Action, document: Document) -> bool:
+        """Deny-overrides evaluation; the system role bypasses policy."""
+        if SYSTEM_ROLE in principal.roles:
+            return True
+        allowed = False
+        for rule in self._rules:
+            if action not in rule.actions:
+                continue
+            if not principal.has_any_role(rule.roles):
+                continue
+            if not rule.scope.matches(document):
+                continue
+            if rule.effect is Effect.DENY:
+                return False
+            allowed = True
+        return allowed
+
+    def check(self, principal: Principal, action: Action, document: Document) -> None:
+        if not self.allows(principal, action, document):
+            raise AccessDenied(
+                f"{principal.name} may not {action.value} {document.doc_id}"
+            )
+
+    def filter(
+        self, principal: Principal, action: Action, documents: Iterable[Document]
+    ) -> List[Document]:
+        """The result-set filter query interfaces apply."""
+        return [d for d in documents if self.allows(principal, action, d)]
+
+
+def open_policy() -> AccessPolicy:
+    """The out-of-the-box policy: authenticated users read and query
+    everything, updates reserved to writers. Enterprises tighten from
+    here with DENY rules rather than starting from a wall of grants."""
+    return AccessPolicy(
+        [
+            Rule("everyone-reads", ["user", "analyst", "writer"],
+                 [Action.READ, Action.QUERY]),
+            Rule("writers-update", ["writer"], [Action.UPDATE]),
+        ]
+    )

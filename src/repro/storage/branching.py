@@ -1,0 +1,203 @@
+"""Branching and merging of versions (paper Section 4).
+
+"We are still investigating whether we should only support a simple
+sequential versioning primitive and let various other versioning schemes
+be built on top of it, or directly support more complex ones, allowing
+branching and merging of versions, as in typical source-code management
+systems."
+
+This module takes the first option — the one the storage engine actually
+implements — and builds the second on top of it: a branch is a named,
+independent document (``doc_id @ branch``) whose chain starts from a
+snapshot of some version of the trunk; a merge three-way-combines content
+trees and appends the result to the target branch. Nothing below the
+sequential :class:`~repro.storage.versions.VersionChain` changes, which
+is precisely the paper's "built on top of it" hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.model.document import Document
+from repro.storage.store import DocumentStore
+
+TRUNK = "main"
+
+
+class MergeConflict(Exception):
+    """Both branches changed the same path since their common base."""
+
+    def __init__(self, paths: List[Tuple[str, ...]]) -> None:
+        self.paths = paths
+        rendered = ", ".join("/".join(p) for p in paths)
+        super().__init__(f"conflicting changes at: {rendered}")
+
+
+@dataclass(frozen=True)
+class BranchRef:
+    """A branch head pointer: which physical doc_id and base it tracks."""
+
+    logical_id: str
+    branch: str
+    physical_id: str
+    base_branch: Optional[str]
+    base_version: Optional[int]
+
+
+def _branch_doc_id(logical_id: str, branch: str) -> str:
+    return logical_id if branch == TRUNK else f"{logical_id}@{branch}"
+
+
+def _flatten(tree: Any, prefix: Tuple[str, ...] = ()) -> Dict[Tuple[str, ...], Any]:
+    """Dict-only flattening used for three-way merge (lists are atomic)."""
+    if isinstance(tree, dict):
+        flat: Dict[Tuple[str, ...], Any] = {}
+        for key, child in tree.items():
+            flat.update(_flatten(child, prefix + (str(key),)))
+        if not tree:
+            flat[prefix] = {}
+        return flat
+    return {prefix: tree}
+
+
+def _unflatten(flat: Dict[Tuple[str, ...], Any]) -> Any:
+    if list(flat.keys()) == [()]:
+        return flat[()]
+    root: Dict[str, Any] = {}
+    for path, value in sorted(flat.items()):
+        if not path:
+            continue
+        node = root
+        for key in path[:-1]:
+            node = node.setdefault(key, {})
+        node[path[-1]] = value
+    return root
+
+
+def three_way_merge(base: Any, ours: Any, theirs: Any) -> Any:
+    """Per-path three-way merge of content trees.
+
+    A path changed on one side takes that side's value; changed on both
+    sides to different values raises :class:`MergeConflict`; deletions
+    are modeled as paths missing from a side.
+    """
+    base_flat, ours_flat, theirs_flat = _flatten(base), _flatten(ours), _flatten(theirs)
+    all_paths = set(base_flat) | set(ours_flat) | set(theirs_flat)
+    merged: Dict[Tuple[str, ...], Any] = {}
+    conflicts: List[Tuple[str, ...]] = []
+    _MISSING = object()
+    for path in sorted(all_paths):
+        base_v = base_flat.get(path, _MISSING)
+        ours_v = ours_flat.get(path, _MISSING)
+        theirs_v = theirs_flat.get(path, _MISSING)
+        ours_changed = ours_v is not base_v and ours_v != base_v
+        theirs_changed = theirs_v is not base_v and theirs_v != base_v
+        if ours_changed and theirs_changed and ours_v != theirs_v:
+            conflicts.append(path)
+            continue
+        winner = ours_v if ours_changed else theirs_v if theirs_changed else base_v
+        if winner is not _MISSING:
+            merged[path] = winner
+    if conflicts:
+        raise MergeConflict(conflicts)
+    return _unflatten(merged)
+
+
+class BranchManager:
+    """Named branches over a :class:`DocumentStore`'s sequential chains."""
+
+    def __init__(self, store: DocumentStore) -> None:
+        self.store = store
+        self._refs: Dict[Tuple[str, str], BranchRef] = {}
+
+    # ------------------------------------------------------------------
+    def _require_doc(self, logical_id: str, branch: str) -> Document:
+        physical = _branch_doc_id(logical_id, branch)
+        if not self.store.contains(physical):
+            raise LookupError(f"{logical_id!r} has no branch {branch!r}")
+        return self.store.get(physical)
+
+    def branches_of(self, logical_id: str) -> List[str]:
+        found = [TRUNK] if self.store.contains(logical_id) else []
+        found += sorted(
+            ref.branch for (lid, _), ref in self._refs.items() if lid == logical_id
+        )
+        return found
+
+    def head(self, logical_id: str, branch: str = TRUNK) -> Document:
+        return self._require_doc(logical_id, branch)
+
+    # ------------------------------------------------------------------
+    def create_branch(
+        self,
+        logical_id: str,
+        branch: str,
+        from_branch: str = TRUNK,
+        at_version: Optional[int] = None,
+    ) -> Document:
+        """Fork *branch* from a version of *from_branch*."""
+        if branch == TRUNK:
+            raise ValueError("the trunk always exists; pick another name")
+        if (logical_id, branch) in self._refs:
+            raise ValueError(f"branch {branch!r} of {logical_id!r} already exists")
+        source = self._require_doc(logical_id, from_branch)
+        base_version = at_version if at_version is not None else source.version
+        base = self.store.get_version(
+            _branch_doc_id(logical_id, from_branch), base_version
+        )
+        forked = Document(
+            doc_id=_branch_doc_id(logical_id, branch),
+            content=base.content,
+            kind=base.kind,
+            source_format=base.source_format,
+            metadata={**base.metadata, "branch": branch, "branched_from": from_branch,
+                      "branch_base_version": base_version},
+            refs=(base.doc_id,),
+        )
+        stored = self.store.put(forked)
+        self._refs[(logical_id, branch)] = BranchRef(
+            logical_id, branch, stored.doc_id, from_branch, base_version
+        )
+        return stored
+
+    def commit(self, logical_id: str, branch: str, content: Any) -> Document:
+        """Append a new version to a branch (sequential primitive below)."""
+        physical = _branch_doc_id(logical_id, branch)
+        return self.store.update(physical, content)
+
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        logical_id: str,
+        source_branch: str,
+        target_branch: str = TRUNK,
+    ) -> Document:
+        """Three-way merge source into target; commits the result to the
+        target branch. Raises :class:`MergeConflict` when both sides
+        changed the same path."""
+        ref = self._refs.get((logical_id, source_branch))
+        if ref is None:
+            raise LookupError(f"{logical_id!r} has no branch {source_branch!r}")
+        if ref.base_branch != target_branch:
+            raise ValueError(
+                f"branch {source_branch!r} forked from {ref.base_branch!r}, "
+                f"not {target_branch!r}; merge there first"
+            )
+        base = self.store.get_version(
+            _branch_doc_id(logical_id, target_branch), ref.base_version
+        )
+        ours = self._require_doc(logical_id, target_branch)
+        theirs = self._require_doc(logical_id, source_branch)
+        merged_content = three_way_merge(base.content, ours.content, theirs.content)
+        return self.commit(logical_id, target_branch, merged_content)
+
+    def diverged(self, logical_id: str, branch: str) -> bool:
+        """Has either side moved since the fork point?"""
+        ref = self._refs.get((logical_id, branch))
+        if ref is None:
+            raise LookupError(f"{logical_id!r} has no branch {branch!r}")
+        trunk_head = self._require_doc(logical_id, ref.base_branch or TRUNK)
+        branch_head = self._require_doc(logical_id, branch)
+        return trunk_head.version != ref.base_version or branch_head.version > 1

@@ -1,0 +1,169 @@
+"""Compression and encryption stages for storage pushdown (Section 3.1).
+
+"Another good example for pushing down logic is compression and
+encryption.  ...the push-down logic is implemented in the software
+component of a storage unit, and thus can be deployed on any type of
+commodity hardware."
+
+Both stages operate on serialized document bytes.  Compression is real
+(zlib plus a document-aware key dictionary); the "encryption" stage is an
+XOR keystream placeholder — the experiment it serves measures *where the
+stage runs and what it costs*, not cryptographic strength, and DESIGN.md
+documents that substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.model.document import Document
+
+
+@dataclass
+class StageStats:
+    """Byte accounting for one pipeline stage."""
+
+    calls: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def record(self, bytes_in: int, bytes_out: int) -> None:
+        self.calls += 1
+        self.bytes_in += bytes_in
+        self.bytes_out += bytes_out
+
+    @property
+    def ratio(self) -> float:
+        """Output/input byte ratio (< 1 means the stage shrank the data)."""
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in
+
+
+class Compressor:
+    """zlib-based page/document compressor with byte accounting."""
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+        self.stats = StageStats()
+
+    def compress(self, payload: bytes) -> bytes:
+        result = zlib.compress(payload, self.level)
+        self.stats.record(len(payload), len(result))
+        return result
+
+    def decompress(self, payload: bytes) -> bytes:
+        return zlib.decompress(payload)
+
+
+class DictionaryCompressor:
+    """Document-aware compression: shared key dictionary + zlib body.
+
+    Documents in one schema cluster repeat the same path keys; encoding
+    keys as small integers before byte compression is the kind of
+    data-friendly trick an appliance can apply because it owns the whole
+    stack.  The dictionary is learned incrementally and shared across
+    documents, so later documents compress better than early ones.
+    """
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+        self.stats = StageStats()
+        self._key_to_code: Dict[str, int] = {}
+        self._code_to_key: List[str] = []
+
+    def _encode_keys(self, node: Any) -> Any:
+        if isinstance(node, dict):
+            encoded = {}
+            for key, child in node.items():
+                code = self._key_to_code.get(key)
+                if code is None:
+                    code = len(self._code_to_key)
+                    self._key_to_code[key] = code
+                    self._code_to_key.append(key)
+                encoded[str(code)] = self._encode_keys(child)
+            return encoded
+        if isinstance(node, list):
+            return [self._encode_keys(item) for item in node]
+        return node
+
+    def _decode_keys(self, node: Any) -> Any:
+        if isinstance(node, dict):
+            return {
+                self._code_to_key[int(code)]: self._decode_keys(child)
+                for code, child in node.items()
+            }
+        if isinstance(node, list):
+            return [self._decode_keys(item) for item in node]
+        return node
+
+    def compress_document(self, document: Document) -> bytes:
+        raw = document.to_json()
+        encoded_content = self._encode_keys(document.content)
+        envelope = json.dumps(
+            {
+                "doc_id": document.doc_id,
+                "version": document.version,
+                "kind": document.kind.value,
+                "source_format": document.source_format,
+                "metadata": document.metadata,
+                "refs": list(document.refs),
+                "ingest_ts": document.ingest_ts,
+                "content": encoded_content,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        compressed = zlib.compress(envelope.encode("utf-8"), self.level)
+        self.stats.record(len(raw), len(compressed))
+        return compressed
+
+    def decompress_document(self, payload: bytes) -> Document:
+        envelope = json.loads(zlib.decompress(payload).decode("utf-8"))
+        envelope["content"] = self._decode_keys(envelope["content"])
+        return Document.from_json(json.dumps(envelope))
+
+    @property
+    def dictionary_size(self) -> int:
+        return len(self._code_to_key)
+
+
+class XorStreamCipher:
+    """Keystream XOR stage standing in for real encryption.
+
+    NOT cryptographically secure — it exists so the pushdown experiment
+    can place an encrypt/decrypt stage on either side of the network and
+    measure the placement's cost, per the DESIGN.md substitution table.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = key
+        self.stats = StageStats()
+
+    def _keystream(self, length: int, nonce: int) -> bytes:
+        stream = bytearray()
+        counter = 0
+        while len(stream) < length:
+            block = hashlib.sha256(
+                self._key + nonce.to_bytes(8, "big") + counter.to_bytes(8, "big")
+            ).digest()
+            stream.extend(block)
+            counter += 1
+        return bytes(stream[:length])
+
+    def encrypt(self, payload: bytes, nonce: int = 0) -> bytes:
+        stream = self._keystream(len(payload), nonce)
+        result = bytes(a ^ b for a, b in zip(payload, stream))
+        self.stats.record(len(payload), len(result))
+        return result
+
+    def decrypt(self, payload: bytes, nonce: int = 0) -> bytes:
+        return self.encrypt(payload, nonce)

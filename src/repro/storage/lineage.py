@@ -1,0 +1,154 @@
+"""Lineage tracing (paper Section 4, citing practical lineage tracing).
+
+"Impliance should be able to trace the lineage of a piece of data..."
+
+Lineage in Impliance is already latent in the model: every annotation and
+derived document names its sources in ``refs``, and every version chain
+records when each state existed. This module materializes that into a
+queryable provenance index: where did this document come from
+(:meth:`LineageIndex.ancestry`), what was derived from it
+(:meth:`LineageIndex.derivatives`), and the full derivation trace with
+version history (:meth:`LineageIndex.trace`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.document import Document, DocumentKind
+
+
+@dataclass
+class LineageNode:
+    """One document's entry in a trace."""
+
+    doc_id: str
+    kind: str
+    version: int
+    sources: Tuple[str, ...]
+
+    @classmethod
+    def of(cls, document: Document) -> "LineageNode":
+        return cls(
+            doc_id=document.doc_id,
+            kind=document.kind.value,
+            version=document.version,
+            sources=document.refs,
+        )
+
+
+@dataclass
+class LineageTrace:
+    """A provenance sub-DAG rooted at one document."""
+
+    root: str
+    nodes: Dict[str, LineageNode] = field(default_factory=dict)
+    edges: List[Tuple[str, str]] = field(default_factory=list)  # (derived, source)
+
+    @property
+    def depth(self) -> int:
+        """Longest derivation chain in the trace."""
+        memo: Dict[str, int] = {}
+
+        def walk(doc_id: str, active: Set[str]) -> int:
+            if doc_id in memo:
+                return memo[doc_id]
+            if doc_id in active:
+                return 0  # defensive: cycles cannot normally occur
+            active.add(doc_id)
+            node = self.nodes.get(doc_id)
+            children = [s for d, s in self.edges if d == doc_id]
+            result = 0 if not children else 1 + max(walk(c, active) for c in children)
+            active.discard(doc_id)
+            memo[doc_id] = result
+            return result
+
+        return walk(self.root, set())
+
+    def base_sources(self) -> List[str]:
+        """The original ingested documents everything here derives from."""
+        derived = {d for d, _ in self.edges}
+        return sorted(n for n in self.nodes if n not in derived or not self.nodes[n].sources)
+
+
+class LineageIndex:
+    """Forward (refs) and reverse (derivatives) provenance over a corpus."""
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._docs: Dict[str, Document] = {}
+        self._derivatives: Dict[str, Set[str]] = defaultdict(set)
+        for document in documents:
+            self.record(document)
+
+    def record(self, document: Document) -> None:
+        """Index one document (latest version replaces earlier state)."""
+        previous = self._docs.get(document.doc_id)
+        if previous is not None and previous.version >= document.version:
+            return
+        if previous is not None:
+            for source in previous.refs:
+                self._derivatives[source].discard(document.doc_id)
+        self._docs[document.doc_id] = document
+        for source in document.refs:
+            self._derivatives[source].add(document.doc_id)
+
+    # ------------------------------------------------------------------
+    def sources_of(self, doc_id: str) -> List[str]:
+        """Immediate provenance: what this document was derived from."""
+        document = self._docs.get(doc_id)
+        return sorted(document.refs) if document else []
+
+    def derivatives(self, doc_id: str) -> List[str]:
+        """Immediate impact: what was derived from this document."""
+        return sorted(self._derivatives.get(doc_id, ()))
+
+    def ancestry(self, doc_id: str) -> Set[str]:
+        """Transitive sources (the document's full provenance)."""
+        seen: Set[str] = set()
+        frontier = deque(self.sources_of(doc_id))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.sources_of(current))
+        return seen
+
+    def impact(self, doc_id: str) -> Set[str]:
+        """Transitive derivatives — everything that must be re-derived if
+        this document turns out to be wrong (the recall scenario)."""
+        seen: Set[str] = set()
+        frontier = deque(self.derivatives(doc_id))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.derivatives(current))
+        return seen
+
+    def trace(self, doc_id: str) -> LineageTrace:
+        """The provenance sub-DAG rooted at *doc_id*."""
+        trace = LineageTrace(root=doc_id)
+        frontier = deque([doc_id])
+        while frontier:
+            current = frontier.popleft()
+            if current in trace.nodes:
+                continue
+            document = self._docs.get(current)
+            if document is None:
+                trace.nodes[current] = LineageNode(current, "unknown", 0, ())
+                continue
+            trace.nodes[current] = LineageNode.of(document)
+            for source in document.refs:
+                trace.edges.append((current, source))
+                frontier.append(source)
+        return trace
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._docs
+
+    def __len__(self) -> int:
+        return len(self._docs)

@@ -1,0 +1,142 @@
+"""Pages and segments: the physical layout of the document store.
+
+Documents are appended into fixed-capacity *pages*; pages belong to
+*segments* (the unit of placement and replication, Section 3.4).  The
+buffer pool caches pages, and the network simulator charges shipping costs
+by page/document byte size, so this layer is what makes pushdown and
+prefetching measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.document import Document
+
+#: Default page capacity in (approximate, serialized) bytes.
+DEFAULT_PAGE_BYTES = 32 * 1024
+
+#: Default number of pages per segment.
+DEFAULT_SEGMENT_PAGES = 64
+
+
+@dataclass
+class Page:
+    """An append-only container of document versions."""
+
+    page_id: int
+    segment_id: int
+    capacity_bytes: int = DEFAULT_PAGE_BYTES
+    _docs: List[Document] = field(default_factory=list)
+    _used_bytes: int = 0
+
+    def fits(self, document: Document) -> bool:
+        size = document.size_bytes()
+        if size > self.capacity_bytes:
+            # Oversized documents get a page of their own rather than
+            # being rejected; BLOB-ish content must still be storable.
+            return not self._docs
+        return self._used_bytes + size <= self.capacity_bytes
+
+    def append(self, document: Document) -> int:
+        """Append *document*; return its slot index."""
+        if not self.fits(document):
+            raise ValueError(f"page {self.page_id} cannot fit document {document.doc_id}")
+        self._docs.append(document)
+        self._used_bytes += document.size_bytes()
+        return len(self._docs) - 1
+
+    def read(self, slot: int) -> Document:
+        return self._docs[slot]
+
+    def documents(self) -> Iterator[Document]:
+        return iter(self._docs)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._docs)
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """Physical address of one document version: (segment, page, slot)."""
+
+    segment_id: int
+    page_id: int
+    slot: int
+
+
+class Segment:
+    """A bounded run of pages; the unit the replica manager places on
+    data nodes."""
+
+    def __init__(
+        self,
+        segment_id: int,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        max_pages: int = DEFAULT_SEGMENT_PAGES,
+    ) -> None:
+        if max_pages < 1:
+            raise ValueError("segments need at least one page")
+        self.segment_id = segment_id
+        self.page_bytes = page_bytes
+        self.max_pages = max_pages
+        self._pages: List[Page] = []
+        self._next_page_id = 0
+
+    def _new_page(self) -> Page:
+        page = Page(
+            page_id=self._next_page_id,
+            segment_id=self.segment_id,
+            capacity_bytes=self.page_bytes,
+        )
+        self._next_page_id += 1
+        self._pages.append(page)
+        return page
+
+    @property
+    def is_sealed(self) -> bool:
+        """A sealed segment has allocated all of its pages.
+
+        Small documents may still squeeze into the last page, but the
+        store treats a sealed segment as closed for new placements.
+        """
+        return len(self._pages) >= self.max_pages
+
+    def append(self, document: Document) -> Optional[PageAddress]:
+        """Append *document*; return its address, or ``None`` if sealed."""
+        if self._pages and self._pages[-1].fits(document):
+            page = self._pages[-1]
+        elif len(self._pages) < self.max_pages:
+            page = self._new_page()
+        else:
+            return None
+        slot = page.append(document)
+        return PageAddress(self.segment_id, page.page_id, slot)
+
+    def page(self, page_id: int) -> Page:
+        return self._pages[page_id]
+
+    def pages(self) -> List[Page]:
+        return list(self._pages)
+
+    def documents(self) -> Iterator[Document]:
+        for page in self._pages:
+            yield from page.documents()
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.used_bytes for p in self._pages)
+
+    @property
+    def doc_count(self) -> int:
+        return sum(p.doc_count for p in self._pages)

@@ -1,0 +1,197 @@
+"""Replica placement and reliability classes (paper Section 3.4).
+
+"Some data, especially data users have added, will require high
+reliability ... Other data can be re-created with varying amounts of
+effort, such as data derived by analytics or redundant versions of base
+data."  The storage manager therefore assigns each segment a
+:class:`ReliabilityClass` from the kind of data it holds, places that many
+replicas across data nodes, and autonomically re-replicates when a node is
+lost — no administrator knob-turning (the VIRT experiment counts exactly
+that).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.document import DocumentKind
+from repro.util import stable_hash
+
+
+class ReliabilityClass(enum.Enum):
+    """Service level of a segment, expressed as a replica count."""
+
+    GOLD = 3    # user-added base data, regulatory data
+    SILVER = 2  # annotations worth keeping but re-derivable with effort
+    BRONZE = 1  # cheaply re-creatable derived data (indexes, cached views)
+
+    @property
+    def replicas(self) -> int:
+        return {"GOLD": 3, "SILVER": 2, "BRONZE": 1}[self.name]
+
+
+def class_for_kind(kind: DocumentKind) -> ReliabilityClass:
+    """Default autonomic policy: reliability follows re-creation cost."""
+    if kind is DocumentKind.BASE:
+        return ReliabilityClass.GOLD
+    if kind is DocumentKind.ANNOTATION:
+        return ReliabilityClass.SILVER
+    return ReliabilityClass.BRONZE
+
+
+class PlacementError(Exception):
+    """Raised when a placement cannot satisfy its reliability class."""
+
+
+@dataclass
+class ReplicaSet:
+    """Where one segment's replicas live."""
+
+    segment_id: int
+    reliability: ReliabilityClass
+    node_ids: Set[str] = field(default_factory=set)
+
+    @property
+    def satisfied(self) -> bool:
+        return len(self.node_ids) >= self.reliability.replicas
+
+    @property
+    def deficit(self) -> int:
+        return max(0, self.reliability.replicas - len(self.node_ids))
+
+
+@dataclass
+class RepairAction:
+    """A re-replication the manager performed after a failure."""
+
+    segment_id: int
+    source_node: Optional[str]
+    target_node: str
+
+
+class ReplicaManager:
+    """Places segment replicas on data nodes and repairs after failures.
+
+    Placement is capacity-aware (least-loaded nodes first, ties broken by
+    a stable hash so runs are deterministic).  The manager is a policy
+    object: it decides *where* replicas go; actually copying bytes is the
+    cluster layer's job, which consumes the returned
+    :class:`RepairAction` list.
+    """
+
+    def __init__(self, node_ids: Iterable[str]) -> None:
+        self._node_load: Dict[str, int] = {node: 0 for node in node_ids}
+        if not self._node_load:
+            raise ValueError("replica manager needs at least one node")
+        self._placements: Dict[int, ReplicaSet] = {}
+        self._failed: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def live_nodes(self) -> List[str]:
+        return sorted(n for n in self._node_load if n not in self._failed)
+
+    def load_of(self, node_id: str) -> int:
+        return self._node_load[node_id]
+
+    def placement(self, segment_id: int) -> ReplicaSet:
+        try:
+            return self._placements[segment_id]
+        except KeyError:
+            raise LookupError(f"segment {segment_id} has no placement") from None
+
+    def placements(self) -> List[ReplicaSet]:
+        return [self._placements[s] for s in sorted(self._placements)]
+
+    # ------------------------------------------------------------------
+    def _pick_nodes(self, count: int, exclude: Set[str], seed: str) -> List[str]:
+        candidates = [n for n in self.live_nodes if n not in exclude]
+        if len(candidates) < count:
+            raise PlacementError(
+                f"need {count} nodes but only {len(candidates)} live nodes available"
+            )
+        candidates.sort(key=lambda n: (self._node_load[n], stable_hash(seed + n, 1 << 30)))
+        return candidates[:count]
+
+    def place(self, segment_id: int, reliability: ReliabilityClass) -> ReplicaSet:
+        """Choose replica nodes for a new segment."""
+        if segment_id in self._placements:
+            raise ValueError(f"segment {segment_id} already placed")
+        nodes = self._pick_nodes(reliability.replicas, set(), str(segment_id))
+        replica_set = ReplicaSet(segment_id, reliability, set(nodes))
+        for node in nodes:
+            self._node_load[node] += 1
+        self._placements[segment_id] = replica_set
+        return replica_set
+
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str) -> None:
+        """A broker granted us a new node (Section 3.4: "brokers offer
+        these resources to the groups that will make best use of them")."""
+        if node_id in self._node_load and node_id not in self._failed:
+            raise ValueError(f"node {node_id} already present")
+        self._failed.discard(node_id)
+        self._node_load.setdefault(node_id, 0)
+
+    def on_node_failure(self, node_id: str) -> List[RepairAction]:
+        """Mark *node_id* dead and re-replicate every segment it held.
+
+        Returns the repair actions taken, in segment order.  Segments that
+        cannot reach their replica count (not enough live nodes) keep a
+        deficit and are repaired by a later :meth:`repair_deficits` once
+        capacity returns.
+        """
+        if node_id not in self._node_load:
+            raise LookupError(f"unknown node {node_id}")
+        if node_id in self._failed:
+            return []
+        self._failed.add(node_id)
+        self._node_load[node_id] = 0
+
+        actions: List[RepairAction] = []
+        for segment_id in sorted(self._placements):
+            replica_set = self._placements[segment_id]
+            if node_id not in replica_set.node_ids:
+                continue
+            replica_set.node_ids.discard(node_id)
+            actions.extend(self._repair(replica_set))
+        return actions
+
+    def _repair(self, replica_set: ReplicaSet) -> List[RepairAction]:
+        actions: List[RepairAction] = []
+        while replica_set.deficit > 0:
+            try:
+                (target,) = self._pick_nodes(
+                    1, set(replica_set.node_ids), str(replica_set.segment_id)
+                )
+            except PlacementError:
+                break  # deficit remains; repair_deficits will retry later
+            source = min(replica_set.node_ids) if replica_set.node_ids else None
+            replica_set.node_ids.add(target)
+            self._node_load[target] += 1
+            actions.append(RepairAction(replica_set.segment_id, source, target))
+        return actions
+
+    def repair_deficits(self) -> List[RepairAction]:
+        """Retry repairs for every under-replicated segment."""
+        actions: List[RepairAction] = []
+        for segment_id in sorted(self._placements):
+            replica_set = self._placements[segment_id]
+            if replica_set.deficit > 0:
+                actions.extend(self._repair(replica_set))
+        return actions
+
+    # ------------------------------------------------------------------
+    def under_replicated(self) -> List[ReplicaSet]:
+        return [r for r in self.placements() if not r.satisfied]
+
+    def data_available(self, segment_id: int) -> bool:
+        """At least one live replica exists."""
+        replica_set = self._placements.get(segment_id)
+        return bool(replica_set and replica_set.node_ids)
+
+    def nodes_for(self, segment_id: int) -> List[str]:
+        """Live replica holders for a segment, for read routing."""
+        return sorted(self.placement(segment_id).node_ids)

@@ -1,0 +1,264 @@
+"""The document store: segments + version chains + buffer pool.
+
+This is the persistence service a single data node runs.  Documents are
+appended into paged segments (never updated in place), every version is
+retained in a chain, and all reads flow through the buffer pool so the
+prefetching and piggybacked-discovery machinery sees real page traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.model.document import Document
+from repro.storage.bufferpool import AccessHint, BufferPool, Prefetcher
+from repro.storage.pages import (
+    DEFAULT_PAGE_BYTES,
+    DEFAULT_SEGMENT_PAGES,
+    Page,
+    PageAddress,
+    Segment,
+)
+from repro.storage.versions import VersionChain, VersionIndex
+from repro.util import LogicalClock
+
+
+@dataclass
+class StoreStats:
+    """Aggregate counters of one store instance."""
+
+    puts: int = 0
+    gets: int = 0
+    scans: int = 0
+    bytes_stored: int = 0
+
+
+class DocumentStore:
+    """Append-only, versioned document storage with paged layout.
+
+    Parameters
+    ----------
+    clock:
+        Logical clock supplying ingest timestamps; a private clock is
+        created when none is shared in.
+    page_bytes / segment_pages:
+        Physical layout parameters.
+    buffer_capacity:
+        Page frames in the buffer pool.
+    prefetcher:
+        Read-ahead policy (defaults to none; the executor installs a
+        hinted prefetcher).
+    """
+
+    def __init__(
+        self,
+        clock: Optional[LogicalClock] = None,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        segment_pages: int = DEFAULT_SEGMENT_PAGES,
+        buffer_capacity: int = 128,
+        prefetcher: Optional[Prefetcher] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else LogicalClock()
+        self.page_bytes = page_bytes
+        self.segment_pages = segment_pages
+        self._segments: Dict[int, Segment] = {}
+        self._open_segment_id: Optional[int] = None
+        self._next_segment_id = 0
+        self.versions = VersionIndex()
+        self._addresses: Dict[Tuple[str, int], PageAddress] = {}
+        self.stats = StoreStats()
+        self.buffer_pool = BufferPool(
+            capacity_pages=buffer_capacity,
+            fetch=self._fetch_page,
+            segment_pages=self._segment_page_count,
+            prefetcher=prefetcher,
+        )
+        #: Hooks called after every successful put; indexes subscribe here
+        #: so maintenance is incremental (Section 3.3 last paragraph).
+        self.put_listeners: List[Callable[[Document, PageAddress], None]] = []
+        #: Hooks called when a segment seals; the replica manager places
+        #: sealed segments.
+        self.seal_listeners: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # physical plumbing
+    # ------------------------------------------------------------------
+    def _fetch_page(self, segment_id: int, page_id: int) -> Page:
+        return self._segments[segment_id].page(page_id)
+
+    def _segment_page_count(self, segment_id: int) -> int:
+        return self._segments[segment_id].page_count
+
+    def _open_segment(self) -> Segment:
+        if self._open_segment_id is not None:
+            return self._segments[self._open_segment_id]
+        segment = Segment(
+            segment_id=self._next_segment_id,
+            page_bytes=self.page_bytes,
+            max_pages=self.segment_pages,
+        )
+        self._segments[segment.segment_id] = segment
+        self._open_segment_id = segment.segment_id
+        self._next_segment_id += 1
+        return segment
+
+    def _seal_open_segment(self) -> None:
+        sealed_id = self._open_segment_id
+        self._open_segment_id = None
+        if sealed_id is not None:
+            for listener in self.seal_listeners:
+                listener(sealed_id)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, document: Document) -> Document:
+        """Persist *document*; returns the stored (timestamped) version.
+
+        A zero ``ingest_ts`` is replaced by the next clock tick.  Version
+        numbering is validated against the chain — callers create new
+        versions with :meth:`Document.new_version`, never by mutating.
+        """
+        if document.ingest_ts == 0:
+            document = Document(
+                doc_id=document.doc_id,
+                content=document.content,
+                version=document.version,
+                kind=document.kind,
+                source_format=document.source_format,
+                metadata=document.metadata,
+                refs=document.refs,
+                ingest_ts=self.clock.tick(),
+            )
+        self.versions.record(document)
+
+        segment = self._open_segment()
+        address = segment.append(document)
+        if address is None:
+            self._seal_open_segment()
+            segment = self._open_segment()
+            address = segment.append(document)
+            if address is None:
+                raise RuntimeError("fresh segment refused an append")
+        self._addresses[document.vid] = address
+        self.stats.puts += 1
+        self.stats.bytes_stored += document.size_bytes()
+        for listener in self.put_listeners:
+            listener(document, address)
+        return document
+
+    def update(self, doc_id: str, content, metadata: Optional[dict] = None) -> Document:
+        """Convenience: derive and persist the next version of *doc_id*."""
+        head = self.versions.head(doc_id)
+        return self.put(head.new_version(content, metadata))
+
+    def import_chain(self, versions) -> int:
+        """Adopt a full version chain from another store (re-homing after
+        a node failure: the bytes arrive from a surviving replica).
+
+        Versions must arrive oldest-first with their original ingest
+        timestamps; the clock observes each so logical time stays
+        consistent across the re-homed history.  Returns versions stored.
+        """
+        imported = 0
+        for document in versions:
+            if document.ingest_ts > 0:
+                self.clock.observe(document.ingest_ts)
+            self.put(document)
+            imported += 1
+        return imported
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _read_at(self, address: PageAddress, hint: AccessHint) -> Document:
+        page = self.buffer_pool.get(address.segment_id, address.page_id, hint)
+        return page.read(address.slot)
+
+    def get(self, doc_id: str, hint: AccessHint = AccessHint.RANDOM) -> Document:
+        """Latest version of *doc_id* (LookupError when absent)."""
+        head = self.versions.head(doc_id)
+        self.stats.gets += 1
+        return self._read_at(self._addresses[head.vid], hint)
+
+    def get_version(self, doc_id: str, version: int) -> Document:
+        doc = self.versions.chain(doc_id).get(version)
+        self.stats.gets += 1
+        return self._read_at(self._addresses[doc.vid], AccessHint.RANDOM)
+
+    def as_of(self, doc_id: str, ts: int) -> Optional[Document]:
+        """Snapshot read: latest version visible at logical time *ts*."""
+        doc = self.versions.as_of(doc_id, ts)
+        if doc is None:
+            return None
+        self.stats.gets += 1
+        return self._read_at(self._addresses[doc.vid], AccessHint.RANDOM)
+
+    def lookup(self, doc_id: str) -> Optional[Document]:
+        """Latest version or ``None`` — the non-throwing form views use."""
+        if doc_id not in self.versions:
+            return None
+        return self.get(doc_id)
+
+    def contains(self, doc_id: str) -> bool:
+        return doc_id in self.versions
+
+    def history(self, doc_id: str) -> VersionChain:
+        return self.versions.chain(doc_id)
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def scan(self, latest_only: bool = True) -> Iterator[Document]:
+        """Sequential scan of every stored document, through the pool.
+
+        With ``latest_only`` (the default) superseded versions are
+        skipped, so query processing sees current state while audits can
+        still scan everything.
+        """
+        self.stats.scans += 1
+        for segment_id in sorted(self._segments):
+            segment = self._segments[segment_id]
+            for page_id in range(segment.page_count):
+                page = self.buffer_pool.get(segment_id, page_id, AccessHint.SEQUENTIAL)
+                for document in page.documents():
+                    if latest_only:
+                        head = self.versions.head(document.doc_id)
+                        if head.version != document.version:
+                            continue
+                    yield document
+
+    def scan_addresses(self) -> Iterator[Tuple[PageAddress, Document]]:
+        """Scan with physical addresses, for index builders."""
+        for segment_id in sorted(self._segments):
+            segment = self._segments[segment_id]
+            for page_id in range(segment.page_count):
+                page = self.buffer_pool.get(segment_id, page_id, AccessHint.SEQUENTIAL)
+                for slot in range(page.doc_count):
+                    yield PageAddress(segment_id, page_id, slot), page.read(slot)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def doc_count(self) -> int:
+        """Distinct documents (not counting superseded versions)."""
+        return len(self.versions)
+
+    @property
+    def version_count(self) -> int:
+        return len(self._addresses)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def segment_ids(self) -> List[int]:
+        return sorted(self._segments)
+
+    def segment(self, segment_id: int) -> Segment:
+        return self._segments[segment_id]
+
+    def doc_ids(self) -> List[str]:
+        return self.versions.doc_ids()

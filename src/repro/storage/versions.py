@@ -1,0 +1,140 @@
+"""Immutable version chains (paper Section 4).
+
+"Impliance does not update data in-place.  Instead, changes are
+implemented as the addition of a new version."  The chain keeps every
+version of a document in ingest order, supports as-of reads against the
+logical clock, and records the simple sequential-versioning primitive the
+paper proposes as the base on which richer schemes can be layered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.document import Document
+
+
+class VersionConflictError(Exception):
+    """Raised when an append does not extend the chain head by exactly one."""
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One link of a chain: the version number and when it appeared."""
+
+    version: int
+    ingest_ts: int
+    digest: str
+
+
+class VersionChain:
+    """All versions of one ``doc_id``, oldest first."""
+
+    def __init__(self, doc_id: str) -> None:
+        self.doc_id = doc_id
+        self._versions: List[Document] = []
+
+    # ------------------------------------------------------------------
+    def append(self, document: Document) -> None:
+        """Append the next version.
+
+        The version number must be exactly ``head + 1`` — concurrent
+        writers that both derive from the same head conflict, and the
+        loser must re-derive (optimistic concurrency; there is no in-place
+        update to lock).
+        """
+        if document.doc_id != self.doc_id:
+            raise ValueError(
+                f"document {document.doc_id} appended to chain {self.doc_id}"
+            )
+        expected = len(self._versions) + 1
+        if document.version != expected:
+            raise VersionConflictError(
+                f"{self.doc_id}: expected version {expected}, got {document.version}"
+            )
+        if self._versions and document.ingest_ts < self._versions[-1].ingest_ts:
+            raise VersionConflictError(
+                f"{self.doc_id}: version {document.version} has ingest_ts "
+                f"{document.ingest_ts} earlier than its predecessor"
+            )
+        self._versions.append(document)
+
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> Document:
+        """The latest version."""
+        if not self._versions:
+            raise LookupError(f"chain {self.doc_id} is empty")
+        return self._versions[-1]
+
+    @property
+    def head_version(self) -> int:
+        return len(self._versions)
+
+    def get(self, version: int) -> Document:
+        if not 1 <= version <= len(self._versions):
+            raise LookupError(f"{self.doc_id} has no version {version}")
+        return self._versions[version - 1]
+
+    def as_of(self, ts: int) -> Optional[Document]:
+        """Latest version whose ``ingest_ts`` is ≤ *ts* (``None`` if the
+        document did not exist yet).  Readers pin a timestamp and see a
+        stable snapshot regardless of concurrent appends."""
+        chosen: Optional[Document] = None
+        for doc in self._versions:
+            if doc.ingest_ts <= ts:
+                chosen = doc
+            else:
+                break
+        return chosen
+
+    def records(self) -> List[VersionRecord]:
+        """The audit-friendly lineage of this chain."""
+        return [
+            VersionRecord(d.version, d.ingest_ts, d.content_digest())
+            for d in self._versions
+        ]
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+
+class VersionIndex:
+    """Repository-wide map of doc_id → :class:`VersionChain`."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[str, VersionChain] = {}
+
+    def record(self, document: Document) -> VersionChain:
+        chain = self._chains.get(document.doc_id)
+        if chain is None:
+            chain = VersionChain(document.doc_id)
+            self._chains[document.doc_id] = chain
+        chain.append(document)
+        return chain
+
+    def chain(self, doc_id: str) -> VersionChain:
+        try:
+            return self._chains[doc_id]
+        except KeyError:
+            raise LookupError(f"no versions recorded for {doc_id!r}") from None
+
+    def head(self, doc_id: str) -> Document:
+        return self.chain(doc_id).head
+
+    def as_of(self, doc_id: str, ts: int) -> Optional[Document]:
+        chain = self._chains.get(doc_id)
+        return chain.as_of(ts) if chain else None
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._chains
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def doc_ids(self) -> List[str]:
+        return sorted(self._chains)

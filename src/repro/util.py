@@ -1,0 +1,69 @@
+"""Small shared utilities: logical time, stable hashing, id generation.
+
+The appliance avoids wall-clock time internally; every ordering decision
+uses a :class:`LogicalClock` so simulations are deterministic and
+repeatable run-to-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Iterator
+
+
+class LogicalClock:
+    """A monotonically increasing logical timestamp source (Lamport-style).
+
+    ``tick()`` returns the next timestamp; ``observe(ts)`` advances the
+    clock past an externally observed timestamp, preserving happens-before
+    when two components exchange stamped messages.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    def tick(self) -> int:
+        self._now += 1
+        return self._now
+
+    def observe(self, ts: int) -> int:
+        self._now = max(self._now, ts)
+        return self.tick()
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+
+class IdGenerator:
+    """Deterministic, prefixed, collision-free id sequences.
+
+    ``IdGenerator("doc")`` yields ``doc-000001``, ``doc-000002``, ...
+    Deterministic ids keep every experiment reproducible.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self.prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        return f"{self.prefix}-{next(self._counter):06d}"
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next()
+
+
+def stable_hash(text: str, buckets: int) -> int:
+    """Platform-stable hash of *text* into ``[0, buckets)``.
+
+    Python's builtin ``hash`` is salted per-process; data placement must
+    not depend on that, or replicas would land differently on every run.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % buckets

@@ -1,0 +1,33 @@
+"""Compute and storage resource virtualization (paper Section 3.4).
+
+Resource groups with service-level specs, brokers that move nodes to
+where they are needed (hierarchically, for scale), an execution manager
+that interleaves background analysis with interactive queries, and an
+autonomic storage manager — the machinery that turns administrator
+knob-turning into machine cycles.
+"""
+
+from repro.virt.groups import GroupHealth, ResourceGroup, ServiceSpec
+from repro.virt.broker import BrokerStats, HierarchicalManager, ResourceBroker
+from repro.virt.execmgr import (
+    ExecManagerStats,
+    ExecutionManager,
+    Task,
+    TaskClass,
+)
+from repro.virt.storagemgr import StorageManager, StorageManagerStats
+
+__all__ = [
+    "GroupHealth",
+    "ResourceGroup",
+    "ServiceSpec",
+    "BrokerStats",
+    "HierarchicalManager",
+    "ResourceBroker",
+    "ExecManagerStats",
+    "ExecutionManager",
+    "Task",
+    "TaskClass",
+    "StorageManager",
+    "StorageManagerStats",
+]

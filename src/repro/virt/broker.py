@@ -1,0 +1,173 @@
+"""Resource brokers and the hierarchical manager (Section 3.4).
+
+"Higher in the hierarchy are components that perform macro-level
+scheduling of jobs to resource groups, as well as components that act as
+brokers for facilitating the transfer of resources between groups.  For
+example, when a group reports the failure or loss of a resource, it can
+contact a broker to help it acquire resources from some other group that
+is willing to relinquish them."
+
+Brokers hold a free pool per node kind and can escalate unfillable
+requests to a parent broker — the hierarchical organization that keeps
+per-component management cost bounded as the system grows (the VIRT
+experiment counts broker messages per recovery as the system scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.node import NodeKind, SimNode
+from repro.virt.groups import ResourceGroup
+
+
+@dataclass
+class BrokerStats:
+    requests: int = 0
+    grants: int = 0
+    transfers: int = 0          # node moved group→group
+    escalations: int = 0        # request forwarded to parent
+    messages: int = 0           # total broker protocol messages
+
+
+class ResourceBroker:
+    """Mediates node transfers between a free pool and resource groups."""
+
+    def __init__(self, broker_id: str, parent: Optional["ResourceBroker"] = None) -> None:
+        self.broker_id = broker_id
+        self.parent = parent
+        self._pool: Dict[NodeKind, List[SimNode]] = {k: [] for k in NodeKind}
+        self._groups: List[ResourceGroup] = []
+        self.stats = BrokerStats()
+
+    # ------------------------------------------------------------------
+    def register_group(self, group: ResourceGroup) -> None:
+        if group in self._groups:
+            raise ValueError(f"group {group.group_id} already registered")
+        self._groups.append(group)
+
+    def offer(self, node: SimNode) -> None:
+        """New or reclaimed hardware enters the pool, then flows to the
+        neediest group ("brokers offer these resources to the groups that
+        will make best use of them")."""
+        self._pool[node.kind].append(node)
+        self.stats.messages += 1
+        self._distribute(node.kind)
+
+    def _distribute(self, kind: NodeKind) -> None:
+        while self._pool[kind]:
+            neediest: Optional[ResourceGroup] = None
+            worst_deficit = 0
+            for group in self._groups:
+                if group.spec.role is not kind:
+                    continue
+                deficit = group.health().deficit
+                if deficit > worst_deficit:
+                    neediest, worst_deficit = group, deficit
+            if neediest is None:
+                break
+            node = self._pool[kind].pop()
+            neediest.adopt(node)
+            self.stats.grants += 1
+            self.stats.messages += 1
+
+    # ------------------------------------------------------------------
+    def request(self, group: ResourceGroup, count: int = 1) -> List[SimNode]:
+        """A group asks for *count* nodes of its role.
+
+        Fill order: local free pool, then donations from sibling groups
+        with surplus, then escalation to the parent broker.  Granted
+        nodes are adopted into the requesting group before returning.
+        """
+        if count < 1:
+            raise ValueError("must request at least one node")
+        kind = group.spec.role
+        self.stats.requests += 1
+        self.stats.messages += 1
+        granted: List[SimNode] = []
+
+        while len(granted) < count and self._pool[kind]:
+            granted.append(self._pool[kind].pop())
+            self.stats.grants += 1
+            self.stats.messages += 1
+
+        if len(granted) < count:
+            for donor in self._groups:
+                if donor is group or donor.spec.role is not kind:
+                    continue
+                for node in donor.relinquish(count - len(granted)):
+                    granted.append(node)
+                    self.stats.transfers += 1
+                    self.stats.messages += 2  # ask + transfer
+                if len(granted) >= count:
+                    break
+
+        if len(granted) < count and self.parent is not None:
+            self.stats.escalations += 1
+            self.stats.messages += 1
+            granted.extend(self.parent.lend(kind, count - len(granted)))
+
+        for node in granted:
+            group.adopt(node)
+        return granted
+
+    def lend(self, kind: NodeKind, count: int) -> List[SimNode]:
+        """Parent-side of escalation: surrender pool nodes downward."""
+        lent: List[SimNode] = []
+        while len(lent) < count and self._pool[kind]:
+            lent.append(self._pool[kind].pop())
+            self.stats.grants += 1
+            self.stats.messages += 1
+        if len(lent) < count and self.parent is not None:
+            self.stats.escalations += 1
+            lent.extend(self.parent.lend(kind, count - len(lent)))
+        return lent
+
+    # ------------------------------------------------------------------
+    def pool_size(self, kind: NodeKind) -> int:
+        return len(self._pool[kind])
+
+    @property
+    def groups(self) -> List[ResourceGroup]:
+        return list(self._groups)
+
+
+class HierarchicalManager:
+    """Top of the hierarchy: watches group health, drives recovery.
+
+    One :meth:`reconcile` sweep is the autonomic control loop: every
+    group drops its dead nodes and, if below target, asks its broker for
+    replacements.  The sweep returns the actions taken — all machine
+    cycles, zero administrator actions, which is precisely what the TCO
+    accounting records.
+    """
+
+    def __init__(self, brokers: Sequence[ResourceBroker]) -> None:
+        if not brokers:
+            raise ValueError("need at least one broker")
+        self._brokers = list(brokers)
+
+    def reconcile(self) -> Dict[str, int]:
+        """One control-loop sweep; returns {group_id: nodes granted}."""
+        grants: Dict[str, int] = {}
+        for broker in self._brokers:
+            for group in broker.groups:
+                group.drop_dead_nodes()
+                deficit = group.health().deficit
+                if deficit > 0:
+                    got = broker.request(group, deficit)
+                    grants[group.group_id] = grants.get(group.group_id, 0) + len(got)
+        return grants
+
+    def degraded_groups(self) -> List[str]:
+        """Groups below their minimum service level after reconcile."""
+        result = []
+        for broker in self._brokers:
+            for group in broker.groups:
+                if not group.health().meets_minimum:
+                    result.append(group.group_id)
+        return sorted(result)
+
+    def total_messages(self) -> int:
+        return sum(b.stats.messages for b in self._brokers)

@@ -1,0 +1,174 @@
+"""Execution management: query/analysis interleaving (Section 3.4).
+
+"Execution management also includes scheduling prioritized tasks, i.e.,
+managing queues of long-running analysis tasks and properly interleaving
+these analysis tasks with the execution of queries with more stringent
+response-time requirements."
+
+The manager keeps two queues — interactive and background — and a
+weighted-fair dispatch loop: background work only consumes a bounded
+share of each scheduling quantum while interactive work is waiting, so
+discovery passes never starve queries (the DISC experiment's latency
+assertion).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.node import SimNode
+
+
+class TaskClass(enum.Enum):
+    INTERACTIVE = "interactive"  # queries with response-time requirements
+    BACKGROUND = "background"    # discovery passes, index maintenance
+
+
+@dataclass
+class Task:
+    """A schedulable unit of work.
+
+    ``action`` runs the real work when dispatched (may be ``None`` for
+    pure-cost simulation tasks); ``cost_ms`` is charged to the node.
+    """
+
+    label: str
+    cost_ms: float
+    task_class: TaskClass
+    action: Optional[Callable[[], None]] = None
+    priority: int = 0  # higher dispatches first within its class
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class ExecManagerStats:
+    dispatched_interactive: int = 0
+    dispatched_background: int = 0
+    quanta: int = 0
+
+
+class ExecutionManager:
+    """Weighted-fair scheduler over a set of worker nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Workers to dispatch onto (typically a grid resource group).
+    background_share:
+        Maximum fraction of each quantum's capacity that background
+        tasks may consume while interactive tasks wait.  When the
+        interactive queue is empty, background uses everything.
+    """
+
+    def __init__(self, nodes: Sequence[SimNode], background_share: float = 0.25) -> None:
+        if not nodes:
+            raise ValueError("need at least one worker node")
+        if not 0.0 <= background_share <= 1.0:
+            raise ValueError("background_share must be in [0, 1]")
+        self._nodes = list(nodes)
+        self.background_share = background_share
+        self._interactive: List[Tuple[int, int, Task]] = []
+        self._background: List[Tuple[int, int, Task]] = []
+        self._seq = itertools.count()
+        self.stats = ExecManagerStats()
+        self.completed: List[Task] = []
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        task.submitted_at = self._now
+        entry = (-task.priority, next(self._seq), task)
+        if task.task_class is TaskClass.INTERACTIVE:
+            heapq.heappush(self._interactive, entry)
+        else:
+            heapq.heappush(self._background, entry)
+
+    @property
+    def pending_interactive(self) -> int:
+        return len(self._interactive)
+
+    @property
+    def pending_background(self) -> int:
+        return len(self._background)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, task: Task) -> None:
+        node = min(self._nodes, key=lambda n: (n.available_at, n.node_id))
+        task.started_at = max(self._now, node.available_at)
+        finish = node.run(task.cost_ms, self._now, label=task.label)
+        task.finished_at = finish
+        if task.action is not None:
+            task.action()
+        self.completed.append(task)
+        if task.task_class is TaskClass.INTERACTIVE:
+            self.stats.dispatched_interactive += 1
+        else:
+            self.stats.dispatched_background += 1
+
+    def run_quantum(self, quantum_ms: float = 100.0) -> Tuple[int, int]:
+        """Dispatch one scheduling quantum; returns (interactive,
+        background) tasks dispatched.
+
+        Interactive tasks dispatch until the quantum's capacity is
+        consumed; background tasks fill at most ``background_share`` of
+        capacity while interactive work remains queued, and all of the
+        leftover capacity otherwise.
+        """
+        if quantum_ms <= 0:
+            raise ValueError("quantum must be positive")
+        self.stats.quanta += 1
+        capacity = quantum_ms * len(self._nodes)
+        background_budget = capacity * self.background_share
+        used = 0.0
+        n_interactive = n_background = 0
+
+        # Background first up to its protected share *if* interactive is
+        # waiting; this bounds background starvation too.
+        while self._background and self._interactive and used < background_budget:
+            _, _, task = heapq.heappop(self._background)
+            self._dispatch(task)
+            used += task.cost_ms
+            n_background += 1
+
+        while self._interactive and used < capacity:
+            _, _, task = heapq.heappop(self._interactive)
+            self._dispatch(task)
+            used += task.cost_ms
+            n_interactive += 1
+
+        while self._background and used < capacity:
+            _, _, task = heapq.heappop(self._background)
+            self._dispatch(task)
+            used += task.cost_ms
+            n_background += 1
+
+        self._now += quantum_ms
+        return n_interactive, n_background
+
+    def run_until_idle(self, quantum_ms: float = 100.0, max_quanta: int = 10_000) -> int:
+        """Run quanta until both queues drain; returns quanta used."""
+        quanta = 0
+        while (self._interactive or self._background) and quanta < max_quanta:
+            self.run_quantum(quantum_ms)
+            quanta += 1
+        return quanta
+
+    # ------------------------------------------------------------------
+    def latencies(self, task_class: TaskClass) -> List[float]:
+        return [
+            t.latency_ms
+            for t in self.completed
+            if t.task_class is task_class and t.latency_ms is not None
+        ]

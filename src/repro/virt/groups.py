@@ -1,0 +1,136 @@
+"""Resource groups: the unit of virtualized management (Section 3.4).
+
+"Impliance will virtualize this diverse set of compute and storage
+resources by introducing the notion of a resource group: a group of
+tightly-coupled nodes (together with their attached storage) that can be
+assigned the role of cluster, grid, or data storage service."
+
+A group owns nodes, carries a service-level spec, manages itself
+autonomously (detect deficit → ask a broker), and counts every action it
+takes so the TCO experiments can compare "machine cycles" against the
+"human brain cycles" a manual stack needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.cluster.node import NodeKind, SimNode
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """High-level specification a group promises to meet.
+
+    ``min_nodes`` is capacity; ``target_nodes`` is the comfortable
+    operating point brokers try to restore after failures.
+    """
+
+    role: NodeKind
+    min_nodes: int = 1
+    target_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ValueError("a service needs at least one node")
+        if self.target_nodes < self.min_nodes:
+            raise ValueError("target_nodes cannot be below min_nodes")
+
+
+@dataclass
+class GroupHealth:
+    """Self-assessment a group reports upward in the hierarchy."""
+
+    group_id: str
+    live_nodes: int
+    spec_min: int
+    spec_target: int
+
+    @property
+    def meets_minimum(self) -> bool:
+        return self.live_nodes >= self.spec_min
+
+    @property
+    def deficit(self) -> int:
+        return max(0, self.spec_target - self.live_nodes)
+
+    @property
+    def surplus(self) -> int:
+        return max(0, self.live_nodes - self.spec_target)
+
+
+class ResourceGroup:
+    """A self-managing group of nodes serving one role."""
+
+    def __init__(self, group_id: str, spec: ServiceSpec, nodes: Sequence[SimNode] = ()) -> None:
+        self.group_id = group_id
+        self.spec = spec
+        self._nodes: Dict[str, SimNode] = {}
+        for node in nodes:
+            self.adopt(node)
+        self.autonomic_actions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[SimNode]:
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    @property
+    def live_nodes(self) -> List[SimNode]:
+        return [n for n in self.nodes if n.alive]
+
+    def adopt(self, node: SimNode) -> None:
+        """Take ownership of *node* (granted by a broker)."""
+        if node.kind is not self.spec.role:
+            raise ValueError(
+                f"group {self.group_id} serves {self.spec.role.value}; "
+                f"cannot adopt {node.kind.value} node {node.node_id}"
+            )
+        if node.node_id in self._nodes:
+            raise ValueError(f"{node.node_id} already in group {self.group_id}")
+        self._nodes[node.node_id] = node
+
+    def relinquish(self, count: int) -> List[SimNode]:
+        """Give up *count* surplus nodes (broker-mediated transfer).
+
+        Never drops below the spec target — a group only donates what it
+        does not need, which is the paper's "willing to relinquish".
+        """
+        health = self.health()
+        give = min(count, health.surplus)
+        surrendered: List[SimNode] = []
+        # Donate the least-loaded live nodes.
+        candidates = sorted(self.live_nodes, key=lambda n: (n.busy_ms, n.node_id))
+        for node in candidates[:give]:
+            del self._nodes[node.node_id]
+            surrendered.append(node)
+        if surrendered:
+            self.autonomic_actions += 1
+        return surrendered
+
+    def drop_dead_nodes(self) -> List[str]:
+        """Remove failed nodes from the roster; returns their ids."""
+        dead = [n.node_id for n in self.nodes if not n.alive]
+        for node_id in dead:
+            del self._nodes[node_id]
+        if dead:
+            self.autonomic_actions += 1
+        return dead
+
+    # ------------------------------------------------------------------
+    def health(self) -> GroupHealth:
+        return GroupHealth(
+            group_id=self.group_id,
+            live_nodes=len(self.live_nodes),
+            spec_min=self.spec.min_nodes,
+            spec_target=self.spec.target_nodes,
+        )
+
+    def least_loaded(self, count: int = 1) -> List[SimNode]:
+        """Local scheduling: the group's own least-busy nodes."""
+        ranked = sorted(self.live_nodes, key=lambda n: (n.available_at, n.node_id))
+        return ranked[:count]
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,119 @@
+"""Autonomic storage management (Section 3.4).
+
+"Storage management is the task of determining how and where to store
+the system's data, including how much to replicate the data for
+reliability. ... Our goal is for Impliance to tune all these resources
+autonomically."
+
+The storage manager binds the replica machinery to segment contents: it
+watches segments seal, classifies them by the most demanding document
+kind they hold, places replicas, and reacts to node failures — counting
+its own (machine) actions so TCO accounting can contrast them with the
+knob-turning a manual stack requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.model.document import DocumentKind
+from repro.storage.replication import (
+    ReliabilityClass,
+    RepairAction,
+    ReplicaManager,
+    class_for_kind,
+)
+from repro.storage.store import DocumentStore
+
+
+@dataclass
+class StorageManagerStats:
+    segments_placed: int = 0
+    repairs: int = 0
+    failures_handled: int = 0
+    autonomic_actions: int = 0
+    admin_actions: int = 0  # stays zero: that is the point
+
+
+class StorageManager:
+    """Policy loop binding a store's segments to replica placement."""
+
+    def __init__(self, store: DocumentStore, replica_manager: ReplicaManager) -> None:
+        self.store = store
+        self.replicas = replica_manager
+        self.stats = StorageManagerStats()
+        self._segment_class: Dict[int, ReliabilityClass] = {}
+        store.seal_listeners.append(self.on_segment_sealed)
+
+    # ------------------------------------------------------------------
+    def classify_segment(self, segment_id: int) -> ReliabilityClass:
+        """A segment inherits the most demanding class of its documents.
+
+        User base data forces GOLD even if the segment mostly holds
+        derived data — reliability follows the hardest-to-recreate byte.
+        """
+        best = ReliabilityClass.BRONZE
+        order = [ReliabilityClass.BRONZE, ReliabilityClass.SILVER, ReliabilityClass.GOLD]
+        for document in self.store.segment(segment_id).documents():
+            candidate = class_for_kind(document.kind)
+            if order.index(candidate) > order.index(best):
+                best = candidate
+            if best is ReliabilityClass.GOLD:
+                break
+        return best
+
+    def on_segment_sealed(self, segment_id: int) -> None:
+        """Placement hook: sealed segments get replicated by class."""
+        reliability = self.classify_segment(segment_id)
+        self._segment_class[segment_id] = reliability
+        self.replicas.place(segment_id, reliability)
+        self.stats.segments_placed += 1
+        self.stats.autonomic_actions += 1
+
+    def place_open_segments(self) -> int:
+        """Place any segments not yet sealed (e.g. at snapshot time)."""
+        placed = 0
+        for segment_id in self.store.segment_ids():
+            if segment_id in self._segment_class:
+                continue
+            self.on_segment_sealed(segment_id)
+            placed += 1
+        return placed
+
+    # ------------------------------------------------------------------
+    def on_node_failure(self, node_id: str) -> List[RepairAction]:
+        """React to a failure: re-replicate everything the node held."""
+        actions = self.replicas.on_node_failure(node_id)
+        self.stats.failures_handled += 1
+        self.stats.repairs += len(actions)
+        self.stats.autonomic_actions += 1 + len(actions)
+        return actions
+
+    def on_node_added(self, node_id: str) -> List[RepairAction]:
+        """New capacity arrived; repair any outstanding deficits."""
+        self.replicas.add_node(node_id)
+        actions = self.replicas.repair_deficits()
+        self.stats.repairs += len(actions)
+        self.stats.autonomic_actions += 1 + len(actions)
+        return actions
+
+    # ------------------------------------------------------------------
+    def service_report(self) -> Dict[str, object]:
+        """Current storage service level, for the health dashboard."""
+        under = self.replicas.under_replicated()
+        return {
+            "segments_placed": self.stats.segments_placed,
+            "under_replicated": [r.segment_id for r in under],
+            "fully_replicated": len(self.replicas.placements()) - len(under),
+            "admin_actions": self.stats.admin_actions,
+            "autonomic_actions": self.stats.autonomic_actions,
+        }
+
+    def data_loss_risk(self) -> List[int]:
+        """Segments with zero live replicas (data unavailable)."""
+        return [
+            r.segment_id
+            for r in self.replicas.placements()
+            if not self.replicas.data_available(r.segment_id)
+        ]

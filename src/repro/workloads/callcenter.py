@@ -1,0 +1,144 @@
+"""Call-center (CRM) workload — the paper's Section 2.1.1 use case.
+
+Customer master rows, a product catalog, and synthetic call transcripts
+in which known customers discuss known products with varying sentiment.
+Ground truth (who mentioned what, with which polarity) is retained so
+tests and experiments can score the discovery pipeline's recall.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.model.converters import from_relational_row, from_text
+from repro.model.document import Document
+
+PRODUCTS = (
+    "WidgetPro", "GadgetMax", "FlowMaster", "DataVault", "NetRunner",
+    "CloudNine", "TurboSync", "OmniHub",
+)
+
+FIRST_NAMES = (
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry",
+    "Irene", "Jack", "Karen", "Laura", "Mike", "Nancy", "Oscar", "Peggy",
+)
+LAST_NAMES = (
+    "Johnson", "Smith", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Martinez", "Lopez", "Wilson", "Anderson",
+)
+
+_POSITIVE_PHRASES = (
+    "is excellent and works great",
+    "is wonderful, very pleased with it",
+    "is fantastic, thanks for the quick help",
+    "is reliable and easy to use, love it",
+)
+_NEGATIVE_PHRASES = (
+    "is terrible and arrived broken",
+    "keeps crashing, very frustrated",
+    "is awful, wants a refund immediately",
+    "failed again, worst purchase ever",
+)
+_NEUTRAL_PHRASES = (
+    "needs the latest manual",
+    "was mentioned during the call",
+    "requires a firmware update",
+)
+
+
+@dataclass
+class TranscriptTruth:
+    """Ground truth for one generated transcript."""
+
+    doc_id: str
+    customer_name: str
+    customer_id: int
+    products: List[str]
+    polarity: str  # positive | negative | neutral
+    amount: Optional[float]
+
+
+@dataclass
+class CallCenterWorkload:
+    """Seeded CRM corpus generator."""
+
+    n_customers: int = 40
+    n_transcripts: int = 120
+    seed: int = 11
+    truths: List[TranscriptTruth] = field(default_factory=list)
+
+    def product_lexicon(self) -> Tuple[str, ...]:
+        return PRODUCTS
+
+    def _name_of(self, rng: random.Random, cid: int) -> str:
+        local = random.Random(self.seed * 1000 + cid)
+        return f"{local.choice(FIRST_NAMES)} {local.choice(LAST_NAMES)}"
+
+    # ------------------------------------------------------------------
+    def customers(self) -> Iterator[Document]:
+        rng = random.Random(self.seed)
+        for cid in range(self.n_customers):
+            yield from_relational_row(
+                f"crm-cust-{cid}",
+                "customers",
+                {
+                    "cid": cid,
+                    "name": self._name_of(rng, cid),
+                    "segment": rng.choice(["consumer", "business"]),
+                    "lifetime_value": round(rng.uniform(100, 20000), 2),
+                },
+                primary_key=["cid"],
+            )
+
+    def products(self) -> Iterator[Document]:
+        for pid, name in enumerate(PRODUCTS):
+            yield from_relational_row(
+                f"crm-prod-{pid}",
+                "products",
+                {"pid": pid, "name": name, "list_price": 49.0 + 50.0 * pid},
+                primary_key=["pid"],
+            )
+
+    def transcripts(self) -> Iterator[Document]:
+        rng = random.Random(self.seed + 2)
+        self.truths = []
+        for t in range(self.n_transcripts):
+            cid = rng.randrange(self.n_customers)
+            name = self._name_of(rng, cid)
+            mentioned = rng.sample(PRODUCTS, k=rng.choice([1, 1, 2]))
+            polarity = rng.choices(
+                ["positive", "negative", "neutral"], weights=[4, 3, 2]
+            )[0]
+            phrases = {
+                "positive": _POSITIVE_PHRASES,
+                "negative": _NEGATIVE_PHRASES,
+                "neutral": _NEUTRAL_PHRASES,
+            }[polarity]
+            sentences = [f"Call transcript. Ms. {name} called customer support."]
+            for product in mentioned:
+                sentences.append(f"The {product} {rng.choice(phrases)}.")
+            amount: Optional[float] = None
+            if polarity == "negative" and rng.random() < 0.5:
+                amount = round(rng.uniform(20, 900), 2)
+                sentences.append(f"A refund of ${amount:,.2f} was requested.")
+            sentences.append(f"Callback number 555-{rng.randrange(100,999)}-{rng.randrange(1000,9999)}.")
+            doc_id = f"crm-call-{t}"
+            self.truths.append(
+                TranscriptTruth(doc_id, name, cid, mentioned, polarity, amount)
+            )
+            yield from_text(doc_id, " ".join(sentences), title=f"call {t}")
+
+    def documents(self) -> Iterator[Document]:
+        yield from self.customers()
+        yield from self.products()
+        yield from self.transcripts()
+
+    # ------------------------------------------------------------------
+    def truth_mentions(self) -> Set[Tuple[str, str]]:
+        """(transcript doc_id, product) ground-truth pairs."""
+        return {(t.doc_id, p) for t in self.truths for p in t.products}
+
+    def truth_polarity(self) -> Dict[str, str]:
+        return {t.doc_id: t.polarity for t in self.truths}

@@ -1,0 +1,139 @@
+"""Insurance-claims workload — the paper's Section 2.1.2 use case.
+
+Structured patient/provider/claim rows plus free-text adjuster notes and
+claim forms naming medical procedures and repair amounts.  A controlled
+fraction of claims carry inflated amounts so the exception-mining and
+"excessive estimate" analyses have planted ground truth to find.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.model.converters import from_relational_row, from_text, from_xml
+from repro.model.document import Document
+
+PROCEDURES = (
+    "appendectomy", "angioplasty", "arthroscopy", "biopsy", "colonoscopy",
+    "dialysis", "endoscopy", "physiotherapy",
+)
+
+REPAIR_PARTS = ("bumper", "windshield", "door panel", "headlight", "radiator")
+
+
+@dataclass
+class ClaimTruth:
+    claim_id: str
+    patient_id: int
+    provider_id: int
+    procedure: str
+    amount: float
+    inflated: bool
+
+
+@dataclass
+class InsuranceWorkload:
+    """Seeded claims corpus with planted fraud signals."""
+
+    n_patients: int = 30
+    n_providers: int = 8
+    n_claims: int = 100
+    inflation_rate: float = 0.08
+    seed: int = 23
+    truths: List[ClaimTruth] = field(default_factory=list)
+
+    def procedure_lexicon(self) -> Tuple[str, ...]:
+        return PROCEDURES
+
+    # ------------------------------------------------------------------
+    def patients(self) -> Iterator[Document]:
+        rng = random.Random(self.seed)
+        for pid in range(self.n_patients):
+            yield from_relational_row(
+                f"ins-pat-{pid}",
+                "patients",
+                {
+                    "patient_id": pid,
+                    "name": f"Patient {pid}",
+                    "plan": rng.choice(["bronze", "silver", "gold"]),
+                },
+                primary_key=["patient_id"],
+            )
+
+    def providers(self) -> Iterator[Document]:
+        rng = random.Random(self.seed + 1)
+        for vid in range(self.n_providers):
+            yield from_relational_row(
+                f"ins-prov-{vid}",
+                "providers",
+                {
+                    "provider_id": vid,
+                    "name": f"Clinic {vid}",
+                    "state": rng.choice(["CA", "NY", "TX", "WA"]),
+                },
+                primary_key=["provider_id"],
+            )
+
+    def claims(self) -> Iterator[Document]:
+        """Structured claim rows + a free-text form for each claim."""
+        rng = random.Random(self.seed + 2)
+        self.truths = []
+        base_cost = {p: 400.0 + 150.0 * i for i, p in enumerate(PROCEDURES)}
+        for c in range(self.n_claims):
+            patient = rng.randrange(self.n_patients)
+            provider = rng.randrange(self.n_providers)
+            procedure = rng.choice(PROCEDURES)
+            inflated = rng.random() < self.inflation_rate
+            amount = base_cost[procedure] * rng.uniform(0.85, 1.15)
+            if inflated:
+                amount *= rng.uniform(3.5, 6.0)
+            amount = round(amount, 2)
+            claim_id = f"ins-claim-{c}"
+            self.truths.append(
+                ClaimTruth(claim_id, patient, provider, procedure, amount, inflated)
+            )
+            yield from_relational_row(
+                claim_id,
+                "claims",
+                {
+                    "claim_id": c,
+                    "patient_id": patient,
+                    "provider_id": provider,
+                    "procedure": procedure,
+                    "amount": amount,
+                },
+                primary_key=["claim_id"],
+            )
+            note = (
+                f"Claim form for Patient {patient} treated at Clinic {provider}. "
+                f"The {procedure} was billed at ${amount:,.2f}. "
+                f"Adjuster notes: {'estimate seems high, needs review' if inflated else 'routine claim'}."
+            )
+            yield from_text(f"ins-form-{c}", note, title=f"claim form {c}")
+
+    def accident_reports(self, count: int = 20) -> Iterator[Document]:
+        """Semi-structured XML police/repair reports (the vehicle-damage
+        side of the use case)."""
+        rng = random.Random(self.seed + 3)
+        for r in range(count):
+            parts = rng.sample(REPAIR_PARTS, k=rng.choice([1, 2, 3]))
+            estimate = round(sum(rng.uniform(150, 900) for _ in parts), 2)
+            items = "".join(f"<part>{p}</part>" for p in parts)
+            payload = (
+                f"<report id='{r}'><vehicle>sedan</vehicle>"
+                f"<damage>{items}</damage>"
+                f"<estimate>{estimate}</estimate></report>"
+            )
+            yield from_xml(f"ins-report-{r}", payload)
+
+    def documents(self) -> Iterator[Document]:
+        yield from self.patients()
+        yield from self.providers()
+        yield from self.claims()
+        yield from self.accident_reports()
+
+    # ------------------------------------------------------------------
+    def inflated_claims(self) -> Set[str]:
+        return {t.claim_id for t in self.truths if t.inflated}

@@ -1,0 +1,143 @@
+"""Legal-compliance / e-discovery workload — Section 2.1.3.
+
+Companies linked by partnership contracts, employees exchanging e-mail
+that references contract ids, and unrelated chatter.  The discovery
+question the paper poses — find everything pertinent to a litigation,
+including through *indirect contractual relationships* — has planted
+ground truth: the transitive partner set of the target company.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.model.converters import from_email, from_relational_row, from_text
+from repro.model.document import Document
+
+COMPANY_STEMS = (
+    "Acme", "Beta", "Cyber", "Delta", "Echo", "Fox", "Globex", "Helix",
+    "Initech", "Jupiter", "Kappa", "Lumen",
+)
+
+
+@dataclass
+class LegalWorkload:
+    """Seeded e-discovery corpus with a known partnership graph."""
+
+    n_companies: int = 10
+    n_contracts: int = 12
+    n_emails: int = 60
+    seed: int = 31
+    #: partnership edges (company_id, company_id) actually generated
+    partnerships: List[Tuple[int, int]] = field(default_factory=list)
+    #: contract id -> the two company ids it binds
+    contract_parties: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: email doc_id -> contract id it references (None = chatter)
+    email_contract: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def company_name(self, cid: int) -> str:
+        return f"{COMPANY_STEMS[cid % len(COMPANY_STEMS)]} Corp {cid}"
+
+    # ------------------------------------------------------------------
+    def companies(self) -> Iterator[Document]:
+        for cid in range(self.n_companies):
+            yield from_relational_row(
+                f"lgl-co-{cid}",
+                "companies",
+                {"company_id": cid, "name": self.company_name(cid)},
+                primary_key=["company_id"],
+            )
+
+    def contracts(self) -> Iterator[Document]:
+        """Contract rows binding pairs of companies into a chain-ish
+        graph (so transitive closure is non-trivial)."""
+        rng = random.Random(self.seed)
+        self.partnerships = []
+        self.contract_parties = {}
+        for k in range(self.n_contracts):
+            if k < self.n_companies - 1:
+                a, b = k, k + 1  # guarantee a connected backbone chain
+            else:
+                a, b = rng.sample(range(self.n_companies), 2)
+            self.partnerships.append((a, b))
+            self.contract_parties[k] = (a, b)
+            yield from_relational_row(
+                f"lgl-contract-{k}",
+                "contracts",
+                {
+                    "contract_id": k,
+                    "party_a": a,
+                    "party_b": b,
+                    "kind": rng.choice(["supply", "licensing", "partnership"]),
+                    "value": round(rng.uniform(10_000, 900_000), 2),
+                },
+                primary_key=["contract_id"],
+            )
+
+    def emails(self) -> Iterator[Document]:
+        rng = random.Random(self.seed + 1)
+        self.email_contract = {}
+        for m in range(self.n_emails):
+            doc_id = f"lgl-mail-{m}"
+            if rng.random() < 0.6 and self.contract_parties:
+                contract_id = rng.randrange(len(self.contract_parties))
+                a, b = self.contract_parties[contract_id]
+                body = (
+                    f"Regarding contract CTR-{contract_id:04d} between "
+                    f"{self.company_name(a)} and {self.company_name(b)}: the "
+                    "deliverables schedule needs an amendment before Q3."
+                )
+                subject = f"contract CTR-{contract_id:04d} amendment"
+                self.email_contract[doc_id] = contract_id
+            else:
+                body = rng.choice(
+                    [
+                        "Lunch on Thursday? The new cafeteria is great.",
+                        "Reminder: the all-hands meeting moved to 3pm.",
+                        "Attached are the travel guidelines for next year.",
+                    ]
+                )
+                subject = "misc"
+                self.email_contract[doc_id] = None
+            raw = (
+                f"From: user{m}@example.com\n"
+                f"To: team{m % 7}@example.com\n"
+                f"Subject: {subject}\n\n{body}"
+            )
+            yield from_email(doc_id, raw)
+
+    def documents(self) -> Iterator[Document]:
+        yield from self.companies()
+        yield from self.contracts()
+        yield from self.emails()
+
+    # ------------------------------------------------------------------
+    def transitive_partners(self, company_id: int) -> Set[int]:
+        """Ground truth: companies reachable through partnership edges."""
+        adjacency: Dict[int, Set[int]] = {}
+        for a, b in self.partnerships:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        seen: Set[int] = set()
+        frontier = [company_id]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor not in seen and neighbor != company_id:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    def responsive_emails(self, company_id: int) -> Set[str]:
+        """Emails referencing any contract touching *company_id*."""
+        relevant_contracts = {
+            k for k, (a, b) in self.contract_parties.items()
+            if a == company_id or b == company_id
+        }
+        return {
+            doc_id
+            for doc_id, contract in self.email_contract.items()
+            if contract in relevant_contracts
+        }

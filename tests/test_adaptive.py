@@ -1,0 +1,134 @@
+"""Tests for adaptive query processing (Section 3.3 extension)."""
+
+import random
+
+import pytest
+
+from repro.model.converters import from_relational_row
+from repro.model.views import base_table_view
+from repro.query.adaptive import (
+    AdaptiveJoinReport,
+    DEFAULT_PROBE_BUDGET,
+    adaptive_indexed_join,
+)
+from repro.query.engine import LocalRepository, QueryEngine
+from repro.storage.store import DocumentStore
+
+
+CUSTOMERS = [{"cid": i, "name": f"C{i}"} for i in range(10)]
+
+
+def probe(key):
+    return [c for c in CUSTOMERS if c["cid"] == key]
+
+
+def inner_scan():
+    return list(CUSTOMERS)
+
+
+class TestAdaptiveOperator:
+    def test_small_outer_never_switches(self):
+        outer = [{"cid": i % 10, "v": i} for i in range(20)]
+        rows, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=64
+        )
+        assert not report.switched
+        assert report.probes_done == 20
+        assert report.rows_out == 20
+
+    def test_large_outer_switches(self):
+        outer = [{"cid": i % 10, "v": i} for i in range(500)]
+        rows, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=64
+        )
+        assert report.switched
+        assert report.probes_done == 64
+        assert report.hash_build_rows == 10
+
+    def test_results_identical_regardless_of_switch(self):
+        outer = [{"cid": i % 12, "v": i} for i in range(300)]  # some unmatched
+        small, _ = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=10_000
+        )
+        switched, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=5
+        )
+        assert report.switched
+        normalize = lambda rows: sorted(sorted(r.items()) for r in rows)
+        assert normalize(small) == normalize(switched)
+
+    def test_none_keys_skipped_without_consuming_budget(self):
+        outer = [{"cid": None}] * 50 + [{"cid": 1}]
+        rows, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=10
+        )
+        assert not report.switched
+        assert report.probes_done == 1
+        assert len(rows) == 1
+
+    def test_switch_cost_is_bounded(self):
+        """The migrated plan pays at most budget probes + one hash build."""
+        outer = [{"cid": i % 10, "v": i} for i in range(10_000)]
+        _, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=64
+        )
+        from repro.exec import costs
+
+        bound = (
+            64 * costs.INDEX_PROBE_MS
+            + 10 * costs.HASH_BUILD_MS_PER_ROW
+            + 10_000 * costs.HASH_PROBE_MS_PER_ROW
+        )
+        assert report.sim_ms <= bound + 1e-9
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_indexed_join([], "k", probe, inner_scan, "k", probe_budget=0)
+
+
+class TestEngineAdaptiveMode:
+    @pytest.fixture
+    def engine(self):
+        store = DocumentStore()
+        repo = LocalRepository(store)
+        repo.views.define(base_table_view("customers", "customers", ["cid", "name"]))
+        repo.views.define(base_table_view("orders", "orders", ["oid", "cid", "amount"]))
+        rng = random.Random(5)
+        for i in range(300):
+            store.put(from_relational_row(f"c{i}", "customers", {"cid": i, "name": f"C{i}"}))
+        for i in range(600):
+            store.put(from_relational_row(
+                f"o{i}", "orders",
+                {"oid": i, "cid": rng.randrange(300), "amount": float(i)},
+            ))
+        return QueryEngine(repo)
+
+    QUERY = "SELECT name, amount FROM orders JOIN customers ON cid = cid"
+
+    def test_adaptive_same_rows(self, engine):
+        static = engine.sql(self.QUERY)
+        adaptive = engine.sql(self.QUERY, adaptive=True)
+        normalize = lambda rows: sorted(sorted(r.items()) for r in rows)
+        assert normalize(static.rows) == normalize(adaptive.rows)
+
+    def test_adaptive_cheaper_on_huge_outer(self, engine):
+        static = engine.sql(self.QUERY)
+        adaptive = engine.sql(self.QUERY, adaptive=True)
+        assert adaptive.sim_ms < static.sim_ms
+        assert adaptive.adaptive_reports[0].switched
+
+    def test_adaptive_noop_on_selective_outer(self, engine):
+        query = self.QUERY + " WHERE amount > 595"
+        adaptive = engine.sql(query, adaptive=True)
+        assert adaptive.adaptive_reports[0].switched is False
+        assert len(adaptive.rows) == 4
+
+    def test_adaptive_rescues_stale_optimizer(self, engine):
+        """The combination the paper implies: simple/stale plans become
+        safe because the operator self-corrects at runtime."""
+        stats = engine.collect_statistics(["customers", "orders"])
+        static = engine.sql(self.QUERY, planner="costbased", statistics=stats)
+        adaptive = engine.sql(
+            self.QUERY, planner="costbased", statistics=stats, adaptive=True
+        )
+        assert adaptive.sim_ms <= static.sim_ms

@@ -1,0 +1,92 @@
+"""Unit tests for annotations-as-documents (Figure 2)."""
+
+import pytest
+
+from repro.model.annotations import (
+    Annotation,
+    Span,
+    confidence_of,
+    is_annotation_document,
+    label_of,
+    make_annotation_document,
+    payload_of,
+    spans_of,
+    subject_of,
+)
+from repro.model.converters import from_text
+from repro.model.document import DocumentKind
+
+
+class TestSpan:
+    def test_length(self):
+        assert Span(2, 7).length == 5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Span(5, 2)
+        with pytest.raises(ValueError):
+            Span(-1, 3)
+
+    def test_overlap(self):
+        assert Span(0, 5).overlaps(Span(4, 8))
+        assert not Span(0, 5).overlaps(Span(5, 8))
+
+
+class TestAnnotation:
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            Annotation("a", "l", "s", {}, confidence=1.5)
+
+    def test_empty_annotator_rejected(self):
+        with pytest.raises(ValueError):
+            Annotation("", "l", "s", {})
+
+    def test_payload_copied(self):
+        payload = {"k": "v"}
+        ann = Annotation("a", "l", "s", payload)
+        payload["k"] = "changed"
+        assert ann.payload["k"] == "v"
+
+
+class TestAnnotationDocument:
+    def make(self):
+        ann = Annotation(
+            annotator="person",
+            label="person",
+            subject_id="t1",
+            payload={"name": "Alice Johnson"},
+            spans=[Span(5, 18)],
+            confidence=0.9,
+            extra_refs=["other-doc"],
+        )
+        return make_annotation_document("ann-1", ann)
+
+    def test_kind_and_refs(self):
+        doc = self.make()
+        assert doc.kind is DocumentKind.ANNOTATION
+        assert doc.refs == ("t1", "other-doc")
+
+    def test_accessors(self):
+        doc = self.make()
+        assert is_annotation_document(doc)
+        assert subject_of(doc) == "t1"
+        assert label_of(doc) == "person"
+        assert payload_of(doc) == {"name": "Alice Johnson"}
+        assert confidence_of(doc) == pytest.approx(0.9)
+        assert spans_of(doc) == [Span(5, 18)]
+
+    def test_metadata_carries_label(self):
+        doc = self.make()
+        assert doc.metadata["label"] == "person"
+        assert doc.metadata["annotator"] == "person"
+
+    def test_payload_searchable_via_text(self):
+        doc = self.make()
+        assert "Alice Johnson" in doc.text
+
+    def test_accessors_reject_non_annotations(self):
+        base = from_text("t1", "plain text")
+        assert not is_annotation_document(base)
+        for accessor in (payload_of, label_of, subject_of, confidence_of, spans_of):
+            with pytest.raises(ValueError):
+                accessor(base)

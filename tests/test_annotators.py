@@ -1,0 +1,138 @@
+"""Unit tests for the annotator suite."""
+
+import pytest
+
+from repro.discovery.annotators import (
+    LexiconAnnotator,
+    PersonAnnotator,
+    RegexAnnotator,
+    SentimentAnnotator,
+    date_annotator,
+    default_annotators,
+    email_address_annotator,
+    money_annotator,
+    phone_annotator,
+)
+from repro.model.annotations import Annotation, make_annotation_document
+from repro.model.converters import from_text
+
+
+def annotate(annotator, text):
+    return annotator.annotate(from_text("d", text))
+
+
+class TestRegexAnnotators:
+    def test_phone(self):
+        anns = annotate(phone_annotator(), "call me at 555-123-4567 today")
+        assert len(anns) == 1
+        assert anns[0].payload["number"] == "5551234567"
+
+    def test_phone_with_parens(self):
+        anns = annotate(phone_annotator(), "office: (408) 555-1234")
+        assert anns[0].payload["number"] == "4085551234"
+
+    def test_money(self):
+        anns = annotate(money_annotator(), "refund of $1,234.56 approved")
+        assert anns[0].payload["amount"] == "1234.56"
+
+    def test_money_multiple(self):
+        anns = annotate(money_annotator(), "was $100, now $80")
+        assert [a.payload["amount"] for a in anns] == ["100", "80"]
+
+    def test_date(self):
+        anns = annotate(date_annotator(), "filed on 2007-01-10 in court")
+        assert anns[0].payload["date"] == "2007-01-10"
+
+    def test_email_address(self):
+        anns = annotate(email_address_annotator(), "contact Bob.Smith@Example.COM now")
+        assert anns[0].payload["address"] == "bob.smith@example.com"
+
+    def test_spans_point_into_text(self):
+        doc = from_text("d", "amount due $42.00 by friday")
+        ann = money_annotator().annotate(doc)[0]
+        span = ann.spans[0]
+        assert doc.text[span.start:span.end] == "$42.00"
+
+    def test_no_matches_no_annotations(self):
+        assert annotate(phone_annotator(), "nothing here") == []
+
+
+class TestLexiconAnnotator:
+    def make(self):
+        return LexiconAnnotator("product", "product_mention", ["WidgetPro", "Gadget Max"], "product")
+
+    def test_case_insensitive_canonicalized(self):
+        anns = annotate(self.make(), "the WIDGETPRO arrived")
+        assert anns[0].payload["product"] == "WidgetPro"
+
+    def test_multiword_entries(self):
+        anns = annotate(self.make(), "ordered a gadget max yesterday")
+        assert anns[0].payload["product"] == "Gadget Max"
+
+    def test_word_boundaries(self):
+        assert annotate(self.make(), "widgetprofessional") == []
+
+    def test_empty_lexicon_rejected(self):
+        with pytest.raises(ValueError):
+            LexiconAnnotator("x", "y", [])
+
+
+class TestPersonAnnotator:
+    def test_honorific_trigger(self):
+        anns = annotate(PersonAnnotator(), "spoke with Dr. Zxyqw Unusualname today")
+        assert anns[0].payload["name"] == "Zxyqw Unusualname"
+        assert anns[0].confidence == pytest.approx(0.95)
+
+    def test_given_name_bigram(self):
+        anns = annotate(PersonAnnotator(), "Alice Johnson filed the claim")
+        assert anns[0].payload["name"] == "Alice Johnson"
+
+    def test_unknown_bigram_ignored(self):
+        anns = annotate(PersonAnnotator(), "Quarterly Report was filed")
+        assert anns == []
+
+    def test_honorific_not_double_counted(self):
+        anns = annotate(PersonAnnotator(), "Ms. Alice Johnson called")
+        names = [a.payload["name"] for a in anns]
+        assert names.count("Alice Johnson") == 1
+
+    def test_custom_given_names(self):
+        annotator = PersonAnnotator(given_names=["zorp"])
+        anns = annotate(annotator, "Zorp Glorbax attended")
+        assert anns[0].payload["name"] == "Zorp Glorbax"
+
+
+class TestSentimentAnnotator:
+    def test_positive(self):
+        anns = annotate(SentimentAnnotator(), "this is excellent, wonderful, great")
+        assert anns[0].payload["polarity"] == "positive"
+        assert anns[0].payload["score"] > 0
+
+    def test_negative(self):
+        anns = annotate(SentimentAnnotator(), "terrible broken awful experience")
+        assert anns[0].payload["polarity"] == "negative"
+
+    def test_mixed_is_neutral(self):
+        anns = annotate(SentimentAnnotator(), "great product but terrible delivery")
+        assert anns[0].payload["polarity"] == "neutral"
+
+    def test_no_sentiment_words_no_annotation(self):
+        assert annotate(SentimentAnnotator(), "the sky is blue") == []
+
+    def test_confidence_grows_with_evidence(self):
+        weak = annotate(SentimentAnnotator(), "good")[0].confidence
+        strong = annotate(SentimentAnnotator(), "good great excellent wonderful love happy")[0].confidence
+        assert strong > weak
+
+
+class TestSuite:
+    def test_default_suite_composition(self):
+        base = default_annotators()
+        assert len(base) == 6
+        with_lexicons = default_annotators(products=["X"], locations=["Y"], procedures=["Z"])
+        assert len(with_lexicons) == 9
+
+    def test_annotators_skip_annotation_documents(self):
+        ann = Annotation("a", "money", "t1", {"amount": "$55.00 refund money"})
+        ann_doc = make_annotation_document("ann-1", ann)
+        assert not money_annotator().applies_to(ann_doc)

@@ -1,0 +1,149 @@
+"""Unit tests for the buffer pool and its prefetch policies (§3.1)."""
+
+import pytest
+
+from repro.storage.bufferpool import (
+    AccessHint,
+    BufferPool,
+    HintedPrefetcher,
+    MINING_RUN_THRESHOLD,
+    NoPrefetcher,
+    PatternMiningPrefetcher,
+)
+from repro.storage.pages import Page
+
+
+class FakeDisk:
+    """20-page single-segment disk that counts physical reads."""
+
+    def __init__(self, pages_per_segment: int = 20) -> None:
+        self.pages_per_segment = pages_per_segment
+        self.reads = []
+
+    def fetch(self, segment_id: int, page_id: int) -> Page:
+        self.reads.append((segment_id, page_id))
+        return Page(page_id=page_id, segment_id=segment_id)
+
+    def segment_pages(self, segment_id: int) -> int:
+        return self.pages_per_segment
+
+
+def make_pool(capacity=8, prefetcher=None, disk=None):
+    disk = disk or FakeDisk()
+    pool = BufferPool(capacity, disk.fetch, disk.segment_pages, prefetcher)
+    return pool, disk
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self):
+        pool, disk = make_pool()
+        pool.get(0, 3)
+        pool.get(0, 3)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert len(disk.reads) == 1
+
+    def test_lru_eviction(self):
+        pool, disk = make_pool(capacity=2)
+        pool.get(0, 0)
+        pool.get(0, 1)
+        pool.get(0, 2)  # evicts page 0
+        assert (0, 0) not in pool
+        assert pool.stats.evictions == 1
+        pool.get(0, 0)
+        assert pool.stats.misses == 4
+
+    def test_access_refreshes_lru(self):
+        pool, _ = make_pool(capacity=2)
+        pool.get(0, 0)
+        pool.get(0, 1)
+        pool.get(0, 0)  # refresh 0
+        pool.get(0, 2)  # should evict 1, not 0
+        assert (0, 0) in pool
+        assert (0, 1) not in pool
+
+    def test_capacity_validation(self):
+        disk = FakeDisk()
+        with pytest.raises(ValueError):
+            BufferPool(0, disk.fetch, disk.segment_pages)
+
+    def test_flush_clears(self):
+        pool, _ = make_pool()
+        pool.get(0, 0)
+        pool.flush()
+        assert pool.resident_pages == 0
+
+
+class TestHintedPrefetch:
+    def test_sequential_hint_prefetches_window(self):
+        pool, disk = make_pool(prefetcher=HintedPrefetcher(window=3))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)
+        assert pool.stats.prefetch_issued == 3
+        assert (0, 1) in pool and (0, 3) in pool
+
+    def test_random_hint_never_prefetches(self):
+        pool, _ = make_pool(prefetcher=HintedPrefetcher())
+        pool.get(0, 0, AccessHint.RANDOM)
+        pool.get(0, 7, AccessHint.RANDOM)
+        assert pool.stats.prefetch_issued == 0
+
+    def test_prefetched_pages_hit_later(self):
+        pool, disk = make_pool(prefetcher=HintedPrefetcher(window=4))
+        for page_id in range(5):
+            pool.get(0, page_id, AccessHint.SEQUENTIAL)
+        assert pool.stats.hits >= 4
+        assert pool.stats.prefetch_used >= 4
+
+    def test_prefetch_bounded_by_segment(self):
+        disk = FakeDisk(pages_per_segment=3)
+        pool, _ = make_pool(prefetcher=HintedPrefetcher(window=10), disk=disk)
+        pool.get(0, 1, AccessHint.SEQUENTIAL)
+        # only page 2 exists beyond page 1
+        assert pool.stats.prefetch_issued == 1
+
+    def test_wasted_prefetch_counted_on_eviction(self):
+        pool, _ = make_pool(capacity=2, prefetcher=HintedPrefetcher(window=4))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)  # prefetch overflows capacity
+        assert pool.stats.prefetch_wasted > 0
+
+    def test_accuracy_metric(self):
+        pool, _ = make_pool(prefetcher=HintedPrefetcher(window=2))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)
+        pool.get(0, 1, AccessHint.SEQUENTIAL)
+        assert 0.0 <= pool.stats.prefetch_accuracy <= 1.0
+
+
+class TestPatternMiningPrefetch:
+    def test_needs_run_before_prefetching(self):
+        pool, _ = make_pool(prefetcher=PatternMiningPrefetcher(window=2))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)  # hint ignored by miner
+        pool.get(0, 1, AccessHint.SEQUENTIAL)
+        assert pool.stats.prefetch_issued == 0
+        pool.get(0, 2, AccessHint.SEQUENTIAL)  # run length 3 reached
+        assert pool.stats.prefetch_issued > 0
+
+    def test_interleaved_access_thrashes_miner(self):
+        """The paper's pathology: pattern change resets the run."""
+        pool, _ = make_pool(capacity=32, prefetcher=PatternMiningPrefetcher())
+        # alternate two interleaved scans: 0,10,1,11,2,12... never sequential
+        for i in range(8):
+            pool.get(0, i, AccessHint.SEQUENTIAL)
+            pool.get(0, 10 + i, AccessHint.SEQUENTIAL)
+        assert pool.stats.prefetch_issued == 0  # miner never catches on
+
+    def test_hinted_handles_interleaved_scans(self):
+        pool, _ = make_pool(capacity=32, prefetcher=HintedPrefetcher(window=2))
+        for i in range(8):
+            pool.get(0, i, AccessHint.SEQUENTIAL)
+            pool.get(0, 10 + i, AccessHint.SEQUENTIAL)
+        assert pool.stats.hits > 0  # plan hints still prefetch usefully
+
+
+class TestObservers:
+    def test_observer_sees_demand_reads(self):
+        pool, _ = make_pool()
+        seen = []
+        pool.page_observers.append(lambda key, page: seen.append(key))
+        pool.get(0, 5)
+        pool.get(0, 5)
+        assert seen == [(0, 5), (0, 5)]

@@ -1,0 +1,189 @@
+"""Unit tests for compression/encryption stages and replica management."""
+
+import pytest
+
+from repro.model.converters import from_relational_row
+from repro.model.document import DocumentKind
+from repro.storage.compression import (
+    Compressor,
+    DictionaryCompressor,
+    XorStreamCipher,
+)
+from repro.storage.replication import (
+    PlacementError,
+    ReliabilityClass,
+    ReplicaManager,
+    class_for_kind,
+)
+
+
+class TestCompressor:
+    def test_round_trip(self):
+        compressor = Compressor()
+        payload = b"hello " * 100
+        assert compressor.decompress(compressor.compress(payload)) == payload
+
+    def test_shrinks_redundant_data(self):
+        compressor = Compressor()
+        compressor.compress(b"abcabcabc" * 200)
+        assert compressor.stats.ratio < 0.5
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            Compressor(level=12)
+
+    def test_stats_accumulate(self):
+        compressor = Compressor()
+        compressor.compress(b"x" * 100)
+        compressor.compress(b"y" * 100)
+        assert compressor.stats.calls == 2
+        assert compressor.stats.bytes_in == 200
+
+
+class TestDictionaryCompressor:
+    def docs(self, n=20):
+        return [
+            from_relational_row(f"r{i}", "orders", {
+                "order_identifier": i,
+                "customer_identifier": i % 5,
+                "total_amount_usd": 10.0 * i,
+            })
+            for i in range(n)
+        ]
+
+    def test_round_trip_preserves_document(self):
+        compressor = DictionaryCompressor()
+        doc = self.docs(1)[0]
+        again = compressor.decompress_document(compressor.compress_document(doc))
+        assert again == doc
+        assert again.metadata == doc.metadata
+
+    def test_dictionary_grows_then_stabilizes(self):
+        compressor = DictionaryCompressor()
+        for doc in self.docs(3):
+            compressor.compress_document(doc)
+        size_after_3 = compressor.dictionary_size
+        for doc in self.docs(20)[3:]:
+            compressor.compress_document(doc)
+        assert compressor.dictionary_size == size_after_3  # same keys
+
+    def test_beats_identity_on_repetitive_rows(self):
+        compressor = DictionaryCompressor()
+        for doc in self.docs(50):
+            compressor.compress_document(doc)
+        assert compressor.stats.ratio < 0.8
+
+
+class TestCipher:
+    def test_round_trip(self):
+        cipher = XorStreamCipher(b"key-material")
+        payload = b"sensitive claim data"
+        assert cipher.decrypt(cipher.encrypt(payload, nonce=7), nonce=7) == payload
+
+    def test_different_nonce_different_ciphertext(self):
+        cipher = XorStreamCipher(b"key")
+        assert cipher.encrypt(b"same", nonce=1) != cipher.encrypt(b"same", nonce=2)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            XorStreamCipher(b"")
+
+
+class TestReliabilityPolicy:
+    def test_base_data_is_gold(self):
+        assert class_for_kind(DocumentKind.BASE) is ReliabilityClass.GOLD
+
+    def test_annotations_silver(self):
+        assert class_for_kind(DocumentKind.ANNOTATION) is ReliabilityClass.SILVER
+
+    def test_derived_bronze(self):
+        assert class_for_kind(DocumentKind.DERIVED) is ReliabilityClass.BRONZE
+
+    def test_replica_counts(self):
+        assert ReliabilityClass.GOLD.replicas == 3
+        assert ReliabilityClass.SILVER.replicas == 2
+        assert ReliabilityClass.BRONZE.replicas == 1
+
+
+class TestReplicaManager:
+    def test_placement_distinct_nodes(self):
+        manager = ReplicaManager([f"n{i}" for i in range(5)])
+        placement = manager.place(0, ReliabilityClass.GOLD)
+        assert len(placement.node_ids) == 3
+        assert placement.satisfied
+
+    def test_placement_balances_load(self):
+        manager = ReplicaManager([f"n{i}" for i in range(4)])
+        for segment in range(8):
+            manager.place(segment, ReliabilityClass.SILVER)
+        loads = [manager.load_of(f"n{i}") for i in range(4)]
+        assert max(loads) - min(loads) <= 1
+
+    def test_insufficient_nodes_raises(self):
+        manager = ReplicaManager(["only"])
+        with pytest.raises(PlacementError):
+            manager.place(0, ReliabilityClass.GOLD)
+
+    def test_duplicate_placement_rejected(self):
+        manager = ReplicaManager([f"n{i}" for i in range(3)])
+        manager.place(0, ReliabilityClass.BRONZE)
+        with pytest.raises(ValueError):
+            manager.place(0, ReliabilityClass.BRONZE)
+
+    def test_failure_triggers_repair(self):
+        manager = ReplicaManager([f"n{i}" for i in range(5)])
+        placement = manager.place(0, ReliabilityClass.GOLD)
+        victim = sorted(placement.node_ids)[0]
+        actions = manager.on_node_failure(victim)
+        assert len(actions) == 1
+        assert manager.placement(0).satisfied
+        assert victim not in manager.placement(0).node_ids
+
+    def test_failure_of_uninvolved_node_no_repairs(self):
+        manager = ReplicaManager([f"n{i}" for i in range(5)])
+        placement = manager.place(0, ReliabilityClass.BRONZE)
+        uninvolved = next(n for n in manager.live_nodes if n not in placement.node_ids)
+        assert manager.on_node_failure(uninvolved) == []
+
+    def test_deficit_when_not_enough_nodes(self):
+        manager = ReplicaManager(["a", "b", "c"])
+        manager.place(0, ReliabilityClass.GOLD)
+        manager.on_node_failure("a")
+        assert manager.under_replicated()
+        assert manager.data_available(0)
+
+    def test_repair_deficits_after_add_node(self):
+        manager = ReplicaManager(["a", "b", "c"])
+        manager.place(0, ReliabilityClass.GOLD)
+        manager.on_node_failure("a")
+        manager.add_node("d")
+        actions = manager.repair_deficits()
+        assert actions and manager.placement(0).satisfied
+
+    def test_double_failure_idempotent(self):
+        manager = ReplicaManager([f"n{i}" for i in range(4)])
+        manager.place(0, ReliabilityClass.SILVER)
+        manager.on_node_failure("n0")
+        assert manager.on_node_failure("n0") == []
+
+    def test_total_loss_detected(self):
+        manager = ReplicaManager(["a", "b"])
+        manager.place(0, ReliabilityClass.BRONZE)
+        holder = next(iter(manager.placement(0).node_ids))
+        manager.on_node_failure(holder)
+        other = next(iter(manager.placement(0).node_ids), None)
+        if other:
+            manager.on_node_failure(other)
+        assert not manager.data_available(0) or manager.placement(0).node_ids
+
+    def test_unknown_node_failure_raises(self):
+        manager = ReplicaManager(["a"])
+        with pytest.raises(LookupError):
+            manager.on_node_failure("ghost")
+
+    def test_deterministic_placement(self):
+        m1 = ReplicaManager([f"n{i}" for i in range(6)])
+        m2 = ReplicaManager([f"n{i}" for i in range(6)])
+        p1 = [sorted(m1.place(s, ReliabilityClass.SILVER).node_ids) for s in range(5)]
+        p2 = [sorted(m2.place(s, ReliabilityClass.SILVER).node_ids) for s in range(5)]
+        assert p1 == p2

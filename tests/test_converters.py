@@ -1,0 +1,140 @@
+"""Unit tests for the ingest converters and their round trips."""
+
+import pytest
+
+from repro.model.converters import (
+    from_csv,
+    from_email,
+    from_json_object,
+    from_relational_row,
+    from_text,
+    from_xml,
+    to_relational_row,
+)
+from repro.model.document import DocumentKind
+
+
+class TestRelational:
+    def test_basic_mapping(self):
+        doc = from_relational_row("r1", "orders", {"oid": 1, "amount": 5.0})
+        assert doc.source_format == "relational"
+        assert doc.metadata["table"] == "orders"
+        assert doc.first(("orders", "amount")) == 5.0
+
+    def test_primary_key_recorded(self):
+        doc = from_relational_row("r1", "t", {"id": 1}, primary_key=["id"])
+        assert doc.metadata["primary_key"] == ["id"]
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(ValueError):
+            from_relational_row("r1", "t", {"id": 1}, primary_key=["other"])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            from_relational_row("r1", "", {"id": 1})
+
+    def test_round_trip(self):
+        row = {"oid": 1, "amount": 5.0, "region": "east"}
+        doc = from_relational_row("r1", "orders", row)
+        assert to_relational_row(doc) == row
+
+    def test_round_trip_wrong_format_raises(self):
+        doc = from_text("t1", "hello world prose")
+        with pytest.raises(ValueError):
+            to_relational_row(doc)
+
+
+class TestCsv:
+    def test_rows_become_documents(self):
+        docs = from_csv("c", "people", "name,age\nalice,30\nbob,25\n")
+        assert len(docs) == 2
+        assert docs[0].first(("people", "name")) == "alice"
+        assert docs[1].metadata["csv_row"] == 1
+
+    def test_no_header_raises(self):
+        with pytest.raises(ValueError):
+            from_csv("c", "t", "")
+
+    def test_custom_delimiter(self):
+        docs = from_csv("c", "t", "a;b\n1;2\n", delimiter=";")
+        assert docs[0].first(("t", "b")) == "2"
+
+
+class TestXml:
+    def test_attributes_and_children(self):
+        doc = from_xml("x1", '<claim id="9"><amount>120.5</amount></claim>')
+        assert doc.first(("claim", "@id")) == "9"
+        assert doc.first(("claim", "amount")) == "120.5"
+
+    def test_repeated_tags_become_lists(self):
+        doc = from_xml("x1", "<r><item>a</item><item>b</item></r>")
+        assert sorted(doc.get(("r", "item"))) == ["a", "b"]
+
+    def test_mixed_text(self):
+        doc = from_xml("x1", "<p>hello<b>bold</b></p>")
+        assert doc.first(("p", "#text")) == "hello"
+        assert doc.first(("p", "b")) == "bold"
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            from_xml("x1", "<unclosed>")
+
+    def test_root_tag_metadata(self):
+        assert from_xml("x1", "<claim/>").metadata["root_tag"] == "claim"
+
+
+class TestEmail:
+    RAW = (
+        "From: alice@example.com\n"
+        "To: bob@example.com, carol@example.com\n"
+        "Subject: quarterly report\n"
+        "\n"
+        "Please find the numbers attached.\nThanks, Alice"
+    )
+
+    def test_headers_parsed(self):
+        doc = from_email("e1", self.RAW)
+        assert doc.first(("email", "headers", "from")) == "alice@example.com"
+        assert doc.metadata["subject"] == "quarterly report"
+
+    def test_recipient_list_split(self):
+        doc = from_email("e1", self.RAW)
+        recipients = doc.get(("email", "headers", "to"))
+        assert "bob@example.com" in recipients
+        assert "carol@example.com" in recipients
+
+    def test_body_preserved(self):
+        doc = from_email("e1", self.RAW)
+        assert "numbers attached" in doc.first(("email", "body"))
+
+    def test_folded_header(self):
+        raw = "Subject: a very\n    long subject\n\nbody"
+        doc = from_email("e1", raw)
+        assert doc.first(("email", "headers", "subject")) == "a very long subject"
+
+    def test_headers_only(self):
+        doc = from_email("e1", "From: x@y.z\nSubject: hi")
+        assert doc.first(("email", "body")) == ""
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(ValueError):
+            from_email("e1", "not a header line\n\nbody")
+
+
+class TestTextAndJson:
+    def test_text_body_and_title(self):
+        doc = from_text("t1", "body prose", title="my title")
+        assert doc.first(("document", "body")) == "body prose"
+        assert doc.first(("document", "title")) == "my title"
+        assert doc.metadata["title"] == "my title"
+
+    def test_text_without_title(self):
+        doc = from_text("t1", "body")
+        assert "title" not in doc.metadata
+
+    def test_json_identity(self):
+        obj = {"nested": {"deep": [1, 2]}}
+        doc = from_json_object("j1", obj, metadata={"src": "api"})
+        assert doc.content == obj
+        assert doc.metadata["src"] == "api"
+        assert doc.kind is DocumentKind.BASE

@@ -1,0 +1,137 @@
+"""Unit tests for the Document model: immutability, versions, identity."""
+
+import pytest
+
+from repro.model.document import Document, DocumentKind
+
+
+def make_doc(**overrides):
+    params = dict(
+        doc_id="d1",
+        content={"order": {"id": 1, "note": "first version of the order"}},
+    )
+    params.update(overrides)
+    return Document(**params)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        doc = make_doc()
+        assert doc.version == 1
+        assert doc.kind is DocumentKind.BASE
+        assert doc.refs == ()
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_doc(doc_id="")
+
+    def test_version_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make_doc(version=0)
+
+    def test_content_is_copied(self):
+        content = {"a": {"b": 1}}
+        doc = Document(doc_id="x", content=content)
+        content["a"]["b"] = 999
+        assert doc.first(("a", "b")) == 1
+
+    def test_refs_tuple(self):
+        doc = make_doc(refs=["r1", "r2"])
+        assert doc.refs == ("r1", "r2")
+
+
+class TestAccess:
+    def test_get_and_first(self):
+        doc = make_doc()
+        assert doc.get(("order", "id")) == [1]
+        assert doc.first(("order", "id")) == 1
+        assert doc.first(("order", "missing"), default=-1) == -1
+
+    def test_text_projection(self):
+        doc = make_doc()
+        assert "first version" in doc.text
+
+    def test_structure(self):
+        doc = make_doc()
+        assert ("order", "id") in doc.structure()
+        assert ("order",) in doc.structure()
+
+    def test_paths_iteration(self):
+        doc = make_doc()
+        paths = dict(doc.paths())
+        assert paths[("order", "id")] == 1
+
+
+class TestVersioning:
+    def test_new_version_increments(self):
+        doc = make_doc()
+        v2 = doc.new_version({"order": {"id": 1, "note": "second"}})
+        assert v2.version == 2
+        assert v2.doc_id == doc.doc_id
+
+    def test_new_version_resets_ingest_ts(self):
+        doc = make_doc(ingest_ts=55)
+        v2 = doc.new_version({"x": 1})
+        assert v2.ingest_ts == 0  # store re-stamps at persist time
+
+    def test_new_version_merges_metadata(self):
+        doc = make_doc(metadata={"a": 1})
+        v2 = doc.new_version({"x": 1}, metadata={"b": 2})
+        assert v2.metadata == {"a": 1, "b": 2}
+
+    def test_original_unchanged_by_new_version(self):
+        doc = make_doc()
+        doc.new_version({"other": True})
+        assert doc.first(("order", "id")) == 1
+        assert doc.version == 1
+
+    def test_with_refs_keeps_version(self):
+        doc = make_doc()
+        linked = doc.with_refs(["x"])
+        assert linked.version == doc.version
+        assert linked.refs == ("x",)
+
+
+class TestIdentity:
+    def test_vid(self):
+        assert make_doc(version=3).vid == ("d1", 3)
+
+    def test_equality_on_vid_and_content(self):
+        assert make_doc() == make_doc()
+        assert make_doc() != make_doc(version=2)
+        assert make_doc() != make_doc(content={"different": 1})
+
+    def test_hashable(self):
+        assert len({make_doc(), make_doc()}) == 1
+
+    def test_digest_stable_under_key_order(self):
+        a = Document(doc_id="x", content={"a": 1, "b": 2})
+        b = Document(doc_id="x", content={"b": 2, "a": 1})
+        assert a.content_digest() == b.content_digest()
+
+    def test_digest_changes_with_content(self):
+        a = Document(doc_id="x", content={"a": 1})
+        b = Document(doc_id="x", content={"a": 2})
+        assert a.content_digest() != b.content_digest()
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        doc = make_doc(
+            kind=DocumentKind.ANNOTATION,
+            metadata={"k": "v"},
+            refs=("a", "b"),
+            ingest_ts=9,
+            source_format="email",
+        )
+        again = Document.from_json(doc.to_json())
+        assert again == doc
+        assert again.kind is DocumentKind.ANNOTATION
+        assert again.metadata == {"k": "v"}
+        assert again.refs == ("a", "b")
+        assert again.ingest_ts == 9
+
+    def test_size_bytes_positive_and_monotone(self):
+        small = Document(doc_id="x", content={"a": "b"})
+        big = Document(doc_id="x", content={"a": "b" * 1000})
+        assert 0 < small.size_bytes() < big.size_bytes()

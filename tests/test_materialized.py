@@ -1,0 +1,141 @@
+"""Tests for materialized query results (Sections 3.2 / 3.4)."""
+
+import pytest
+
+from repro.model.converters import from_relational_row
+from repro.model.document import DocumentKind
+from repro.model.views import base_table_view
+from repro.query.engine import LocalRepository, QueryEngine
+from repro.query.materialized import MaterializationManager, MaterializedQuery
+from repro.storage.replication import ReliabilityClass, class_for_kind
+from repro.storage.store import DocumentStore
+
+
+@pytest.fixture
+def setup():
+    store = DocumentStore()
+    repo = LocalRepository(store)
+    repo.views.define(base_table_view("orders", "orders", ["oid", "region", "amount"]))
+    repo.views.define(base_table_view("customers", "customers", ["cid", "name"]))
+    for i in range(20):
+        store.put(from_relational_row(
+            f"o{i}", "orders",
+            {"oid": i, "region": "east" if i % 2 else "west", "amount": float(i)},
+        ))
+    engine = QueryEngine(repo)
+    manager = MaterializationManager(engine)
+    manager.attach_to_store(store)
+    return store, engine, manager
+
+
+SQL = "SELECT region, sum(amount) AS total FROM orders GROUP BY region"
+
+
+class TestMaterializedQuery:
+    def test_first_read_refreshes(self, setup):
+        _, engine, manager = setup
+        mv = manager.define("by_region", SQL)
+        rows = mv.rows()
+        assert {r["region"] for r in rows} == {"east", "west"}
+        assert mv.stats.refreshes == 1
+        assert mv.is_fresh
+
+    def test_cache_hit_on_second_read(self, setup):
+        _, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        mv.rows()
+        mv.rows()
+        assert mv.stats.refreshes == 1
+        assert mv.stats.cache_hits == 1
+
+    def test_dependency_write_invalidates(self, setup):
+        store, engine, manager = setup
+        mv = manager.define("by_region", SQL)
+        before = mv.rows()
+        store.put(from_relational_row("o99", "orders",
+                                      {"oid": 99, "region": "east", "amount": 1000.0}))
+        assert not mv.is_fresh
+        after = mv.rows()
+        east_before = next(r["total"] for r in before if r["region"] == "east")
+        east_after = next(r["total"] for r in after if r["region"] == "east")
+        assert east_after == east_before + 1000.0
+
+    def test_unrelated_write_keeps_cache(self, setup):
+        store, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        mv.rows()
+        store.put(from_relational_row("c1", "customers", {"cid": 1, "name": "Acme"}))
+        assert mv.is_fresh
+        mv.rows()
+        assert mv.stats.refreshes == 1
+
+    def test_join_dependencies_tracked(self, setup):
+        store, engine, manager = setup
+        mv = manager.define(
+            "joined",
+            "SELECT name, amount FROM orders JOIN customers ON cid = cid",
+        )
+        assert mv.dependencies == frozenset({"orders", "customers"})
+        mv.rows()
+        store.put(from_relational_row("c2", "customers", {"cid": 2, "name": "Beta"}))
+        assert not mv.is_fresh
+
+    def test_cached_result_equals_direct(self, setup):
+        _, engine, manager = setup
+        mv = manager.define("by_region", SQL)
+        assert mv.rows() == engine.sql(SQL).rows
+
+    def test_returned_rows_are_copies(self, setup):
+        _, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        rows = mv.rows()
+        rows.append({"region": "tampered"})
+        assert all(r["region"] != "tampered" for r in mv.rows())
+
+    def test_name_required(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            MaterializedQuery("", SQL, engine)
+
+
+class TestPersistedState:
+    def test_to_document_is_derived_bronze(self, setup):
+        store, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        doc = mv.to_document("mv-1")
+        assert doc.kind is DocumentKind.DERIVED
+        assert class_for_kind(doc.kind) is ReliabilityClass.BRONZE
+        assert doc.first(("materialized", "sql")) == SQL
+        stored = store.put(doc)
+        assert stored.ingest_ts > 0
+
+    def test_persisted_rows_match(self, setup):
+        _, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        doc = mv.to_document("mv-1")
+        assert doc.content["materialized"]["rows"] == mv.rows()
+
+
+class TestManager:
+    def test_duplicate_name_rejected(self, setup):
+        _, _, manager = setup
+        manager.define("x", SQL)
+        with pytest.raises(ValueError):
+            manager.define("x", SQL)
+
+    def test_get_unknown_raises(self, setup):
+        _, _, manager = setup
+        with pytest.raises(KeyError):
+            manager.get("ghost")
+
+    def test_refresh_all_only_dirty(self, setup):
+        store, _, manager = setup
+        a = manager.define("a", SQL)
+        b = manager.define("b", "SELECT count(*) AS n FROM customers")
+        a.rows()
+        b.rows()
+        store.put(from_relational_row("o50", "orders",
+                                      {"oid": 50, "region": "east", "amount": 1.0}))
+        refreshed = manager.refresh_all()
+        assert refreshed == 1  # only the orders-dependent one
+        assert manager.names() == ["a", "b"]

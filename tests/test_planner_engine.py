@@ -1,0 +1,212 @@
+"""Tests for planners and the query engine: plan shapes and correctness."""
+
+import pytest
+
+from repro.model.converters import from_relational_row
+from repro.query.engine import LocalRepository, QueryEngine
+from repro.query.planner import (
+    PhysHashJoin,
+    PhysIndexedJoin,
+    push_filters,
+)
+from repro.query.plans import (
+    Comparison,
+    CompareOp,
+    Conjunction,
+    Filter,
+    Join,
+    ScanView,
+)
+from repro.query.sql import parse_sql
+
+
+def brute_force_join(sales_repo):
+    """Ground truth: orders ⋈ customers via plain python."""
+    orders, customers = [], []
+    for doc in sales_repo.store.scan():
+        table = doc.metadata["table"]
+        row = dict(doc.content[table])
+        (orders if table == "orders" else customers).append(row)
+    joined = []
+    for o in orders:
+        for c in customers:
+            if o["cid"] == c["cid"]:
+                joined.append({**o, **c})
+    return joined
+
+
+class TestSimplePlanner:
+    def test_indexed_join_chosen_for_scan_inner(self, sales_engine):
+        logical = parse_sql("SELECT * FROM orders JOIN customers ON cid = cid")
+        physical = sales_engine.simple_planner.plan(logical)
+        assert isinstance(physical, PhysIndexedJoin)
+        assert physical.inner_view == "customers"
+
+    def test_hash_join_fallback_for_complex_inner(self, sales_engine):
+        logical = Join(
+            ScanView("orders"),
+            Join(ScanView("customers"), ScanView("orders"), "cid", "cid"),
+            "cid",
+            "cid",
+        )
+        physical = sales_engine.simple_planner.plan(logical)
+        assert isinstance(physical, PhysHashJoin)
+
+    def test_deterministic_plans(self, sales_engine):
+        logical = parse_sql("SELECT * FROM orders JOIN customers ON cid = cid WHERE amount > 50")
+        p1 = sales_engine.simple_planner.plan(logical)
+        p2 = sales_engine.simple_planner.plan(logical)
+        assert type(p1) is type(p2)
+
+    def test_never_reorders_joins(self, sales_engine):
+        logical = parse_sql("SELECT * FROM customers JOIN orders ON cid = cid")
+        physical = sales_engine.simple_planner.plan(logical)
+        # outer stays customers (as written), inner is orders
+        assert isinstance(physical, PhysIndexedJoin)
+        assert physical.inner_view == "orders"
+
+
+class TestFilterPushdown:
+    def columns_of(self, view):
+        return {
+            "orders": frozenset({"oid", "cid", "amount", "region"}),
+            "customers": frozenset({"cid", "name", "segment"}),
+        }[view]
+
+    def test_single_side_terms_pushed(self):
+        logical = Filter(
+            Join(ScanView("orders"), ScanView("customers"), "cid", "cid"),
+            Conjunction((
+                Comparison("amount", CompareOp.GT, 100),
+                Comparison("segment", CompareOp.EQ, "smb"),
+            )),
+        )
+        pushed = push_filters(logical, self.columns_of)
+        assert isinstance(pushed, Join)
+        assert isinstance(pushed.left, Filter)
+        assert isinstance(pushed.right, Filter)
+        assert pushed.left.predicate.terms[0].column == "amount"
+        assert pushed.right.predicate.terms[0].column == "segment"
+
+    def test_ambiguous_terms_stay_above(self):
+        logical = Filter(
+            Join(ScanView("orders"), ScanView("customers"), "cid", "cid"),
+            Conjunction((Comparison("cid", CompareOp.EQ, 1),)),
+        )
+        pushed = push_filters(logical, self.columns_of)
+        assert isinstance(pushed, Filter)  # cid exists on both sides
+
+    def test_no_catalog_no_change(self):
+        logical = Filter(
+            Join(ScanView("orders"), ScanView("customers"), "cid", "cid"),
+            Conjunction((Comparison("amount", CompareOp.GT, 100),)),
+        )
+        assert push_filters(logical, None) is logical
+
+
+class TestCostBasedOptimizer:
+    def test_fresh_stats_picks_small_outer(self, sales_engine):
+        stats = sales_engine.collect_statistics(["customers", "orders"])
+        logical = parse_sql("SELECT * FROM orders JOIN customers ON cid = cid")
+        physical = sales_engine.optimizer(stats).plan(logical)
+        # both tiny; optimizer may keep either orientation but must plan
+        assert isinstance(physical, (PhysIndexedJoin, PhysHashJoin))
+
+    def test_stale_stats_change_choice(self, sales_repo):
+        engine = QueryEngine(sales_repo)
+        stats = engine.collect_statistics(["customers", "orders"])
+        # Data grows 100x after collection; estimates are now badly stale,
+        # but the optimizer still trusts them.
+        for i in range(200):
+            sales_repo.store.put(
+                from_relational_row(
+                    f"extra-{i}", "orders",
+                    {"oid": 100 + i, "cid": 1, "amount": 1.0, "region": "east"},
+                )
+            )
+        logical = parse_sql("SELECT * FROM orders JOIN customers ON cid = cid")
+        physical = engine.optimizer(stats).plan(logical)
+        assert isinstance(physical, PhysIndexedJoin)
+        # it still believes orders is small enough to drive probes
+        assert stats.estimate(parse_sql("SELECT * FROM orders")) < 10
+
+    def test_requires_statistics(self, sales_engine):
+        with pytest.raises(ValueError):
+            sales_engine.sql("SELECT * FROM orders", planner="costbased")
+
+
+class TestEngineCorrectness:
+    def test_scan_all(self, sales_engine):
+        rows = sales_engine.sql("SELECT * FROM orders").rows
+        assert len(rows) == 5
+
+    def test_filter(self, sales_engine):
+        rows = sales_engine.sql("SELECT * FROM orders WHERE region = 'east'").rows
+        assert {r["oid"] for r in rows} == {1, 3, 5}
+
+    def test_projection(self, sales_engine):
+        rows = sales_engine.sql("SELECT oid FROM orders LIMIT 2").rows
+        assert all(set(r) == {"oid"} for r in rows)
+
+    def test_join_matches_brute_force(self, sales_engine, sales_repo):
+        expected = brute_force_join(sales_repo)
+        got = sales_engine.sql("SELECT * FROM orders JOIN customers ON cid = cid").rows
+        key = lambda r: (r["oid"],)
+        assert sorted((r["oid"], r["name"]) for r in got) == sorted(
+            (r["oid"], r["name"]) for r in expected
+        )
+
+    def test_both_planners_agree(self, sales_engine):
+        query = (
+            "SELECT name, amount FROM orders JOIN customers ON cid = cid "
+            "WHERE amount > 50 AND segment = 'smb'"
+        )
+        stats = sales_engine.collect_statistics(["customers", "orders"])
+        simple = sales_engine.sql(query, planner="simple").rows
+        costed = sales_engine.sql(query, planner="costbased", statistics=stats).rows
+        normalize = lambda rows: sorted(sorted(r.items()) for r in rows)
+        assert normalize(simple) == normalize(costed)
+
+    def test_group_by(self, sales_engine):
+        rows = sales_engine.sql(
+            "SELECT region, sum(amount) AS total FROM orders GROUP BY region"
+        ).rows
+        by_region = {r["region"]: r["total"] for r in rows}
+        assert by_region == {"east": pytest.approx(195.0), "west": pytest.approx(750.0)}
+
+    def test_order_and_limit(self, sales_engine):
+        rows = sales_engine.sql(
+            "SELECT * FROM orders ORDER BY amount DESC LIMIT 2"
+        ).rows
+        assert [r["oid"] for r in rows] == [4, 2]
+
+    def test_distinct(self, sales_engine):
+        rows = sales_engine.sql("SELECT DISTINCT region FROM orders").rows
+        assert sorted(r["region"] for r in rows) == ["east", "west"]
+
+    def test_contains_predicate(self, sales_engine):
+        rows = sales_engine.sql("SELECT * FROM customers WHERE name CONTAINS 'cm'").rows
+        assert [r["name"] for r in rows] == ["Acme"]
+
+    def test_sim_cost_positive_and_reported(self, sales_engine):
+        result = sales_engine.sql("SELECT * FROM orders WHERE amount > 50")
+        assert result.sim_ms > 0
+        assert "Scan(orders)" in result.plan_text
+
+    def test_unknown_planner_rejected(self, sales_engine):
+        with pytest.raises(ValueError):
+            sales_engine.sql("SELECT * FROM orders", planner="quantum")
+
+    def test_unknown_view_raises(self, sales_engine):
+        with pytest.raises(KeyError):
+            sales_engine.sql("SELECT * FROM ghosts")
+
+    def test_indexed_join_skips_stale_versions(self, sales_repo):
+        engine = QueryEngine(sales_repo)
+        sales_repo.store.update(
+            "c1", {"customers": {"cid": 1, "name": "Acme Renamed", "segment": "enterprise"}}
+        )
+        rows = engine.sql(
+            "SELECT name FROM orders JOIN customers ON cid = cid WHERE oid = 1"
+        ).rows
+        assert rows == [{"name": "Acme Renamed"}]

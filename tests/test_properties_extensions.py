@@ -1,0 +1,224 @@
+"""Property-based tests for the extension subsystems.
+
+Invariants: three-way merge identities, branch/commit isolation, lineage
+ancestry/impact duality, schema-mapper one-to-one-ness, hybrid-query
+conjunction monotonicity, and policy deny-dominance.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.structural import RangeQuery
+from repro.model.document import Document, DocumentKind
+from repro.query.hybrid import HybridQuery, HybridSearch
+from repro.security.policy import (
+    AccessPolicy,
+    Action,
+    Effect,
+    Principal,
+    Rule,
+    Scope,
+)
+from repro.storage.branching import MergeConflict, three_way_merge
+from repro.storage.lineage import LineageIndex
+
+keys = st.text(string.ascii_lowercase, min_size=1, max_size=5)
+scalars = st.one_of(
+    st.integers(-100, 100),
+    st.text(string.ascii_lowercase, max_size=6),
+    st.booleans(),
+)
+flat_trees = st.dictionaries(
+    keys,
+    st.one_of(scalars, st.dictionaries(keys, scalars, max_size=3)),
+    max_size=5,
+)
+
+
+class TestMergeProperties:
+    @given(flat_trees)
+    @settings(max_examples=100)
+    def test_merge_identity(self, tree):
+        assert three_way_merge(tree, tree, tree) == tree
+
+    @given(flat_trees, flat_trees)
+    @settings(max_examples=100)
+    def test_one_side_change_is_taken(self, base, changed):
+        # ours changed everything, theirs untouched: result is ours
+        assert three_way_merge(base, changed, base) == changed
+        assert three_way_merge(base, base, changed) == changed
+
+    @given(flat_trees, flat_trees)
+    @settings(max_examples=100)
+    def test_merge_symmetric_when_no_conflict(self, base, changed):
+        try:
+            ab = three_way_merge(base, changed, base)
+            ba = three_way_merge(base, base, changed)
+        except MergeConflict:
+            return
+        assert ab == ba
+
+    @given(flat_trees, scalars, scalars)
+    @settings(max_examples=100)
+    def test_conflict_iff_different_values(self, base, v1, v2):
+        ours = dict(base)
+        theirs = dict(base)
+        ours["conflict_key"] = v1
+        theirs["conflict_key"] = v2
+        if v1 == v2:
+            merged = three_way_merge(base, ours, theirs)
+            assert merged["conflict_key"] == v1
+        else:
+            base_without = {k: v for k, v in base.items() if k != "conflict_key"}
+            with pytest.raises(MergeConflict):
+                three_way_merge(base_without, ours, theirs)
+
+
+class TestLineageProperties:
+    refs_lists = st.lists(
+        st.tuples(st.integers(0, 15), st.lists(st.integers(0, 15), max_size=3)),
+        min_size=1,
+        max_size=16,
+        unique_by=lambda t: t[0],
+    )
+
+    def build(self, spec):
+        """spec: [(node, [sources...])]; only backward refs kept (DAG)."""
+        index = LineageIndex()
+        for node, sources in spec:
+            valid = tuple(f"d{s}" for s in sources if s < node)
+            index.record(
+                Document(
+                    doc_id=f"d{node}",
+                    content={"n": node},
+                    kind=DocumentKind.DERIVED if valid else DocumentKind.BASE,
+                    refs=valid,
+                )
+            )
+        return index
+
+    @given(refs_lists)
+    @settings(max_examples=100)
+    def test_ancestry_impact_duality(self, spec):
+        index = self.build(spec)
+        nodes = [f"d{n}" for n, _ in spec]
+        for a in nodes:
+            for b in index.ancestry(a):
+                assert a in index.impact(b)
+
+    @given(refs_lists)
+    @settings(max_examples=100)
+    def test_trace_contains_all_ancestry(self, spec):
+        index = self.build(spec)
+        for node, _ in spec:
+            doc_id = f"d{node}"
+            trace = index.trace(doc_id)
+            assert index.ancestry(doc_id) <= set(trace.nodes)
+
+
+class TestPolicyProperties:
+    role_sets = st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=3)
+
+    @given(role_sets, role_sets)
+    @settings(max_examples=100)
+    def test_deny_dominates_any_grant_stack(self, grant_roles, deny_roles):
+        doc = Document(doc_id="d", content={"t": {"x": 1}})
+        policy = AccessPolicy(
+            [
+                Rule("grant", grant_roles, [Action.READ]),
+                Rule("deny", deny_roles, [Action.READ], Scope(), Effect.DENY),
+            ]
+        )
+        for role in grant_roles | deny_roles:
+            principal = Principal("p", [role])
+            allowed = policy.allows(principal, Action.READ, doc)
+            if role in deny_roles:
+                assert not allowed
+            elif role in grant_roles:
+                assert allowed
+
+    @given(role_sets)
+    @settings(max_examples=50)
+    def test_rule_order_irrelevant(self, roles):
+        doc = Document(doc_id="d", content={"t": {"x": 1}})
+        rules = [
+            Rule("g", roles, [Action.READ]),
+            Rule("d", roles, [Action.READ], Scope(), Effect.DENY),
+        ]
+        forward = AccessPolicy(rules)
+        backward = AccessPolicy(list(reversed(rules)))
+        principal = Principal("p", roles)
+        assert forward.allows(principal, Action.READ, doc) == backward.allows(
+            principal, Action.READ, doc
+        )
+
+
+class _MiniRepo:
+    """Tiny repository over an index manager, for hybrid-query properties."""
+
+    def __init__(self, docs):
+        from repro.index.manager import IndexManager
+        from repro.index.facets import source_format_facet
+
+        self.indexes = IndexManager(facets=[source_format_facet()])
+        self._docs = {}
+        for doc in docs:
+            self._docs[doc.doc_id] = doc
+            self.indexes.index_document(doc)
+
+    def documents(self):
+        return list(self._docs.values())
+
+    def lookup(self, doc_id):
+        return self._docs.get(doc_id)
+
+
+class TestHybridProperties:
+    docs_strategy = st.lists(
+        st.tuples(
+            st.integers(0, 1000),
+            st.sampled_from(["east", "west", "north"]),
+            st.floats(0, 100, allow_nan=False, width=32),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+
+    def build(self, rows):
+        docs = [
+            Document(
+                doc_id=f"r{i}",
+                content={"orders": {"oid": i, "region": region, "amount": amount}},
+            )
+            for i, (_, region, amount) in enumerate(rows)
+        ]
+        return _MiniRepo(docs)
+
+    @given(docs_strategy, st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=60)
+    def test_adding_constraint_never_grows_result(self, rows, low):
+        repo = self.build(rows)
+        search = HybridSearch(repo)
+        base = search.candidates(HybridQuery(has_path=[("orders", "amount")]))
+        narrowed = search.candidates(
+            HybridQuery(
+                has_path=[("orders", "amount")],
+                value_ranges=[RangeQuery(("orders", "amount"), low=low)],
+            )
+        )
+        assert narrowed <= base
+
+    @given(docs_strategy)
+    @settings(max_examples=60)
+    def test_candidates_match_brute_force(self, rows):
+        repo = self.build(rows)
+        search = HybridSearch(repo)
+        got = search.candidates(
+            HybridQuery(value_equals=[(("orders", "region"), "east")])
+        )
+        expected = {
+            f"r{i}" for i, (_, region, _) in enumerate(rows) if region == "east"
+        }
+        assert got == expected

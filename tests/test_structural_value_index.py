@@ -1,0 +1,243 @@
+"""Unit tests for structural, value, facet, and join indexes."""
+
+import pytest
+
+from repro.index.facets import FacetIndex, metadata_facet, path_facet, source_format_facet
+from repro.index.joins import JoinEdge, JoinIndex
+from repro.index.structural import RangeQuery, StructuralIndex, ValueIndex
+from repro.model.converters import from_relational_row, from_text, from_xml
+
+
+@pytest.fixture
+def docs():
+    return [
+        from_relational_row("o1", "orders", {"oid": 1, "amount": 10.0, "region": "east"}),
+        from_relational_row("o2", "orders", {"oid": 2, "amount": 99.0, "region": "west"}),
+        from_xml("x1", "<claim><amount>55</amount><part>door</part></claim>"),
+        from_text("t1", "free text body that mentions nothing structured"),
+    ]
+
+
+class TestStructuralIndex:
+    def test_exact_path(self, docs):
+        index = StructuralIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.docs_with_path(("orders", "amount")) == {"o1", "o2"}
+        assert index.docs_with_path(("claim", "amount")) == {"x1"}
+
+    def test_suffix_search_spans_schemas(self, docs):
+        index = StructuralIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.docs_with_suffix(("amount",)) == {"o1", "o2", "x1"}
+
+    def test_multi_component_suffix(self, docs):
+        index = StructuralIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.docs_with_suffix(("claim", "amount")) == {"x1"}
+
+    def test_paths_with_suffix(self, docs):
+        index = StructuralIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.paths_with_suffix(("amount",)) == [
+            ("claim", "amount"),
+            ("orders", "amount"),
+        ]
+
+    def test_remove(self, docs):
+        index = StructuralIndex()
+        for doc in docs:
+            index.add(doc)
+        index.remove("o1")
+        assert index.docs_with_path(("orders", "amount")) == {"o2"}
+        assert index.doc_count == 3
+
+    def test_readd_replaces(self, docs):
+        index = StructuralIndex()
+        index.add(docs[0])
+        index.add(from_relational_row("o1", "returns", {"rid": 1}))
+        assert index.docs_with_path(("orders", "amount")) == set()
+        assert index.docs_with_path(("returns", "rid")) == {"o1"}
+
+    def test_empty_suffix(self, docs):
+        index = StructuralIndex()
+        index.add(docs[0])
+        assert index.docs_with_suffix(()) == set()
+
+
+class TestValueIndex:
+    def test_equality_case_insensitive(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.docs_with_value(("orders", "region"), "EAST") == {"o1"}
+
+    def test_numeric_range(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        found = index.docs_in_range(RangeQuery(("orders", "amount"), low=50, high=100))
+        assert found == {"o2"}
+
+    def test_open_ranges(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.docs_in_range(RangeQuery(("orders", "amount"), low=50)) == {"o2"}
+        assert index.docs_in_range(RangeQuery(("orders", "amount"), high=50)) == {"o1"}
+
+    def test_numeric_strings_indexed(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        # XML "55" is a numeric string
+        assert index.docs_in_range(RangeQuery(("claim", "amount"), 50, 60)) == {"x1"}
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            RangeQuery(("a",), low=5, high=1)
+
+    def test_values_of(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.values_of(("orders", "region")) == ["east", "west"]
+
+    def test_cardinality(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        assert index.cardinality(("orders", "region"), "east") == 1
+        assert index.cardinality(("orders", "region"), "nowhere") == 0
+
+    def test_remove(self, docs):
+        index = ValueIndex()
+        for doc in docs:
+            index.add(doc)
+        index.remove("o2")
+        assert index.docs_with_value(("orders", "region"), "west") == set()
+        assert index.docs_in_range(RangeQuery(("orders", "amount"), 50, 100)) == set()
+
+    def test_nulls_not_indexed(self):
+        index = ValueIndex()
+        index.add(from_relational_row("r", "t", {"a": None, "b": 1}))
+        assert index.docs_with_value(("t", "a"), None) == set()
+
+
+class TestFacetIndex:
+    def make(self, docs):
+        index = FacetIndex(
+            [
+                source_format_facet(),
+                path_facet("region", ("orders", "region")),
+                metadata_facet("table", "table"),
+            ]
+        )
+        for doc in docs:
+            index.add(doc)
+        return index
+
+    def test_counts(self, docs):
+        index = self.make(docs)
+        assert dict(index.counts("format"))["relational"] == 2
+        assert dict(index.counts("region")) == {"east": 1, "west": 1}
+
+    def test_counts_within(self, docs):
+        index = self.make(docs)
+        assert index.counts("region", within={"o1"}) == [("east", 1)]
+
+    def test_drill(self, docs):
+        index = self.make(docs)
+        assert index.docs_with("table", "orders") == {"o1", "o2"}
+
+    def test_aggregate(self, docs):
+        index = self.make(docs)
+        amounts = {"o1": 10.0, "o2": 99.0}
+        report = index.aggregate("region", lambda d: amounts.get(d))
+        assert report["east"]["sum"] == 10.0
+        assert report["west"]["avg"] == 99.0
+
+    def test_unknown_facet_raises(self, docs):
+        index = self.make(docs)
+        with pytest.raises(KeyError):
+            index.counts("ghost")
+
+    def test_duplicate_definition_rejected(self):
+        index = FacetIndex([source_format_facet()])
+        with pytest.raises(ValueError):
+            index.define(source_format_facet())
+
+    def test_remove(self, docs):
+        index = self.make(docs)
+        index.remove("o1")
+        assert index.docs_with("region", "east") == set()
+
+    def test_top_limits(self, docs):
+        index = self.make(docs)
+        assert len(index.counts("format", top=1)) == 1
+
+
+class TestJoinIndex:
+    def make(self):
+        index = JoinIndex()
+        index.add(JoinEdge("mentions", "t1", "p1"))
+        index.add(JoinEdge("mentions", "t2", "p1"))
+        index.add(JoinEdge("replies", "t2", "t3"))
+        index.add(JoinEdge("mentions", "t3", "p2"))
+        return index
+
+    def test_targets_sources(self):
+        index = self.make()
+        assert index.targets("mentions", "t1") == {"p1"}
+        assert index.sources("mentions", "p1") == {"t1", "t2"}
+
+    def test_duplicate_edge_keeps_higher_confidence(self):
+        index = JoinIndex()
+        assert index.add(JoinEdge("r", "a", "b", confidence=0.5))
+        assert not index.add(JoinEdge("r", "a", "b", confidence=0.4))
+        assert index.add(JoinEdge("r", "a", "b", confidence=0.9))
+        assert index.edge_count == 1
+
+    def test_neighbors_bidirectional(self):
+        index = self.make()
+        assert index.neighbors("p1") == {"t1", "t2"}
+        assert index.neighbors("t2") == {"p1", "t3"}
+
+    def test_neighbors_relation_filter(self):
+        index = self.make()
+        assert index.neighbors("t2", relations={"replies"}) == {"t3"}
+
+    def test_connection_bfs_shortest(self):
+        index = self.make()
+        assert index.connection("t1", "p2") == ["t1", "p1", "t2", "t3", "p2"]
+
+    def test_connection_respects_max_hops(self):
+        index = self.make()
+        assert index.connection("t1", "p2", max_hops=2) is None
+
+    def test_connection_self(self):
+        assert self.make().connection("t1", "t1") == ["t1"]
+
+    def test_transitive_closure(self):
+        index = self.make()
+        closure = index.transitive_closure("t1")
+        assert closure == {"p1", "t2", "t3", "p2"}
+
+    def test_closure_hop_limit(self):
+        index = self.make()
+        assert index.transitive_closure("t1", max_hops=1) == {"p1"}
+
+    def test_remove_doc_drops_edges(self):
+        index = self.make()
+        removed = index.remove_doc("p1")
+        assert removed == 2
+        assert index.connection("t1", "t2") is None
+
+    def test_relations_listing(self):
+        assert self.make().relations() == ["mentions", "replies"]
+
+    def test_degree(self):
+        assert self.make().degree("p1") == 2

@@ -1,0 +1,140 @@
+"""Unit tests for the inverted text index: BM25, phrases, maintenance."""
+
+import pytest
+
+from repro.index.text import (
+    InvertedIndex,
+    STOPWORDS,
+    tokenize,
+    tokenize_with_positions,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World-Wide!") == ["hello", "world", "wide"]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the quick fox")
+        assert tokenize("the") == []
+
+    def test_numbers_kept(self):
+        assert "42" in tokenize("item 42 shipped")
+
+    def test_positions_account_for_stopwords(self):
+        pairs = tokenize_with_positions("the quick brown fox")
+        tokens = dict(pairs)
+        assert tokens["quick"] == 1  # "the" consumed position 0
+        assert tokens["fox"] == 3
+
+
+@pytest.fixture
+def index():
+    idx = InvertedIndex()
+    idx.add("d1", "the quick brown fox jumps over the lazy dog")
+    idx.add("d2", "the quick red fox")
+    idx.add("d3", "slow brown turtle walks past the brown fence")
+    return idx
+
+
+class TestSearch:
+    def test_single_term(self, index):
+        ids = [h.doc_id for h in index.search("turtle")]
+        assert ids == ["d3"]
+
+    def test_ranking_prefers_matching_more_terms(self, index):
+        hits = index.search("quick fox", top_k=3)
+        assert hits[0].doc_id in ("d1", "d2")
+        assert all(h.score > 0 for h in hits)
+
+    def test_term_frequency_boosts(self, index):
+        hits = index.search("brown", top_k=2)
+        assert hits[0].doc_id == "d3"  # brown twice
+
+    def test_unknown_term_empty(self, index):
+        assert index.search("zebra") == []
+
+    def test_empty_query(self, index):
+        assert index.search("the") == []
+
+    def test_top_k_limits(self, index):
+        assert len(index.search("fox quick brown", top_k=1)) == 1
+
+    def test_top_k_validation(self, index):
+        with pytest.raises(ValueError):
+            index.search("fox", top_k=0)
+
+    def test_candidates_restrict(self, index):
+        hits = index.search("fox", candidates={"d2"})
+        assert [h.doc_id for h in hits] == ["d2"]
+
+    def test_deterministic_tie_order(self, index):
+        index.add("d4", "the quick red fox")  # identical to d2
+        hits = index.search("red fox", top_k=5)
+        assert [h.doc_id for h in hits][:2] == sorted([h.doc_id for h in hits][:2])
+
+
+class TestBooleanAndPhrase:
+    def test_match_all(self, index):
+        assert index.match_all("quick fox") == {"d1", "d2"}
+        assert index.match_all("quick turtle") == set()
+
+    def test_match_phrase_adjacent(self, index):
+        assert index.match_phrase("quick brown fox") == {"d1"}
+
+    def test_match_phrase_order_matters(self, index):
+        assert index.match_phrase("brown quick fox") == set()
+
+    def test_match_phrase_with_stopword_gap(self, index):
+        assert "d1" in index.match_phrase("jumps over the lazy")
+
+    def test_empty_phrase(self, index):
+        assert index.match_phrase("") == set()
+
+
+class TestMaintenance:
+    def test_remove_unindexes(self, index):
+        index.remove("d1")
+        assert "d1" not in index
+        assert index.match_all("lazy dog") == set()
+        assert index.doc_count == 2
+
+    def test_remove_missing_is_noop(self, index):
+        index.remove("ghost")
+        assert index.doc_count == 3
+
+    def test_re_add_replaces(self, index):
+        index.add("d1", "entirely new words")
+        assert index.match_all("lazy") == set()
+        assert index.match_all("entirely new") == {"d1"}
+        assert index.doc_count == 3
+
+    def test_rebuild_equivalent_to_incremental(self):
+        corpus = [(f"d{i}", f"words common shard{i % 3} unique{i}") for i in range(20)]
+        incremental = InvertedIndex()
+        for doc_id, text in corpus:
+            incremental.add(doc_id, text)
+        rebuilt = InvertedIndex()
+        rebuilt.rebuild(corpus)
+        assert incremental.match_all("shard1") == rebuilt.match_all("shard1")
+        assert incremental.term_count == rebuilt.term_count
+        assert incremental.average_doc_length == rebuilt.average_doc_length
+
+    def test_stats_track_operations(self, index):
+        index.remove("d1")
+        index.rebuild([("a", "one two"), ("b", "three")])
+        assert index.stats.removes == 1
+        assert index.stats.rebuilds == 1
+        assert index.stats.adds >= 5
+
+    def test_average_doc_length_updates(self):
+        idx = InvertedIndex()
+        idx.add("a", "one two three four")
+        before = idx.average_doc_length
+        idx.add("b", "one")
+        assert idx.average_doc_length < before
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("fox") == 2
+        assert index.document_frequency("FOX") == 2
+        assert index.document_frequency("zebra") == 0

@@ -1,0 +1,74 @@
+"""Tests for rolling software upgrades (Section 3.1)."""
+
+import pytest
+
+from repro.cluster.node import NodeKind, SimNode
+from repro.core.upgrades import UpgradeEngine, UpgradePolicy
+
+
+def fleet():
+    nodes = [SimNode(f"data-{i}", NodeKind.DATA) for i in range(8)]
+    nodes += [SimNode(f"grid-{i}", NodeKind.GRID) for i in range(4)]
+    nodes += [SimNode("cluster-0", NodeKind.CLUSTER)]
+    return nodes
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpgradePolicy(max_offline_fraction=0.0)
+        with pytest.raises(ValueError):
+            UpgradePolicy(max_offline_fraction=1.5)
+        with pytest.raises(ValueError):
+            UpgradePolicy(install_ms=0)
+
+
+class TestWaves:
+    def test_wave_size_respects_fraction(self):
+        engine = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.25))
+        waves = engine.plan_waves(fleet())
+        for wave in waves:
+            data_in_wave = sum(1 for n in wave if n.kind is NodeKind.DATA)
+            assert data_in_wave <= 2  # 25% of 8
+
+    def test_every_node_covered_once(self):
+        engine = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.25))
+        waves = engine.plan_waves(fleet())
+        ids = [n.node_id for wave in waves for n in wave]
+        assert sorted(ids) == sorted(n.node_id for n in fleet())
+
+    def test_single_node_flavor_still_upgrades(self):
+        engine = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.1))
+        waves = engine.plan_waves([SimNode("cluster-0", NodeKind.CLUSTER)])
+        assert sum(len(w) for w in waves) == 1
+
+    def test_dead_nodes_skipped(self):
+        nodes = fleet()
+        nodes[0].fail()
+        engine = UpgradeEngine()
+        waves = engine.plan_waves(nodes)
+        ids = {n.node_id for wave in waves for n in wave}
+        assert nodes[0].node_id not in ids
+
+    def test_full_fraction_single_wave_per_flavor(self):
+        engine = UpgradeEngine(UpgradePolicy(max_offline_fraction=1.0))
+        waves = engine.plan_waves(fleet())
+        assert len(waves) == 1
+
+
+class TestApply:
+    def test_waves_serialize_in_time(self):
+        engine = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.25, install_ms=100))
+        nodes = fleet()
+        report = engine.apply(nodes, "v2")
+        assert report.nodes_upgraded == len(nodes)
+        assert report.finish_ms >= 100 * report.wave_count / 1.5  # grid speedup bound
+        assert engine.versions()["data-0"] == "v2"
+
+    def test_more_aggressive_policy_finishes_faster(self):
+        slow = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.13, install_ms=100))
+        fast = UpgradeEngine(UpgradePolicy(max_offline_fraction=0.5, install_ms=100))
+        slow_report = slow.apply(fleet(), "v2")
+        fast_report = fast.apply(fleet(), "v2")
+        assert fast_report.finish_ms < slow_report.finish_ms
+        assert fast_report.wave_count < slow_report.wave_count

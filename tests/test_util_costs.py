@@ -1,0 +1,89 @@
+"""Tests for shared utilities and the execution cost model."""
+
+import pytest
+
+from repro.exec import costs
+from repro.util import IdGenerator, LogicalClock, stable_hash
+
+
+class TestLogicalClock:
+    def test_monotone(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.now == 2
+
+    def test_start_offset(self):
+        assert LogicalClock(start=100).tick() == 101
+
+    def test_observe_advances_past_remote(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.observe(50) == 51
+
+    def test_observe_ignores_stale_remote(self):
+        clock = LogicalClock(start=10)
+        assert clock.observe(3) == 11
+
+
+class TestIdGenerator:
+    def test_sequence(self):
+        gen = IdGenerator("doc")
+        assert gen.next() == "doc-000001"
+        assert gen.next() == "doc-000002"
+
+    def test_iterable(self):
+        gen = iter(IdGenerator("x"))
+        assert next(gen) == "x-000001"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator("")
+
+    def test_independent_generators(self):
+        a, b = IdGenerator("a"), IdGenerator("b")
+        a.next()
+        assert b.next() == "b-000001"
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash("doc-42", 16) == stable_hash("doc-42", 16)
+
+    def test_range(self):
+        for text in ("", "a", "doc-1", "x" * 100):
+            assert 0 <= stable_hash(text, 7) < 7
+
+    def test_spread(self):
+        buckets = {stable_hash(f"doc-{i}", 8) for i in range(200)}
+        assert buckets == set(range(8))
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", 0)
+
+
+class TestCostModel:
+    def test_sort_cost_zero_for_trivial(self):
+        assert costs.sort_cost_ms(0) == 0.0
+        assert costs.sort_cost_ms(1) == 0.0
+
+    def test_sort_cost_superlinear(self):
+        assert costs.sort_cost_ms(2000) > 2 * costs.sort_cost_ms(1000)
+
+    def test_row_bytes_grow_with_content(self):
+        small = costs.estimate_row_bytes({"a": 1})
+        big = costs.estimate_row_bytes({"a": "x" * 500})
+        assert costs.ROW_OVERHEAD_BYTES < small < big
+
+    def test_rows_bytes_sums(self):
+        rows = [{"a": 1}, {"a": 2}]
+        assert costs.estimate_rows_bytes(rows) == sum(
+            costs.estimate_row_bytes(r) for r in rows
+        )
+
+    def test_relative_magnitudes_sane(self):
+        """The cost model's ordering assumptions the experiments rely on."""
+        assert costs.INDEX_PROBE_MS > costs.HASH_PROBE_MS_PER_ROW
+        assert costs.ANNOTATE_MS_PER_KB > costs.COMPRESS_MS_PER_KB
+        assert costs.UPDATE_CPU_MS > costs.FILTER_CPU_MS_PER_ROW

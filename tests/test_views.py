@@ -1,0 +1,156 @@
+"""Unit tests for relational views over documents (Figure 2)."""
+
+import pytest
+
+from repro.model.annotations import Annotation, make_annotation_document
+from repro.model.converters import from_relational_row, from_text
+from repro.model.document import DocumentKind
+from repro.model.views import (
+    RelationalView,
+    ViewCatalog,
+    ViewColumn,
+    annotation_view,
+    base_table_view,
+)
+
+
+@pytest.fixture
+def order_docs():
+    return [
+        from_relational_row("o1", "orders", {"oid": 1, "amount": 10.0}),
+        from_relational_row("o2", "orders", {"oid": 2, "amount": 99.0}),
+        from_relational_row("c1", "customers", {"cid": 1, "name": "Acme"}),
+        from_text("t1", "free text about something else entirely"),
+    ]
+
+
+class TestViewColumn:
+    def test_string_path_accepted(self):
+        col = ViewColumn("amount", "/orders/amount")
+        assert col.path == ("orders", "amount")
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            ViewColumn("x", ("a",), source="weird")
+
+
+class TestRelationalView:
+    def test_base_view_projects_matching_rows(self, order_docs):
+        view = base_table_view("orders", "orders", ["oid", "amount"])
+        rows = list(view.rows(order_docs))
+        assert rows == [{"oid": 1, "amount": 10.0}, {"oid": 2, "amount": 99.0}]
+
+    def test_table_filter_excludes_other_tables(self, order_docs):
+        view = base_table_view("orders", "orders", ["oid"])
+        assert all("cid" not in r for r in view.rows(order_docs))
+
+    def test_predicate_filters_rows(self, order_docs):
+        view = RelationalView(
+            name="big",
+            columns=[ViewColumn("amount", ("orders", "amount"))],
+            table="orders",
+            predicate=lambda r: r["amount"] > 50,
+        )
+        rows = list(view.rows(order_docs))
+        assert rows == [{"amount": 99.0}]
+
+    def test_missing_path_yields_none_column(self, order_docs):
+        view = RelationalView(
+            name="v",
+            columns=[ViewColumn("ghost", ("orders", "ghost"))],
+            table="orders",
+        )
+        assert list(view.rows(order_docs))[0] == {"ghost": None}
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalView("v", [ViewColumn("a", ("x",)), ViewColumn("a", ("y",))])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalView("v", [])
+
+
+class TestAnnotationView:
+    def make_annotation_doc(self):
+        ann = Annotation(
+            annotator="sentiment",
+            label="sentiment",
+            subject_id="t1",
+            payload={"polarity": "negative", "score": -0.8},
+        )
+        return make_annotation_document("ann-1", ann)
+
+    def test_annotation_rows(self, order_docs):
+        docs = order_docs + [self.make_annotation_doc()]
+        view = annotation_view("sentiments", "sentiment", ["polarity", "score"])
+        rows = list(view.rows(docs))
+        assert rows == [
+            {
+                "subject_id": "t1",
+                "confidence": 1.0,
+                "polarity": "negative",
+                "score": -0.8,
+            }
+        ]
+
+    def test_label_filter(self, order_docs):
+        docs = order_docs + [self.make_annotation_doc()]
+        view = annotation_view("people", "person", ["name"])
+        assert list(view.rows(docs)) == []
+
+    def test_subject_columns_widen_rows(self, order_docs):
+        ann_doc = self.make_annotation_doc()
+        docs = order_docs + [ann_doc]
+        lookup = {d.doc_id: d for d in docs}
+        view = annotation_view(
+            "sentiments",
+            "sentiment",
+            ["polarity"],
+            subject_columns={"subject_body": ("document", "body")},
+        )
+        rows = list(view.rows(docs, lookup=lookup.get))
+        assert rows[0]["subject_body"].startswith("free text")
+
+    def test_subject_columns_require_lookup(self):
+        ann_doc = self.make_annotation_doc()
+        view = annotation_view(
+            "s", "sentiment", [], subject_columns={"b": ("document", "body")}
+        )
+        with pytest.raises(ValueError):
+            list(view.rows([ann_doc]))
+
+    def test_missing_subject_yields_null(self):
+        ann_doc = self.make_annotation_doc()
+        view = annotation_view(
+            "s", "sentiment", [], subject_columns={"b": ("document", "body")}
+        )
+        rows = list(view.rows([ann_doc], lookup=lambda _id: None))
+        assert rows[0]["b"] is None
+
+
+class TestViewCatalog:
+    def test_define_get(self):
+        catalog = ViewCatalog()
+        view = base_table_view("orders", "orders", ["oid"])
+        catalog.define(view)
+        assert catalog.get("orders") is view
+        assert "orders" in catalog
+        assert catalog.names() == ["orders"]
+
+    def test_duplicate_define_rejected(self):
+        catalog = ViewCatalog()
+        view = base_table_view("orders", "orders", ["oid"])
+        catalog.define(view)
+        with pytest.raises(ValueError):
+            catalog.define(view)
+
+    def test_replace_allows_redefinition(self):
+        catalog = ViewCatalog()
+        catalog.define(base_table_view("orders", "orders", ["oid"]))
+        catalog.replace(base_table_view("orders", "orders", ["oid", "amount"]))
+        assert catalog.get("orders").column_names == ["oid", "amount"]
+
+    def test_missing_view_raises(self):
+        with pytest.raises(KeyError):
+            ViewCatalog().get("ghost")

@@ -1,0 +1,235 @@
+"""Tests for resource virtualization: groups, brokers, exec/storage mgmt."""
+
+import pytest
+
+from repro.cluster.node import NodeKind, SimNode
+from repro.model.converters import from_text
+from repro.storage.replication import ReliabilityClass, ReplicaManager
+from repro.storage.store import DocumentStore
+from repro.virt.broker import HierarchicalManager, ResourceBroker
+from repro.virt.execmgr import ExecutionManager, Task, TaskClass
+from repro.virt.groups import ResourceGroup, ServiceSpec
+from repro.virt.storagemgr import StorageManager
+
+
+def grid_nodes(n, prefix="g"):
+    return [SimNode(f"{prefix}{i}", NodeKind.GRID) for i in range(n)]
+
+
+class TestResourceGroup:
+    def test_adopt_enforces_role(self):
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID))
+        with pytest.raises(ValueError):
+            group.adopt(SimNode("d0", NodeKind.DATA))
+
+    def test_health_deficit_surplus(self):
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 2, 3), grid_nodes(5))
+        health = group.health()
+        assert health.meets_minimum
+        assert health.surplus == 2
+        assert health.deficit == 0
+
+    def test_relinquish_respects_target(self):
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 2, 3), grid_nodes(5))
+        surrendered = group.relinquish(10)
+        assert len(surrendered) == 2
+        assert len(group) == 3
+
+    def test_relinquish_donates_least_loaded(self):
+        nodes = grid_nodes(4)
+        nodes[0].run(100.0)
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 1, 3), nodes)
+        surrendered = group.relinquish(1)
+        assert surrendered[0].node_id != nodes[0].node_id
+
+    def test_drop_dead_nodes(self):
+        nodes = grid_nodes(3)
+        nodes[1].fail()
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 1, 3), nodes)
+        assert group.drop_dead_nodes() == ["g1"]
+        assert len(group) == 2
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(NodeKind.GRID, min_nodes=0)
+        with pytest.raises(ValueError):
+            ServiceSpec(NodeKind.GRID, min_nodes=3, target_nodes=2)
+
+
+class TestBroker:
+    def test_pool_fills_neediest_group(self):
+        broker = ResourceBroker("b")
+        needy = ResourceGroup("needy", ServiceSpec(NodeKind.GRID, 1, 3), grid_nodes(1))
+        content = ResourceGroup("ok", ServiceSpec(NodeKind.GRID, 1, 1), grid_nodes(1, "h"))
+        broker.register_group(needy)
+        broker.register_group(content)
+        broker.offer(SimNode("new0", NodeKind.GRID))
+        assert len(needy) == 2
+        assert len(content) == 1
+
+    def test_request_from_pool(self):
+        broker = ResourceBroker("b")
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 1, 2), grid_nodes(1))
+        broker.register_group(group)
+        broker.offer(SimNode("spare", NodeKind.GRID))  # goes straight to group
+        assert len(group) == 2
+
+    def test_request_via_donation(self):
+        broker = ResourceBroker("b")
+        rich = ResourceGroup("rich", ServiceSpec(NodeKind.GRID, 1, 1), grid_nodes(3))
+        poor = ResourceGroup("poor", ServiceSpec(NodeKind.GRID, 1, 2), grid_nodes(1, "p"))
+        broker.register_group(rich)
+        broker.register_group(poor)
+        granted = broker.request(poor, 1)
+        assert len(granted) == 1
+        assert broker.stats.transfers == 1
+        assert len(rich) == 2
+
+    def test_escalation_to_parent(self):
+        parent = ResourceBroker("parent")
+        parent.offer(SimNode("up0", NodeKind.GRID))
+        child = ResourceBroker("child", parent=parent)
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 1, 2), grid_nodes(1))
+        child.register_group(group)
+        granted = child.request(group, 1)
+        assert len(granted) == 1
+        assert child.stats.escalations == 1
+
+    def test_unfillable_returns_partial(self):
+        broker = ResourceBroker("b")
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 1, 5), grid_nodes(1))
+        broker.register_group(group)
+        assert broker.request(group, 3) == []
+
+
+class TestHierarchicalManager:
+    def test_reconcile_recovers_failure(self):
+        broker = ResourceBroker("b")
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 2, 3), grid_nodes(3))
+        broker.register_group(group)
+        broker.offer(SimNode("spare0", NodeKind.GRID))  # absorbed? target met, stays pooled
+        group.nodes[0].fail()
+        manager = HierarchicalManager([broker])
+        grants = manager.reconcile()
+        assert grants.get("g", 0) >= 1
+        assert group.health().meets_minimum
+        assert manager.degraded_groups() == []
+
+    def test_degraded_when_no_capacity(self):
+        broker = ResourceBroker("b")
+        group = ResourceGroup("g", ServiceSpec(NodeKind.GRID, 2, 2), grid_nodes(2))
+        broker.register_group(group)
+        for node in group.nodes:
+            node.fail()
+        manager = HierarchicalManager([broker])
+        manager.reconcile()
+        assert manager.degraded_groups() == ["g"]
+
+
+class TestExecutionManager:
+    def test_interactive_preempts_background_backlog(self):
+        manager = ExecutionManager(grid_nodes(1), background_share=0.2)
+        for i in range(50):
+            manager.submit(Task(f"bg{i}", 20.0, TaskClass.BACKGROUND))
+        manager.run_quantum(100.0)  # background starts draining
+        manager.submit(Task("query", 5.0, TaskClass.INTERACTIVE))
+        manager.run_quantum(100.0)
+        latencies = manager.latencies(TaskClass.INTERACTIVE)
+        assert latencies and latencies[0] < 150.0
+
+    def test_background_uses_idle_capacity(self):
+        manager = ExecutionManager(grid_nodes(2))
+        for i in range(4):
+            manager.submit(Task(f"bg{i}", 10.0, TaskClass.BACKGROUND))
+        manager.run_quantum(100.0)
+        assert manager.stats.dispatched_background == 4
+
+    def test_background_share_bounds_interference(self):
+        manager = ExecutionManager(grid_nodes(1), background_share=0.1)
+        for i in range(100):
+            manager.submit(Task(f"bg{i}", 10.0, TaskClass.BACKGROUND))
+        manager.submit(Task("q", 1.0, TaskClass.INTERACTIVE))
+        n_int, n_bg = manager.run_quantum(100.0)
+        assert n_int == 1
+        # At most the protected share (10ms => one 10ms task) of background
+        # work ran BEFORE the query; the rest back-filled idle capacity
+        # after the interactive queue drained.
+        query = next(t for t in manager.completed if t.label == "q")
+        before_query = [
+            t for t in manager.completed
+            if t.task_class is TaskClass.BACKGROUND and t.started_at < query.started_at
+        ]
+        assert len(before_query) <= 1
+
+    def test_priority_orders_within_class(self):
+        manager = ExecutionManager(grid_nodes(1))
+        manager.submit(Task("low", 1.0, TaskClass.INTERACTIVE, priority=0))
+        manager.submit(Task("high", 1.0, TaskClass.INTERACTIVE, priority=5))
+        manager.run_quantum(100.0)
+        assert manager.completed[0].label == "high"
+
+    def test_actions_executed(self):
+        manager = ExecutionManager(grid_nodes(1))
+        ran = []
+        manager.submit(Task("t", 1.0, TaskClass.BACKGROUND, action=lambda: ran.append(1)))
+        manager.run_until_idle()
+        assert ran == [1]
+
+    def test_run_until_idle_drains(self):
+        manager = ExecutionManager(grid_nodes(2))
+        for i in range(10):
+            manager.submit(Task(f"t{i}", 5.0, TaskClass.INTERACTIVE))
+        manager.run_until_idle(quantum_ms=20.0)
+        assert manager.pending_interactive == 0
+        assert len(manager.completed) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionManager([])
+        with pytest.raises(ValueError):
+            ExecutionManager(grid_nodes(1), background_share=2.0)
+        manager = ExecutionManager(grid_nodes(1))
+        with pytest.raises(ValueError):
+            manager.run_quantum(0)
+
+
+class TestStorageManager:
+    def make(self, n_nodes=4):
+        store = DocumentStore(page_bytes=512, segment_pages=2)
+        manager = StorageManager(store, ReplicaManager([f"d{i}" for i in range(n_nodes)]))
+        return store, manager
+
+    def test_sealed_segments_placed_automatically(self):
+        store, manager = self.make()
+        for i in range(30):
+            store.put(from_text(f"t{i}", "content " * 20))
+        assert manager.stats.segments_placed > 0
+        assert manager.stats.admin_actions == 0
+
+    def test_base_data_classified_gold(self):
+        store, manager = self.make()
+        for i in range(30):
+            store.put(from_text(f"t{i}", "content " * 20))
+        placements = manager.replicas.placements()
+        assert all(p.reliability is ReliabilityClass.GOLD for p in placements)
+
+    def test_failure_recovery_no_admin(self):
+        store, manager = self.make()
+        for i in range(30):
+            store.put(from_text(f"t{i}", "content " * 20))
+        manager.place_open_segments()
+        actions = manager.on_node_failure("d0")
+        assert actions
+        assert manager.data_loss_risk() == []
+        assert manager.stats.admin_actions == 0
+        assert manager.service_report()["under_replicated"] == []
+
+    def test_added_node_repairs_deficits(self):
+        store, manager = self.make(n_nodes=3)
+        for i in range(30):
+            store.put(from_text(f"t{i}", "content " * 20))
+        manager.place_open_segments()
+        manager.on_node_failure("d0")
+        assert manager.replicas.under_replicated()
+        manager.on_node_added("d9")
+        assert not manager.replicas.under_replicated()

@@ -1,0 +1,216 @@
+"""Workload generators + the three Section 2.1 use cases end-to-end."""
+
+import pytest
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.discovery.relationships import RelationshipRule
+from repro.model.views import annotation_view
+from repro.workloads.callcenter import CallCenterWorkload
+from repro.workloads.insurance import InsuranceWorkload
+from repro.workloads.legal import LegalWorkload
+from repro.workloads.relational import RelationalWorkload
+
+
+class TestGenerators:
+    def test_relational_deterministic(self):
+        a = [d.to_json() for d in RelationalWorkload(seed=3, n_orders=50).documents()]
+        b = [d.to_json() for d in RelationalWorkload(seed=3, n_orders=50).documents()]
+        assert a == b
+
+    def test_relational_seed_changes_data(self):
+        a = [d.to_json() for d in RelationalWorkload(seed=3, n_orders=50).documents()]
+        b = [d.to_json() for d in RelationalWorkload(seed=4, n_orders=50).documents()]
+        assert a != b
+
+    def test_callcenter_truths_align(self):
+        workload = CallCenterWorkload(n_customers=5, n_transcripts=15)
+        docs = {d.doc_id: d for d in workload.documents()}
+        for truth in workload.truths:
+            text = docs[truth.doc_id].text
+            assert truth.customer_name in text
+            for product in truth.products:
+                assert product in text
+
+    def test_insurance_inflation_rate(self):
+        workload = InsuranceWorkload(n_claims=200, inflation_rate=0.1, seed=1)
+        list(workload.documents())
+        rate = len(workload.inflated_claims()) / 200
+        assert 0.04 < rate < 0.2
+
+    def test_legal_backbone_connected(self):
+        workload = LegalWorkload(n_companies=8, n_contracts=9)
+        list(workload.documents())
+        assert workload.transitive_partners(0) == set(range(1, 8))
+
+
+@pytest.fixture(scope="module")
+def crm_app():
+    """Call-center appliance with the full corpus discovered."""
+    workload = CallCenterWorkload(n_customers=10, n_transcripts=30, seed=11)
+    app = Impliance(ApplianceConfig(
+        n_data_nodes=2, n_grid_nodes=1,
+        product_lexicon=workload.product_lexicon(),
+    ))
+    app.add_relationship_rule(
+        RelationshipRule("mentions", "product_mention", "product", ("products", "name"))
+    )
+    for doc in workload.documents():
+        app.ingest_document(doc)
+    app.discover()
+    return app, workload
+
+
+class TestCallCenterUseCase:
+    """Section 2.1.1: extract product mentions + sentiment from calls."""
+
+    def test_product_mention_recall(self, crm_app):
+        app, workload = crm_app
+        truth = workload.truth_mentions()
+        found = set()
+        for edge in app.indexes.joins.edges_of("mentions"):
+            product_doc = app.lookup(edge.to_doc)
+            found.add((edge.from_doc, product_doc.first(("products", "name"))))
+        recall = len(found & truth) / len(truth)
+        assert recall == 1.0  # lexicon annotator is exact on planted data
+
+    def test_sentiment_accuracy(self, crm_app):
+        app, workload = crm_app
+        app.define_view(annotation_view("call_sentiment", "sentiment", ["polarity"]))
+        rows = app.sql("SELECT subject_id, polarity FROM call_sentiment").rows
+        got = {r["subject_id"]: r["polarity"] for r in rows}
+        truth = workload.truth_polarity()
+        scored = [d for d in truth if d in got and truth[d] != "neutral"]
+        correct = sum(1 for d in scored if got[d] == truth[d])
+        assert scored and correct / len(scored) > 0.9
+
+    def test_cross_sell_query_connects_transcript_to_master_data(self, crm_app):
+        app, workload = crm_app
+        truth = sorted(workload.truth_mentions())
+        transcript, product_name = truth[0]
+        product_doc = next(
+            d for d in app.documents()
+            if d.metadata.get("table") == "products"
+            and d.first(("products", "name")) == product_name
+        )
+        connection = app.graph().how_connected(transcript, product_doc.doc_id)
+        assert connection is not None and connection.hops == 1
+
+
+@pytest.fixture(scope="module")
+def insurance_app():
+    workload = InsuranceWorkload(n_claims=60, seed=23)
+    app = Impliance(ApplianceConfig(
+        n_data_nodes=2, n_grid_nodes=1,
+        procedure_lexicon=workload.procedure_lexicon(),
+    ))
+    for doc in workload.documents():
+        app.ingest_document(doc)
+    app.discover()
+    return app, workload
+
+
+class TestInsuranceUseCase:
+    """Section 2.1.2: relate content to structured data, find excess."""
+
+    def test_procedures_extracted_from_forms(self, insurance_app):
+        app, _ = insurance_app
+        labels = {
+            d.metadata.get("label")
+            for d in app.documents()
+            if d.kind.value == "annotation"
+        }
+        assert "procedure_mention" in labels
+
+    def test_excessive_claims_found_by_sql(self, insurance_app):
+        app, workload = insurance_app
+        rows = app.sql(
+            "SELECT procedure, min(amount) AS floor FROM claims GROUP BY procedure"
+        ).rows
+        floor = {r["procedure"]: r["floor"] for r in rows}
+        suspects = set()
+        for row in app.sql("SELECT claim_id, procedure, amount FROM claims").rows:
+            if row["amount"] > 2.0 * floor[row["procedure"]]:
+                suspects.add(f"ins-claim-{row['claim_id']}")
+        planted = workload.inflated_claims()
+        assert planted and planted <= suspects
+
+    def test_mining_flags_amount_exceptions(self, insurance_app):
+        app, workload = insurance_app
+        for _ in app.documents():
+            pass  # drive buffer traffic for the piggyback miner
+        flagged = {
+            doc_id for doc_id, _, _ in app.miner.exceptions(("claims", "amount"), 2.5)
+        }
+        assert flagged & workload.inflated_claims()
+
+    def test_structural_search_spans_claim_schemas(self, insurance_app):
+        app, _ = insurance_app
+        # both relational claims and XML accident reports carry amounts
+        claim_docs = app.indexes.structure.docs_with_suffix(("amount",))
+        report_docs = app.indexes.structure.docs_with_suffix(("estimate",))
+        assert claim_docs and report_docs
+
+
+@pytest.fixture(scope="module")
+def legal_app():
+    workload = LegalWorkload(n_companies=6, n_contracts=7, n_emails=30, seed=31)
+    app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+    for doc in workload.documents():
+        app.ingest_document(doc)
+    # Contract references in mail: CTR-0001 style ids are extracted by a
+    # custom regex annotator and linked to contract rows by rule.
+    from repro.discovery.annotators import RegexAnnotator
+
+    app.add_annotator(
+        RegexAnnotator("contract-ref", "contract_ref", r"\bCTR-\d{4}\b", "ref")
+    )
+    app.discover()
+    return app, workload
+
+
+class TestLegalUseCase:
+    """Section 2.1.3: locate responsive documents, transitive closure."""
+
+    def test_responsive_emails_found_by_search(self, legal_app):
+        app, workload = legal_app
+        responsive = workload.responsive_emails(0)
+        if not responsive:
+            pytest.skip("seed produced no responsive mail for company 0")
+        hits = {h.doc_id for h in app.search("contract amendment", top_k=50)}
+        assert responsive & hits
+
+    def test_contract_refs_annotated(self, legal_app):
+        app, workload = legal_app
+        from repro.model.annotations import subject_of
+
+        annotated_mails = {
+            subject_of(d) for d in app.documents()
+            if d.metadata.get("label") == "contract_ref"
+        }
+        expected = {
+            doc_id for doc_id, c in workload.email_contract.items() if c is not None
+        }
+        assert annotated_mails == expected
+
+    def test_partnership_closure_matches_truth(self, legal_app):
+        app, workload = legal_app
+        # Build partnership edges from contract rows via the join index.
+        from repro.index.joins import JoinEdge
+
+        for row in app.sql("SELECT contract_id, party_a, party_b FROM contracts").rows:
+            app.indexes.joins.add(
+                JoinEdge("partner", f"lgl-co-{row['party_a']}", f"lgl-co-{row['party_b']}")
+            )
+        closure = app.graph().closure("lgl-co-0", relations={"partner"})
+        got = {int(doc_id.rsplit("-", 1)[1]) for doc_id in closure}
+        assert got == workload.transitive_partners(0)
+
+    def test_legal_hold_via_versioning(self, legal_app):
+        app, _ = legal_app
+        doc = app.lookup("lgl-mail-0")
+        app.update_document("lgl-mail-0", {"email": {"redacted": True}})
+        home = app.cluster.home_of("lgl-mail-0")
+        # the original is preserved for the court
+        original = home.store.get_version("lgl-mail-0", doc.version)
+        assert "redacted" not in str(original.content)
