@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test verify smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) benchmarks/bench_fig1_pipeline.py --quick
+
+# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke.
+verify: test smoke
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -5,9 +5,18 @@ and retrieved unchanged immediately; asynchronous discovery then enriches
 it, after which retrieval can answer questions the raw data could not
 (connection queries, annotation-backed search) — without re-ingesting
 anything.
+
+Stage timings in the report come from the appliance's telemetry layer
+(``app.stats()``), not ad-hoc stopwatches; the pure ingest-throughput
+test runs with telemetry disabled so it measures the raw path.
+
+Runs standalone too: ``python benchmarks/bench_fig1_pipeline.py --quick``
+is the smoke target ``make verify`` uses (no pytest-benchmark needed).
 """
 
 from __future__ import annotations
+
+import argparse
 
 import pytest
 
@@ -19,13 +28,16 @@ from repro.workloads.callcenter import CallCenterWorkload
 from conftest import once, print_table
 
 
-def build_app():
-    workload = CallCenterWorkload(n_customers=20, n_transcripts=60, seed=11)
+def build_app(n_customers: int = 20, n_transcripts: int = 60, telemetry: bool = True):
+    workload = CallCenterWorkload(
+        n_customers=n_customers, n_transcripts=n_transcripts, seed=11
+    )
     app = Impliance(
         ApplianceConfig(
             n_data_nodes=2,
             n_grid_nodes=1,
             product_lexicon=workload.product_lexicon(),
+            telemetry=telemetry,
         )
     )
     app.add_relationship_rule(
@@ -34,19 +46,25 @@ def build_app():
     return app, workload
 
 
+@pytest.mark.smoke
 def test_fig1_ingest_throughput(benchmark):
-    """Stage 1: infusion of a mixed-format corpus, no schema, no prep."""
+    """Stage 1: infusion of a mixed-format corpus, no schema, no prep.
+
+    Telemetry is off here: this is the raw hot path, and the disabled
+    telemetry layer must cost nothing measurable (<2% of throughput).
+    """
     workload = CallCenterWorkload(n_customers=20, n_transcripts=60, seed=11)
     docs = list(workload.documents())
 
     def ingest():
-        app, _ = build_app()
+        app, _ = build_app(telemetry=False)
         for doc in docs:
             app.ingest_document(doc)
         return app
 
     app = benchmark(ingest)
     assert app.doc_count == len(docs)
+    assert not app.telemetry.enabled
 
 
 def test_fig1_discovery_pass(benchmark):
@@ -58,45 +76,60 @@ def test_fig1_discovery_pass(benchmark):
     processed = once(benchmark, app.discover)
     assert processed == app.discovery.stats.docs_processed
     assert app.discovery.stats.annotations_created > 0
+    # The same number flows through the telemetry counters.
+    assert app.telemetry.value("discovery.docs_processed") == processed
 
 
-def test_fig1_pipeline_report(benchmark):
-    """The full Figure-1 story, with before/after retrieval capability."""
+def run_pipeline(n_customers: int = 20, n_transcripts: int = 60):
+    """The full Figure-1 story, instrumented end to end by telemetry."""
+    app, workload = build_app(n_customers=n_customers, n_transcripts=n_transcripts)
+    for doc in workload.documents():
+        app.ingest(doc)
 
-    def pipeline():
-        app, workload = build_app()
-        for doc in workload.documents():
-            app.ingest_document(doc)
+    # Immediately retrievable, unchanged (the quick ladle).
+    sample = workload.truths[0]
+    raw = app.lookup(sample.doc_id)
+    assert raw is not None and raw.source_format == "text"
+    before_hits = app.search(sample.products[0], top_k=50)
+    # Retrieval by *discovered* vocabulary: impossible before discovery
+    # (no transcript says the word "negative"), answered after via
+    # folded sentiment annotations.
+    before_sentiment_hits = app.search("negative polarity", top_k=50)
 
-        # Immediately retrievable, unchanged (the quick ladle).
-        sample = workload.truths[0]
-        raw = app.lookup(sample.doc_id)
-        assert raw is not None and raw.source_format == "text"
-        before_hits = app.search(sample.products[0], top_k=50)
-        # Retrieval by *discovered* vocabulary: impossible before discovery
-        # (no transcript says the word "negative"), answered after via
-        # folded sentiment annotations.
-        before_sentiment_hits = app.search("negative polarity", top_k=50)
+    # Connection query BEFORE discovery: no associations exist yet.
+    product_doc_id = next(
+        d.doc_id for d in app.documents()
+        if d.metadata.get("table") == "products"
+        and d.first(("products", "name")) == sample.products[0]
+    )
+    before_connection = app.connections(sample.doc_id, product_doc_id)
 
-        # Connection query BEFORE discovery: no associations exist yet.
-        product_doc_id = next(
-            d.doc_id for d in app.documents()
-            if d.metadata.get("table") == "products"
-            and d.first(("products", "name")) == sample.products[0]
-        )
-        before_connection = app.graph().how_connected(sample.doc_id, product_doc_id)
+    app.discover()
 
-        app.discover()
+    after_connection = app.connections(sample.doc_id, product_doc_id)
+    after_hits = app.search(sample.products[0], top_k=50)
+    after_sentiment_hits = app.search("negative polarity", top_k=50)
+    return (app, before_hits, before_connection, after_hits,
+            after_connection, before_sentiment_hits, after_sentiment_hits)
 
-        after_connection = app.graph().how_connected(sample.doc_id, product_doc_id)
-        after_hits = app.search(sample.products[0], top_k=50)
-        after_sentiment_hits = app.search("negative polarity", top_k=50)
-        return (app, before_hits, before_connection, after_hits,
-                after_connection, before_sentiment_hits, after_sentiment_hits)
 
+def stage_timing_rows(app) -> list:
+    """Per-stage wall/sim timings straight from the telemetry layer."""
+    spans = app.stats()["spans"]
+    rows = []
+    for stage in ("ingest", "discovery.pass", "query.search", "query.graph"):
+        if stage in spans:
+            s = spans[stage]
+            rows.append([
+                stage, s["count"],
+                round(s["wall_ms"], 2), round(s["sim_ms"], 2),
+            ])
+    return rows
+
+
+def report_pipeline(result) -> None:
     (app, before_hits, before_conn, after_hits, after_conn,
-     before_sent, after_sent) = once(benchmark, pipeline)
-
+     before_sent, after_sent) = result
     print_table(
         "FIG1: retrieval capability before vs after discovery",
         ["capability", "before", "after"],
@@ -105,13 +138,54 @@ def test_fig1_pipeline_report(benchmark):
             ["hits by discovered sentiment", len(before_sent), len(after_sent)],
             ["annotations", 0, app.discovery.stats.annotations_created],
             ["join edges", 0, app.indexes.joins.edge_count],
-            ["connection query", before_conn is not None, after_conn is not None],
+            ["connection query", bool(before_conn), bool(after_conn)],
         ],
     )
+    print_table(
+        "FIG1: stage timings (from telemetry)",
+        ["stage", "calls", "wall ms", "sim ms"],
+        stage_timing_rows(app),
+    )
+
+
+@pytest.mark.smoke
+def test_fig1_pipeline_report(benchmark):
+    """The full Figure-1 story, with before/after retrieval capability."""
+    result = once(benchmark, run_pipeline)
+    (app, before_hits, before_conn, after_hits, after_conn,
+     before_sent, after_sent) = result
+    report_pipeline(result)
 
     # Shape assertions: the enrichment is strictly additive.
-    assert before_conn is None and after_conn is not None
+    assert not before_conn and after_conn
+    assert after_conn.connection is not None
     assert len(after_hits) >= len(before_hits)
     # the sentiment query is unanswerable before, answered after
     assert len(before_sent) == 0 and len(after_sent) > 0
     assert app.discovery.stats.annotations_created > 0
+    # Telemetry saw every stage: infusion, discovery, retrieval.
+    timings = {row[0] for row in stage_timing_rows(app)}
+    assert {"ingest", "discovery.pass", "query.search"} <= timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small corpus smoke run (the make-verify target)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        result = run_pipeline(n_customers=5, n_transcripts=12)
+    else:
+        result = run_pipeline()
+    report_pipeline(result)
+    app = result[0]
+    assert app.discovery.stats.annotations_created > 0
+    assert {"ingest", "discovery.pass"} <= set(app.stats()["spans"])
+    print("\nFIG1 pipeline smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,7 +68,7 @@ def test_fig2_round_trip_report(benchmark):
         count_row = app.sql("SELECT count(*) AS n FROM orders").rows[0]
 
         # 3. discovery annotates; annotations come back through a view
-        app.ingest_text(
+        app.ingest(
             "Review: order ord-0 was flagged, refund of $1,200.00 issued, terrible."
         )
         app.discover()

@@ -104,10 +104,10 @@ def test_ing_dwell_analysis_report(benchmark):
         for event in workload.events():
             app.ingest_document(event)
         # an implausibly strong read (tag on the antenna) is an exception
-        app.ingest_row("rfid_events", {
+        app.ingest({
             "event_id": 999_999, "tag": "TAG-GHOST", "reader": "reader-0",
             "location": "dock", "seq": 0, "rssi": -1.0,
-        }, doc_id="rfid-ghost")
+        }, table="rfid_events", doc_id="rfid-ghost")
         for _ in app.documents():  # ordinary scan drives the miner
             pass
         return app.miner.exceptions(("rfid_events", "rssi"), z_threshold=3.0)

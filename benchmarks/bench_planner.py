@@ -211,15 +211,15 @@ def test_plan_topk_indexed_nl_report(benchmark):
         app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
         # master data: 2000 customers
         for i in range(2000):
-            app.ingest_row("customers", {"cid": i, "name": f"Customer {i}"},
-                           doc_id=f"cust-{i}")
+            app.ingest({"cid": i, "name": f"Customer {i}"}, table="customers",
+                       doc_id=f"cust-{i}")
         # searchable notes referencing customers
         for i in range(300):
-            app.ingest_row(
-                "notes",
+            app.ingest(
                 {"note_id": i, "cid": (7 * i) % 2000,
                  "body": f"note {i} mentions keyword alpha" if i % 3 == 0
                  else f"note {i} other text"},
+                table="notes",
                 doc_id=f"note-{i}",
             )
 

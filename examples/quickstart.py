@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: the Impliance "stewing pot" in five minutes.
 
-Throw data of any shape in with no preparation, search it immediately,
-let discovery simmer, then query the enriched result through all four
-interfaces (keyword, faceted, SQL, graph).
+Throw data of any shape in with no preparation — one ``ingest()`` call,
+format sniffed — search it immediately, let discovery simmer, then query
+the enriched result through all four interfaces (keyword, faceted, SQL,
+graph).  The appliance watches itself too: the closing stats snapshot
+comes from the built-in telemetry layer.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ApplianceConfig, Impliance
+from repro import ApplianceConfig, Impliance, format_snapshot
 from repro.discovery.relationships import RelationshipRule
 from repro.model.views import annotation_view
 
@@ -18,20 +20,21 @@ def main() -> None:
     app = Impliance(ApplianceConfig(product_lexicon=("WidgetPro", "GadgetMax")))
     print("appliance online:", app.cluster.inventory.total, "nodes detected")
 
-    # 2. Infuse data in whatever shape it arrives. No schema declared.
-    app.ingest_row("products", {"pid": 1, "name": "WidgetPro", "price": 129.0})
-    app.ingest_row("products", {"pid": 2, "name": "GadgetMax", "price": 349.0})
-    app.ingest_text(
+    # 2. Infuse data in whatever shape it arrives. No schema declared,
+    #    no format flag needed — ingest() sniffs it.
+    app.ingest({"pid": 1, "name": "WidgetPro", "price": 129.0}, table="products")
+    app.ingest({"pid": 2, "name": "GadgetMax", "price": 349.0}, table="products")
+    app.ingest(
         "Call transcript: Ms. Alice Johnson is delighted with the WidgetPro. "
         "She may also want the GadgetMax. Reach her at 555-123-4567."
     )
-    app.ingest_email(
+    app.ingest(
         "From: alice@example.com\nTo: sales@vendor.example\n"
         "Subject: GadgetMax quote\n\n"
         "Hi - Alice Johnson here again. Could you quote the GadgetMax? "
         "My budget is $400.00."
     )
-    app.ingest_xml("<inventory><sku>WidgetPro</sku><stock>42</stock></inventory>")
+    app.ingest("<inventory><sku>WidgetPro</sku><stock>42</stock></inventory>")
     print("documents infused:", app.doc_count)
 
     # 3. Ladle out the unchanged ingredients immediately.
@@ -49,11 +52,11 @@ def main() -> None:
           f"created {app.discovery.stats.annotations_created} annotations, "
           f"found {app.indexes.joins.edge_count} associations")
 
-    # 5. The enriched stew: ask how things are connected.
+    # 5. The enriched stew: ask how things are connected — every query
+    #    interface returns the same QueryResult shape.
     transcript = hits[0].doc_id
-    product_row = app.sql("SELECT * FROM products WHERE name = 'WidgetPro'").rows[0]
-    connection = app.graph().how_connected(transcript, "row-products-000001")
-    print("connection:", connection.render() if connection else "none")
+    result = app.connections(transcript, "row-products-000001")
+    print("connection:", result.connection.render() if result else "none")
 
     # 6. Annotations come back to SQL through a system-supplied view.
     app.define_view(annotation_view("people", "person", ["name"]))
@@ -65,6 +68,11 @@ def main() -> None:
 
     # 8. One health pane, zero admin actions.
     print("health:", app.health())
+
+    # 9. And the appliance's own account of what it just did: documents
+    #    ingested, annotations produced, queries served, span timings.
+    print()
+    print(format_snapshot(app.stats(), title="appliance telemetry"))
 
 
 if __name__ == "__main__":

@@ -23,10 +23,10 @@ def main() -> None:
                                     product_lexicon=("WidgetPro",)))
 
     # -- data: contracts plus a public note -----------------------------
-    app.ingest_row("contracts", {"kid": 1, "party": "Acme", "value": 250_000.0},
-                   doc_id="k1")
-    app.ingest_row("salaries", {"emp": 7, "amount": 180_000.0}, doc_id="pay7")
-    app.ingest_text("public note: the WidgetPro launch went great", doc_id="note1")
+    app.ingest({"kid": 1, "party": "Acme", "value": 250_000.0},
+               table="contracts", doc_id="k1")
+    app.ingest({"emp": 7, "amount": 180_000.0}, table="salaries", doc_id="pay7")
+    app.ingest("public note: the WidgetPro launch went great", doc_id="note1")
     app.discover()
 
     # -- 1. policy-driven access control ---------------------------------

@@ -7,8 +7,8 @@ Quick start::
     from repro import Impliance
 
     app = Impliance()
-    app.ingest_row("products", {"pid": 1, "name": "WidgetPro"})
-    app.ingest_text("Ms. Alice Johnson loves the WidgetPro!")
+    app.ingest({"pid": 1, "name": "WidgetPro"}, table="products")
+    app.ingest("Ms. Alice Johnson loves the WidgetPro!")
     app.discover()                      # asynchronous in production;
                                         # synchronous drain for scripts
     hits = app.search("widget")
@@ -21,7 +21,18 @@ paper-claim reproductions.
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
 from repro.model.document import Document, DocumentKind
+from repro.obs import Telemetry, format_snapshot
+from repro.query.result import QueryResult
 
 __version__ = "1.0.0"
 
-__all__ = ["Impliance", "ApplianceConfig", "Document", "DocumentKind", "__version__"]
+__all__ = [
+    "Impliance",
+    "ApplianceConfig",
+    "Document",
+    "DocumentKind",
+    "Telemetry",
+    "QueryResult",
+    "format_snapshot",
+    "__version__",
+]

@@ -49,13 +49,12 @@ class ImplianceSystem(InformationSystem):
     def store(self, item: Item) -> None:
         app = self._require_app()
         if item.fmt == "relational" and item.table:
-            app.ingest_row(item.table, dict(item.content), doc_id=item.item_id)
-        elif item.fmt == "email":
-            app.ingest_email(item.content, doc_id=item.item_id)
-        elif item.fmt == "xml":
-            app.ingest_xml(item.content, doc_id=item.item_id)
+            app.ingest(dict(item.content), "relational", table=item.table,
+                       doc_id=item.item_id)
+        elif item.fmt in ("email", "xml"):
+            app.ingest(item.content, item.fmt, doc_id=item.item_id)
         else:
-            app.ingest_text(str(item.content), doc_id=item.item_id)
+            app.ingest(str(item.content), "text", doc_id=item.item_id)
 
     def retrieve(self, item_id: str) -> Any:
         document = self._require_app().lookup(item_id)

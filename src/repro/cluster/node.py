@@ -98,6 +98,10 @@ class SimNode:
         self.busy_ms = 0.0
         self.log: List[WorkRecord] = []
         self.alive = True
+        # Telemetry hook: None (the default) keeps run() at zero
+        # observability overhead; the cluster attaches an enabled
+        # Telemetry here (see ImplianceCluster.attach_telemetry).
+        self.telemetry = None
         # Data nodes own a store + local indexes; others have none.
         self.store: Optional[DocumentStore] = None
         self.indexes: Optional[IndexManager] = None
@@ -125,6 +129,10 @@ class SimNode:
         self.available_at = end
         self.busy_ms += duration
         self.log.append(WorkRecord(label, start, end))
+        if self.telemetry is not None:
+            self.telemetry.on_node_work(
+                self.node_id, self.kind.value, operator or label, duration
+            )
         return end
 
     def estimate(self, cost_ms: float, operator: Optional[str] = None) -> float:

@@ -71,6 +71,7 @@ class ImplianceCluster:
         self._nodes: Dict[str, SimNode] = {}
         self._generation = 0
         self._buffer_capacity = buffer_capacity
+        self._telemetry = None
         for i in range(n_data):
             self._add(SimNode(f"data-{i}", NodeKind.DATA, store_clock=self.clock,
                               buffer_capacity=buffer_capacity))
@@ -108,6 +109,8 @@ class ImplianceCluster:
             buffer_capacity=self._buffer_capacity,
         )
         self._add(node)
+        if self._telemetry is not None:
+            node.telemetry = self._telemetry
         if kind is NodeKind.CLUSTER:
             self.consistency_group.join(node)
         self._inventory = self.detect_topology()
@@ -139,6 +142,20 @@ class ImplianceCluster:
     @property
     def inventory(self) -> TopologyInventory:
         return self._inventory
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.obs.Telemetry` into every node timeline.
+
+        Only an *enabled* telemetry is attached — nodes keep a None hook
+        otherwise, so the per-``run()`` hot path pays nothing when
+        observability is off.  Nodes added later inherit the hook.
+        """
+        self._telemetry = telemetry if telemetry.enabled else None
+        for node in self._nodes.values():
+            node.telemetry = self._telemetry
 
     # ------------------------------------------------------------------
     # node access

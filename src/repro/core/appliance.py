@@ -10,8 +10,8 @@ engine, execution management, storage management, and rolling upgrades.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
+import warnings
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.cluster.network import Network
 from repro.cluster.node import NodeKind, SimNode
@@ -32,13 +32,16 @@ from repro.model.converters import (
     from_relational_row,
     from_text,
     from_xml,
+    sniff_format,
 )
 from repro.model.document import Document, DocumentKind
 from repro.model.views import RelationalView, ViewCatalog, base_table_view
-from repro.query.engine import QueryEngine, QueryResult
+from repro.obs.telemetry import Telemetry
+from repro.query.engine import QueryEngine
 from repro.query.faceted import FacetedSession
 from repro.query.graph import GraphQuery
-from repro.query.keyword import KeywordHit, KeywordSearch
+from repro.query.keyword import KeywordSearch
+from repro.query.result import QueryResult
 from repro.storage.replication import ReplicaManager
 from repro.util import IdGenerator
 from repro.virt.execmgr import ExecutionManager, Task, TaskClass
@@ -61,6 +64,8 @@ class Impliance:
 
     def __init__(self, config: Optional[ApplianceConfig] = None) -> None:
         self.config = config if config is not None else ApplianceConfig()
+        # Observability first: every other subsystem threads through it.
+        self.telemetry = Telemetry(enabled=self.config.telemetry)
         self.cluster = ImplianceCluster(
             n_data=self.config.n_data_nodes,
             n_grid=self.config.n_grid_nodes,
@@ -71,14 +76,16 @@ class Impliance:
             ),
             buffer_capacity=self.config.buffer_capacity,
         )
+        self.cluster.attach_telemetry(self.telemetry)
         # Single-system-image catalog: a global index over everything,
         # plus the view catalog legacy SQL applications use (Figure 2).
         self.indexes = IndexManager(
-            facets=[source_format_facet(), metadata_facet("table", "table")]
+            facets=[source_format_facet(), metadata_facet("table", "table")],
+            telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         self.views = ViewCatalog()
-        self.engine = QueryEngine(self)
-        self.executor = ParallelExecutor(self.cluster)
+        self.engine = QueryEngine(self, telemetry=self.telemetry)
+        self.executor = ParallelExecutor(self.cluster, telemetry=self.telemetry)
         self.miner = PiggybackMiner()
 
         annotators = default_annotators(
@@ -90,6 +97,7 @@ class Impliance:
             repository=self,
             persist=self._persist_annotation,
             annotators=annotators,
+            telemetry=self.telemetry,
         )
         self.background = ExecutionManager(
             self.cluster.grid_nodes or self.cluster.data_nodes,
@@ -99,11 +107,16 @@ class Impliance:
 
         # Per-data-node storage managers + a miner on each buffer pool.
         self._storage_managers: List[StorageManager] = []
+        storage_telemetry = self.telemetry if self.telemetry.enabled else None
         data_ids = [n.node_id for n in self.cluster.data_nodes]
         for node in self.cluster.data_nodes:
             assert node.store is not None
             self._storage_managers.append(
-                StorageManager(node.store, ReplicaManager(data_ids))
+                StorageManager(
+                    node.store,
+                    ReplicaManager(data_ids, telemetry=storage_telemetry),
+                    telemetry=storage_telemetry,
+                )
             )
             self.miner.attach(node.store.buffer_pool)
             node.store.put_listeners.append(self._on_any_put)
@@ -175,7 +188,76 @@ class Impliance:
         data node, indexes it, queues discovery)."""
         home, _ = self.cluster.ingest(document)
         assert home.store is not None
+        self.telemetry.inc("ingest.docs")
         return home.store.versions.head(document.doc_id)
+
+    def ingest(
+        self,
+        payload: Any,
+        format: Optional[str] = None,
+        *,
+        table: Optional[str] = None,
+        doc_id: Optional[str] = None,
+        title: str = "",
+        primary_key: Optional[Sequence[str]] = None,
+        metadata: Optional[Mapping[str, Any]] = None,
+        delimiter: str = ",",
+    ) -> Union[Document, List[Document]]:
+        """Throw anything in the pot: the single ingestion entry point.
+
+        *payload* may be a :class:`Document`, a mapping (a relational row
+        when *table* is given, a JSON tree otherwise), or a string of XML,
+        e-mail, CSV (*table* required), or free text.  When *format* is
+        omitted the payload is sniffed (:func:`sniff_format`); pass one of
+        ``"document"``, ``"relational"``, ``"json"``, ``"xml"``,
+        ``"email"``, ``"csv"``, ``"text"`` to override.
+
+        Returns the persisted :class:`Document` — or a list of them for
+        CSV, which yields one document per record.
+        """
+        fmt = format or sniff_format(payload, table=table)
+        with self.telemetry.span("ingest", format=fmt) as span:
+            if fmt == "document":
+                result: Union[Document, List[Document]] = self.ingest_document(payload)
+            elif fmt == "relational":
+                if table is None:
+                    raise ValueError("relational ingest requires table=")
+                the_id = doc_id or self._next_id(f"row-{table}")
+                result = self.ingest_document(
+                    from_relational_row(the_id, table, payload, primary_key)
+                )
+            elif fmt == "json":
+                the_id = doc_id or self._next_id("doc")
+                result = self.ingest_document(from_json_object(the_id, payload, metadata))
+            elif fmt == "xml":
+                the_id = doc_id or self._next_id("xml")
+                result = self.ingest_document(from_xml(the_id, payload))
+            elif fmt == "email":
+                the_id = doc_id or self._next_id("eml")
+                result = self.ingest_document(from_email(the_id, payload))
+            elif fmt == "csv":
+                if table is None:
+                    raise ValueError("CSV ingest requires table=")
+                prefix = doc_id or self._next_id(f"csv-{table}")
+                result = [
+                    self.ingest_document(d)
+                    for d in from_csv(prefix, table, payload, delimiter=delimiter)
+                ]
+            elif fmt == "text":
+                the_id = doc_id or self._next_id("txt")
+                result = self.ingest_document(from_text(the_id, payload, title))
+            else:
+                raise ValueError(f"unknown ingest format {fmt!r}")
+            span.tag("docs", len(result) if isinstance(result, list) else 1)
+        self.telemetry.inc(f"ingest.format.{fmt}")
+        return result
+
+    def _deprecated_shim(self, old: str, new: str) -> None:
+        warnings.warn(
+            f"Impliance.{old}() is deprecated; use {new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
     def ingest_row(
         self,
@@ -184,29 +266,37 @@ class Impliance:
         primary_key: Optional[Sequence[str]] = None,
         doc_id: Optional[str] = None,
     ) -> Document:
-        doc_id = doc_id or self._next_id(f"row-{table}")
-        return self.ingest_document(from_relational_row(doc_id, table, row, primary_key))
+        """Deprecated: use :meth:`ingest` with ``table=``."""
+        self._deprecated_shim("ingest_row", "ingest(row, table=...)")
+        return self.ingest(
+            row, "relational", table=table, primary_key=primary_key, doc_id=doc_id
+        )
 
     def ingest_text(self, text: str, title: str = "", doc_id: Optional[str] = None) -> Document:
-        doc_id = doc_id or self._next_id("txt")
-        return self.ingest_document(from_text(doc_id, text, title))
+        """Deprecated: use :meth:`ingest`."""
+        self._deprecated_shim("ingest_text", "ingest(text)")
+        return self.ingest(text, "text", title=title, doc_id=doc_id)
 
     def ingest_email(self, raw: str, doc_id: Optional[str] = None) -> Document:
-        doc_id = doc_id or self._next_id("eml")
-        return self.ingest_document(from_email(doc_id, raw))
+        """Deprecated: use :meth:`ingest`."""
+        self._deprecated_shim("ingest_email", "ingest(raw)")
+        return self.ingest(raw, "email", doc_id=doc_id)
 
     def ingest_xml(self, payload: str, doc_id: Optional[str] = None) -> Document:
-        doc_id = doc_id or self._next_id("xml")
-        return self.ingest_document(from_xml(doc_id, payload))
+        """Deprecated: use :meth:`ingest`."""
+        self._deprecated_shim("ingest_xml", "ingest(payload)")
+        return self.ingest(payload, "xml", doc_id=doc_id)
 
     def ingest_csv(self, table: str, payload: str) -> List[Document]:
-        prefix = self._next_id(f"csv-{table}")
-        return [self.ingest_document(d) for d in from_csv(prefix, table, payload)]
+        """Deprecated: use :meth:`ingest` with ``table=``."""
+        self._deprecated_shim("ingest_csv", "ingest(payload, table=...)")
+        return self.ingest(payload, "csv", table=table)
 
     def ingest_json(self, obj: Any, doc_id: Optional[str] = None,
                     metadata: Optional[Mapping[str, Any]] = None) -> Document:
-        doc_id = doc_id or self._next_id("doc")
-        return self.ingest_document(from_json_object(doc_id, obj, metadata))
+        """Deprecated: use :meth:`ingest`."""
+        self._deprecated_shim("ingest_json", "ingest(obj)")
+        return self.ingest(obj, "json", doc_id=doc_id, metadata=metadata)
 
     def update_document(self, doc_id: str, content: Any) -> Document:
         """Versioned update through the consistency group (never in
@@ -298,11 +388,20 @@ class Impliance:
         return consolidated
 
     # ------------------------------------------------------------------
-    # query interfaces
+    # query interfaces — every entry point returns a QueryResult
     # ------------------------------------------------------------------
-    def search(self, query: str, top_k: int = 10) -> List[KeywordHit]:
-        """Keyword search — works out of the box (Section 3.2.1)."""
-        return KeywordSearch(self).search(query, top_k=top_k)
+    def search(self, query: str, top_k: int = 10) -> QueryResult:
+        """Keyword search — works out of the box (Section 3.2.1).
+
+        Returns a :class:`QueryResult` whose payload is the ranked
+        :class:`KeywordHit` list (iterable/indexable exactly like the
+        list it used to return).
+        """
+        with self.telemetry.span("query.search", query=query) as span:
+            hits = KeywordSearch(self).search(query, top_k=top_k)
+            span.tag("hits", len(hits))
+        self.telemetry.inc("query.search")
+        return QueryResult.from_hits(hits, trace=span.record())
 
     def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
         """SQL over views (Figure 2's legacy-application path)."""
@@ -310,11 +409,27 @@ class Impliance:
 
     def faceted(self, query: Optional[str] = None) -> FacetedSession:
         """Start a guided-search session."""
-        return FacetedSession(self, query)
+        return FacetedSession(self, query, telemetry=self.telemetry)
 
     def graph(self) -> GraphQuery:
         """The graph/connection query interface."""
-        return GraphQuery(self)
+        return GraphQuery(self, telemetry=self.telemetry)
+
+    def connections(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 4,
+        relations: Optional[Sequence[str]] = None,
+    ) -> QueryResult:
+        """Graph search through the unified result surface: how is
+        *source* connected to *target*?  Empty (falsy) result when no
+        path exists; otherwise ``result.connection`` holds the
+        :class:`ConnectionResult` and ``result.rows`` the edge list.
+        """
+        return self.graph().connected(
+            source, target, max_hops=max_hops, relations=relations
+        )
 
     def as_of(self, ts: int):
         """Time-travel: a queryable snapshot of the whole appliance at
@@ -327,7 +442,7 @@ class Impliance:
 
         return SnapshotRepository(self, ts, views=self.views)
 
-    def find(self, query, top_k: int = 10):
+    def find(self, query, top_k: int = 10) -> QueryResult:
         """Hybrid search: one conjunctive query over content, structure,
         values, facets, and annotations (Section 3.2's unified search).
 
@@ -335,7 +450,11 @@ class Impliance:
         """
         from repro.query.hybrid import HybridSearch
 
-        return HybridSearch(self).search(query, top_k=top_k)
+        with self.telemetry.span("query.hybrid") as span:
+            hits = HybridSearch(self).search(query, top_k=top_k)
+            span.tag("hits", len(hits))
+        self.telemetry.inc("query.hybrid")
+        return QueryResult.from_hits(hits, trace=span.record())
 
     def define_view(self, view: RelationalView) -> None:
         self.views.define(view)
@@ -412,6 +531,21 @@ class Impliance:
             ),
             "admin_actions": 0,
         }
+
+    def stats(self) -> Dict[str, Any]:
+        """One snapshot of everything the telemetry layer observed, plus
+        the appliance facts ``health()`` reports: counters, gauges,
+        histograms, span timings, document/annotation totals.  Feed it to
+        :func:`repro.obs.format_snapshot` for a printable report.
+        """
+        snapshot = self.telemetry.snapshot()
+        snapshot["appliance"] = {
+            "documents": self.cluster.doc_count,
+            "discovery_backlog": self.discovery.backlog,
+            "annotations": self.discovery.stats.annotations_created,
+            "join_edges": self.indexes.joins.edge_count,
+        }
+        return snapshot
 
     @property
     def doc_count(self) -> int:

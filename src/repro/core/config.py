@@ -29,6 +29,10 @@ class ApplianceConfig:
     network_bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_MS
     #: Background work's protected share of scheduling quanta.
     background_share: float = 0.25
+    #: Observability: when True the appliance records metrics and traces
+    #: (``Impliance.telemetry`` / ``Impliance.stats()``).  When False the
+    #: telemetry layer is a guaranteed no-op on every hot path.
+    telemetry: bool = True
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()

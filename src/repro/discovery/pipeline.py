@@ -21,6 +21,7 @@ from repro.discovery.resolution import EntityResolver, Mention
 from repro.model.annotations import Annotation, make_annotation_document
 from repro.model.document import Document, DocumentKind
 from repro.model.schema import SchemaRegistry
+from repro.obs.telemetry import DISABLED, Telemetry
 from repro.util import IdGenerator
 
 
@@ -60,8 +61,10 @@ class DiscoveryEngine:
         annotators: Sequence[Annotator],
         rules: Iterable[RelationshipRule] = (),
         entity_labels: Optional[Dict[str, str]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.repository = repository
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self._persist = persist
         self.annotators = list(annotators)
         self.schema_registry = SchemaRegistry()
@@ -112,39 +115,49 @@ class DiscoveryEngine:
         relationship rules.
         """
         processed = 0
-        while self._queue and (budget is None or processed < budget):
-            doc_id = self._queue.popleft()
-            self._queued.discard(doc_id)
-            document = self.repository.lookup(doc_id)
-            if document is None:
-                continue
-            self.process_document(document)
-            processed += 1
+        with self.telemetry.span("discovery.pass") as span:
+            while self._queue and (budget is None or processed < budget):
+                doc_id = self._queue.popleft()
+                self._queued.discard(doc_id)
+                document = self.repository.lookup(doc_id)
+                if document is None:
+                    continue
+                self.process_document(document)
+                processed += 1
+            span.tag("processed", processed)
         if processed:
             self.stats.passes += 1
+            self.telemetry.inc("discovery.passes")
+        self.telemetry.set_gauge("discovery.backlog", len(self._queue))
         return processed
 
     def process_document(self, document: Document) -> List[Document]:
         """Run the full discovery suite on one document; returns the
         persisted annotation documents."""
-        self.schema_registry.register(document)
-        self._processed.add(document.vid)
-        persisted: List[Document] = []
-        for annotator in self.annotators:
-            if not annotator.applies_to(document):
-                continue
-            for annotation in annotator.annotate(document):
-                persisted.append(self._handle_annotation(annotation))
+        with self.telemetry.span("discovery.doc", doc=document.doc_id) as span:
+            self.schema_registry.register(document)
+            self._processed.add(document.vid)
+            persisted: List[Document] = []
+            for annotator in self.annotators:
+                if not annotator.applies_to(document):
+                    continue
+                for annotation in annotator.annotate(document):
+                    persisted.append(self._handle_annotation(annotation))
+            span.tag("annotations", len(persisted))
         self.stats.docs_processed += 1
+        self.telemetry.inc("discovery.docs_processed")
         return persisted
 
     def _handle_annotation(self, annotation: Annotation) -> Document:
         ann_doc = make_annotation_document(self._ids.next(), annotation)
         stored = self._persist(ann_doc)
         self.stats.annotations_created += 1
+        self.telemetry.inc("discovery.annotations")
 
         edges = self._relationships.on_annotation(annotation)
         self.stats.edges_added += len(edges)
+        if edges:
+            self.telemetry.inc("discovery.edges", len(edges))
 
         payload_field = self._entity_labels.get(annotation.label)
         if payload_field is not None:
@@ -157,6 +170,8 @@ class DiscoveryEngine:
                     annotation.subject_id, entity.doc_ids
                 )
                 self.stats.edges_added += len(co_edges)
+                if co_edges:
+                    self.telemetry.inc("discovery.edges", len(co_edges))
         return stored
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.exec.operators import (
     top_k,
 )
 from repro.model.document import Document
+from repro.obs.telemetry import DISABLED, Telemetry
 
 DocExtractor = Callable[[Document], Optional[Row]]
 RowPredicate = Callable[[Row], bool]
@@ -86,13 +87,29 @@ class ParallelExecutor:
     paper placement (grid work crews).
     """
 
-    def __init__(self, cluster: ImplianceCluster, use_scheduler: bool = False) -> None:
+    def __init__(
+        self,
+        cluster: ImplianceCluster,
+        use_scheduler: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.cluster = cluster
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self.scheduler = None
         if use_scheduler:
             from repro.cluster.scheduler import OperatorScheduler
 
             self.scheduler = OperatorScheduler(cluster)
+
+    def _note_stage(self, label: str, rows: int, bytes_shipped: int = 0) -> None:
+        """Per-stage metrics; node sim time is charged by SimNode.run."""
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.inc("exec.stages")
+        self.telemetry.inc(f"exec.stage.{label}")
+        self.telemetry.observe("exec.stage_rows", rows)
+        if bytes_shipped:
+            self.telemetry.inc("exec.bytes_shipped", bytes_shipped)
 
     def _choose_compute_node(
         self, operator: str, cost_ms: float, partitions: Partitions
@@ -149,6 +166,7 @@ class ParallelExecutor:
             finish = node.run(cost, after, label=label, operator="scan")
             partitions[node.node_id] = (rows, finish)
             total_rows += len(rows)
+        self._note_stage(label, total_rows)
         if report is not None:
             report.record(
                 StageTiming(
@@ -181,6 +199,7 @@ class ParallelExecutor:
             rows = [{"doc_id": h.doc_id, "score": h.score} for h in hits]
             partitions[node.node_id] = (rows, finish)
             total += len(rows)
+        self._note_stage(label, total)
         if report is not None:
             report.record(
                 StageTiming(
@@ -214,6 +233,7 @@ class ParallelExecutor:
                 shipped_bytes += nbytes
             gathered.extend(rows)
             ready = max(ready, produced_at + wire)
+        self._note_stage(label, len(gathered), shipped_bytes)
         if report is not None:
             report.record(
                 StageTiming(
@@ -242,6 +262,7 @@ class ParallelExecutor:
         finish = node.run(
             len(rows) * costs.FILTER_CPU_MS_PER_ROW, after, label=label, operator="filter"
         )
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -263,6 +284,7 @@ class ParallelExecutor:
             + len(left) * costs.HASH_PROBE_MS_PER_ROW
         )
         finish = node.run(cost, after, label=label, operator="join")
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -283,6 +305,7 @@ class ParallelExecutor:
         probe_wire = self.cluster.network.latency_ms * 2 if self.cluster.data_nodes else 0
         cost = len(left) * costs.INDEX_PROBE_MS
         finish = node.run(cost, after + probe_wire * min(1, len(left)), label=label, operator="join")
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -299,6 +322,7 @@ class ParallelExecutor:
     ) -> Tuple[List[Row], float]:
         result = sort_rows(rows, keys, descending)
         finish = node.run(costs.sort_cost_ms(len(rows)), after, label=label, operator="sort")
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -317,6 +341,7 @@ class ParallelExecutor:
         finish = node.run(
             len(rows) * costs.AGG_MS_PER_ROW, after, label=label, operator="aggregate"
         )
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -334,6 +359,7 @@ class ParallelExecutor:
     ) -> Tuple[List[Row], float]:
         result = top_k(rows, k, key, descending)
         finish = node.run(len(rows) * costs.TOPK_MS_PER_ROW, after, label=label, operator="sort")
+        self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
         return result, finish
@@ -342,6 +368,29 @@ class ParallelExecutor:
     # distributed aggregate pipeline (the PUSH experiment's subject)
     # ------------------------------------------------------------------
     def aggregate_distributed(
+        self,
+        extract: DocExtractor,
+        group_by: Sequence[str],
+        aggs: Sequence[AggSpec],
+        predicate: Optional[RowPredicate] = None,
+        pushdown: bool = True,
+        report: Optional[ExecReport] = None,
+        merge_crew: Optional[int] = None,
+    ) -> Tuple[List[Row], ExecReport]:
+        """Traced wrapper around the distributed aggregate pipeline."""
+        with self.telemetry.span(
+            "exec.aggregate_distributed", pushdown=pushdown
+        ) as span:
+            result, report = self._aggregate_distributed(
+                extract, group_by, aggs,
+                predicate=predicate, pushdown=pushdown,
+                report=report, merge_crew=merge_crew,
+            )
+            span.tag("rows", len(result))
+            span.tag("finish_ms", round(report.finish_ms, 3))
+        return result, report
+
+    def _aggregate_distributed(
         self,
         extract: DocExtractor,
         group_by: Sequence[str],
@@ -502,6 +551,18 @@ class ParallelExecutor:
         writes a new version at the document's home data node, then
         releases.  Returns (applied count, finish time).
         """
+        with self.telemetry.span("exec.update", count=len(updates)) as span:
+            applied, finish = self._cluster_update(updates, after, holder, report)
+            span.tag("applied", applied)
+        return applied, finish
+
+    def _cluster_update(
+        self,
+        updates: Mapping[str, Callable[[Document], Any]],
+        after: float,
+        holder: str,
+        report: Optional[ExecReport],
+    ) -> Tuple[int, float]:
         group = self.cluster.consistency_group
         applied = 0
         finish = after
@@ -523,6 +584,7 @@ class ParallelExecutor:
             group.release(doc_id, holder)
             applied += 1
             finish = max(finish, end)
+        self._note_stage("update", applied)
         if report is not None:
             report.record(StageTiming("update", finish, applied))
         return applied, finish

@@ -51,7 +51,11 @@ class IndexManager:
         store: Optional[DocumentStore] = None,
         facets: Iterable[FacetDefinition] = (),
         deferred: bool = False,
+        telemetry=None,
     ) -> None:
+        # Telemetry stays None-guarded (not the DISABLED singleton):
+        # per-node index managers are numerous and their put hook is hot.
+        self.telemetry = telemetry
         self.text = InvertedIndex()
         self.structure = StructuralIndex()
         self.values = ValueIndex()
@@ -83,6 +87,8 @@ class IndexManager:
         self.values.add(document)
         self.facets.add(document)
         self.stats.indexed += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("index.documents_indexed")
 
     def unindex(self, doc_id: str) -> None:
         self.text.remove(doc_id)
@@ -104,6 +110,8 @@ class IndexManager:
             applied += 1
         if applied:
             self.stats.batches_applied += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("index.batches_applied")
         return applied
 
     @property

@@ -172,6 +172,66 @@ def from_json_object(doc_id: str, obj: Any, metadata: Optional[Mapping[str, Any]
     )
 
 
+_EMAIL_HEADER_HINTS = {"from", "to", "subject", "cc", "bcc", "date", "message-id"}
+
+
+def _looks_like_email(payload: str) -> bool:
+    """Heuristic: leading RFC-822-ish header block with known names."""
+    head = payload.split("\n\n", 1)[0]
+    hints = 0
+    for line in head.splitlines():
+        if not line.strip():
+            return False
+        if line[0] in " \t":
+            continue  # folded continuation
+        name, sep, _ = line.partition(":")
+        if not sep or not name or " " in name.strip():
+            return False
+        if name.strip().lower() in _EMAIL_HEADER_HINTS:
+            hints += 1
+    return hints >= 2
+
+
+def _looks_like_csv(payload: str, delimiter: str = ",") -> bool:
+    """Heuristic: 2+ lines whose delimiter counts agree (header + rows)."""
+    lines = [ln for ln in payload.strip().splitlines() if ln.strip()]
+    if len(lines) < 2 or delimiter not in lines[0]:
+        return False
+    width = lines[0].count(delimiter)
+    return all(ln.count(delimiter) == width for ln in lines[1:])
+
+
+def sniff_format(payload: Any, table: Optional[str] = None) -> str:
+    """Guess the ingest format of *payload* (the `Impliance.ingest`
+    dispatcher's fallback when no explicit ``format`` is given).
+
+    Rules, in order: a :class:`Document` passes through; a mapping is a
+    relational row when a *table* is named, otherwise a JSON tree; a
+    string is XML if it parses, an e-mail if it leads with a known
+    header block, CSV when a *table* is named and the lines agree on a
+    delimiter, and free text otherwise.  Any other object is treated as
+    a JSON-style tree.
+    """
+    if isinstance(payload, Document):
+        return "document"
+    if isinstance(payload, Mapping):
+        return "relational" if table else "json"
+    if isinstance(payload, str):
+        stripped = payload.lstrip()
+        if stripped.startswith("<"):
+            try:
+                ElementTree.fromstring(payload)
+                return "xml"
+            except ElementTree.ParseError:
+                pass
+        if _looks_like_email(payload):
+            return "email"
+        if table and _looks_like_csv(payload):
+            return "csv"
+        return "text"
+    return "json"
+
+
 def to_relational_row(document: Document) -> Dict[str, Any]:
     """Invert :func:`from_relational_row`: ladle the unchanged row back out.
 

@@ -1,0 +1,46 @@
+"""repro.obs — the appliance-wide observability subsystem.
+
+Counters, gauges, histograms (:mod:`repro.obs.metrics`), nested spans
+with simulated + wall time (:mod:`repro.obs.tracing`), pluggable export
+sinks (:mod:`repro.obs.sink`), and the :class:`Telemetry` facade that
+every layer of the appliance threads through
+(:mod:`repro.obs.telemetry`).
+
+Usage::
+
+    from repro import Impliance
+
+    app = Impliance()                 # telemetry on by default
+    app.ingest("hello world")
+    app.discover()
+    app.search("hello")
+    print(app.telemetry.tracer.last_root.render())   # one nested trace
+    print(app.stats()["counters"]["ingest.docs"])    # counters
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sink import CallbackSink, DictSink, JsonLinesSink, TelemetrySink
+from repro.obs.telemetry import DISABLED, Telemetry, format_snapshot
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetrySink",
+    "DictSink",
+    "JsonLinesSink",
+    "CallbackSink",
+    "Telemetry",
+    "DISABLED",
+    "format_snapshot",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+]

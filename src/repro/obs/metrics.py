@@ -1,0 +1,211 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The appliance markets itself on self-managing operation (paper Sections
+1 and 3.4); self-management starts with self-observation.  These are the
+classic three instrument kinds, kept dependency-free and cheap enough to
+live on hot paths: a counter is one float add, a histogram is a handful
+of comparisons.  The :class:`MetricsRegistry` is the single namespace a
+:class:`~repro.obs.telemetry.Telemetry` instance owns; every subsystem
+gets (or creates) its instruments by name, so a snapshot of the registry
+is a snapshot of the whole appliance.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (milliseconds-flavored, but the
+#: unit is whatever the caller observes).  Exponential, like most metric
+#: systems use, so one layout serves microseconds through minutes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count (events, documents, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (backlog depth, live nodes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus bucket counts.
+
+    Buckets are cumulative-style upper bounds (a +Inf bucket is implicit
+    as ``count``).  ``mean`` and ``percentile`` are derived; percentile
+    interpolates within the winning bucket, which is as precise as any
+    fixed-bucket histogram can honestly be.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        # values above the top bound live only in count/sum/max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from buckets."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        seen = 0
+        for bound, in_bucket in zip(self.bounds, self.bucket_counts):
+            seen += in_bucket
+            if seen >= target:
+                return bound
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for every instrument in one appliance."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges, self._histograms)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters, self._histograms)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters, self._gauges)
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    @staticmethod
+    def _check_free(name: str, *namespaces: Dict[str, Any]) -> None:
+        for namespace in namespaces:
+            if name in namespace:
+                raise ValueError(f"metric {name!r} already registered with another type")
+
+    # ------------------------------------------------------------------
+    # convenience forms used on hot paths
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge (0.0 when absent)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted({*self._counters, *self._gauges, *self._histograms})
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One dict of everything, stable-ordered for diffing/printing."""
+        return {
+            "counters": {n: self._counters[n].snapshot() for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].snapshot() for n in sorted(self._gauges)},
+            "histograms": {n: self._histograms[n].snapshot() for n in sorted(self._histograms)},
+        }
+
+    def reset(self) -> None:
+        """Drop all instruments (between benchmark repetitions)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,67 @@
+"""Telemetry sinks: pluggable export targets.
+
+A sink receives export records — plain dicts produced by
+:meth:`repro.obs.telemetry.Telemetry.export` — and does whatever its
+medium requires: keep them (``DictSink``), serialize them
+(``JsonLinesSink``), or forward them to a callable bridge
+(``CallbackSink``) wired to a real pipeline.  The appliance never
+depends on a concrete sink; anything with an ``emit(record)`` method
+qualifies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, IO, List, Mapping, Optional
+
+
+class TelemetrySink:
+    """Base/no-op sink; subclass or duck-type ``emit``."""
+
+    def emit(self, record: Mapping[str, Any]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class DictSink(TelemetrySink):
+    """Keeps every exported record in memory (tests, dashboards)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self.records.append(dict(record))
+
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        return self.records[-1] if self.records else None
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonLinesSink(TelemetrySink):
+    """Serializes each export to one JSON line.
+
+    With *stream* the line is written there as well; the rendered lines
+    are always retained on ``lines`` so callers can inspect or flush.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream
+        self.lines: List[str] = []
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        self.lines.append(line)
+        if self.stream is not None:
+            self.stream.write(line + "\n")
+
+
+class CallbackSink(TelemetrySink):
+    """Bridges exports to an arbitrary callable."""
+
+    def __init__(self, fn: Callable[[Dict[str, Any]], None]) -> None:
+        self._fn = fn
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self._fn(dict(record))

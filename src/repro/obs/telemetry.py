@@ -1,0 +1,166 @@
+"""The telemetry facade every subsystem talks to.
+
+One :class:`Telemetry` instance per appliance bundles a metrics
+registry, a tracer, and a list of export sinks behind a handful of
+methods cheap enough for hot paths.  Disabled mode is a hard guarantee,
+not a convention: every method returns immediately (spans hand back the
+shared :data:`~repro.obs.tracing.NULL_SPAN`), no instrument is created,
+and nothing allocates — the appliance's throughput with telemetry off is
+the baseline throughput.
+
+Subsystems receive the telemetry object at construction; code that can
+run standalone (a bare :class:`~repro.query.engine.QueryEngine`, a
+stray ``IndexManager``) defaults to the module-level :data:`DISABLED`
+singleton so instrumented call sites never need a None check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ContextManager, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sink import TelemetrySink
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, _NullSpan
+
+
+class Telemetry:
+    """Metrics + tracing + export, with a zero-cost disabled mode."""
+
+    def __init__(self, enabled: bool = True, max_trace_roots: int = 256) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(max_roots=max_trace_roots)
+        self.sinks: List[TelemetrySink] = []
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags: Any) -> ContextManager[Span]:
+        """Open a (possibly nested) span; no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **tags)
+
+    def charge_sim(self, ms: float) -> None:
+        """Attribute simulated time to the innermost open span."""
+        if self.enabled:
+            self.tracer.charge_sim(ms)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        if self.enabled:
+            self.metrics.inc(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self.metrics.histogram(name, buckets)
+
+    def value(self, name: str) -> float:
+        return self.metrics.value(name)
+
+    # ------------------------------------------------------------------
+    # node-work hook (the one call SimNode makes per unit of charged work)
+    # ------------------------------------------------------------------
+    def on_node_work(
+        self, node_id: str, kind: str, operator: str, sim_ms: float
+    ) -> None:
+        """Record one unit of simulated node work.
+
+        Counts per-kind and per-operator activity, tracks the work-size
+        distribution, and charges the simulated time to whatever span is
+        open — which is how facade-level spans end up carrying the
+        simulated cost of the cluster work they triggered.
+        """
+        if not self.enabled:
+            return
+        metrics = self.metrics
+        metrics.inc("node.ops")
+        metrics.inc(f"node.kind.{kind}.sim_ms", sim_ms)
+        metrics.inc(f"node.op.{operator}.sim_ms", sim_ms)
+        metrics.observe("node.work_ms", sim_ms)
+        self.tracer.charge_sim(sim_ms)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: TelemetrySink) -> None:
+        self.sinks.append(sink)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time view: all metrics plus per-span-name timings."""
+        snap = self.metrics.snapshot()
+        snap["enabled"] = self.enabled
+        snap["spans"] = self.tracer.summary()
+        return snap
+
+    def export(self, include_traces: bool = False) -> Dict[str, Any]:
+        """Build an export record and emit it to every sink."""
+        record = self.snapshot()
+        if include_traces:
+            record["traces"] = [r.to_dict() for r in self.tracer.roots()]
+        for sink in self.sinks:
+            sink.emit(record)
+        return record
+
+    def reset(self) -> None:
+        """Clear metrics and retained traces (between bench repetitions)."""
+        self.metrics.reset()
+        self.tracer.clear()
+
+
+#: Shared always-off instance for components constructed without an
+#: appliance (embedded engines, standalone index managers).
+DISABLED = Telemetry(enabled=False)
+
+
+def format_snapshot(snapshot: Mapping[str, Any], title: str = "telemetry") -> str:
+    """Render a :meth:`Telemetry.snapshot` for humans (quickstart, CLIs)."""
+    lines = [f"=== {title} ==="]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<36} {rendered}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<36} {gauges[name]:g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<36} n={h['count']} mean={h['mean']:.3f} "
+                f"min={h['min']} max={h['max']}"
+            )
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("spans (name: count, wall ms, sim ms):")
+        for name in sorted(spans):
+            s = spans[name]
+            lines.append(
+                f"  {name:<36} n={s['count']:<6g} wall={s['wall_ms']:.3f} "
+                f"sim={s['sim_ms']:.3f}"
+            )
+    if len(lines) == 1:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Tracing: nested spans carrying wall time *and* simulated time.
+
+The appliance executes for real while charging simulated milliseconds to
+node timelines (see :mod:`repro.cluster.node`), so a span records both
+clocks: ``wall_ms`` is measured with ``perf_counter`` around the span
+body, and ``sim_ms`` accumulates whatever simulated cost the code inside
+the span charged via :meth:`Span.charge_sim` (node work forwards there
+automatically when telemetry is attached).  Experiments read the
+simulated axis; operators read the wall axis.
+
+Spans nest through a tracer-owned stack: entering a span inside another
+makes it a child, and finished root spans are retained in a bounded ring
+so traces cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced operation; usable live (inside ``with``) and as a record."""
+
+    __slots__ = ("name", "tags", "start_wall", "end_wall", "sim_ms", "children")
+
+    def __init__(self, name: str, tags: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.tags: Dict[str, Any] = dict(tags or {})
+        self.start_wall = time.perf_counter()
+        self.end_wall: Optional[float] = None
+        self.sim_ms = 0.0
+        self.children: List["Span"] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def wall_ms(self) -> float:
+        end = self.end_wall if self.end_wall is not None else time.perf_counter()
+        return (end - self.start_wall) * 1000.0
+
+    @property
+    def total_sim_ms(self) -> float:
+        """Own simulated charge plus every descendant's."""
+        return self.sim_ms + sum(c.total_sim_ms for c in self.children)
+
+    # ------------------------------------------------------------------
+    def charge_sim(self, ms: float) -> None:
+        """Attribute *ms* of simulated time to this span."""
+        self.sim_ms += ms
+
+    def tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def record(self) -> Optional["Span"]:
+        """The exported form of this span (itself; the null span's is None)."""
+        return self
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with *name*, depth-first."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "wall_ms": round(self.wall_ms, 6),
+            "sim_ms": round(self.sim_ms, 6),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable nested trace."""
+        pad = "  " * indent
+        tags = f" {self.tags}" if self.tags else ""
+        line = (
+            f"{pad}{self.name}: wall={self.wall_ms:.3f}ms "
+            f"sim={self.total_sim_ms:.3f}ms{tags}"
+        )
+        return "\n".join([line] + [c.render(indent + 1) for c in self.children])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name}, wall={self.wall_ms:.3f}ms, sim={self.sim_ms:.3f}ms)"
+
+
+class _NullSpan:
+    """Shared no-op stand-in when telemetry is disabled.
+
+    Every mutator is a pass, so instrumented code needs no ``if`` around
+    ``span.charge_sim(...)`` / ``span.tag(...)`` — disabled mode costs one
+    attribute lookup and an empty call.
+    """
+
+    __slots__ = ()
+
+    name = "(disabled)"
+    tags: Dict[str, Any] = {}
+    sim_ms = 0.0
+    wall_ms = 0.0
+    total_sim_ms = 0.0
+    children: List[Span] = []
+    finished = True
+
+    def charge_sim(self, ms: float) -> None:
+        pass
+
+    def tag(self, key: str, value: Any) -> None:
+        pass
+
+    def record(self) -> Optional[Span]:
+        return None
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> Optional[Span]:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def render(self, indent: int = 0) -> str:
+        return ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds nested spans; retains finished roots in a bounded ring."""
+
+    def __init__(self, max_roots: int = 256) -> None:
+        self._stack: List[Span] = []
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        span = Span(name, tags)
+        parent = self.current
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_wall = time.perf_counter()
+            self._stack.pop()
+            if parent is None:
+                self._roots.append(span)
+
+    def charge_sim(self, ms: float) -> None:
+        """Charge simulated time to the innermost open span, if any."""
+        if self._stack:
+            self._stack[-1].sim_ms += ms
+
+    # ------------------------------------------------------------------
+    def roots(self) -> List[Span]:
+        return list(self._roots)
+
+    @property
+    def last_root(self) -> Optional[Span]:
+        return self._roots[-1] if self._roots else None
+
+    def find_roots(self, name: str) -> List[Span]:
+        return [r for r in self._roots if r.name == name]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate over every retained span (all depths)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for root in self._roots:
+            for span in root.walk():
+                agg = out.setdefault(
+                    span.name, {"count": 0, "wall_ms": 0.0, "sim_ms": 0.0}
+                )
+                agg["count"] += 1
+                agg["wall_ms"] += span.wall_ms
+                agg["sim_ms"] += span.sim_ms
+        for agg in out.values():
+            agg["wall_ms"] = round(agg["wall_ms"], 6)
+            agg["sim_ms"] = round(agg["sim_ms"], 6)
+        return out
+
+    def clear(self) -> None:
+        self._roots.clear()

@@ -12,8 +12,7 @@ implements the same protocol over a cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence
 
 from repro.exec import costs
 from repro.exec.operators import (
@@ -26,6 +25,7 @@ from repro.exec.operators import (
 from repro.index.manager import IndexManager
 from repro.model.document import Document
 from repro.model.views import RelationalView, ViewCatalog
+from repro.obs.telemetry import DISABLED, Telemetry
 from repro.query.planner import (
     CostBasedOptimizer,
     PhysHashJoin,
@@ -45,6 +45,7 @@ from repro.query.plans import (
     Sort,
     describe,
 )
+from repro.query.result import QueryResult
 from repro.query.sql import parse_sql
 from repro.storage.store import DocumentStore
 
@@ -82,22 +83,6 @@ class LocalRepository:
         return self.store.lookup(doc_id)
 
 
-@dataclass
-class QueryResult:
-    """Rows plus the simulated cost of producing them."""
-
-    rows: List[Row]
-    sim_ms: float
-    plan_text: str = ""
-    adaptive_reports: List[Any] = field(default_factory=list)
-
-    def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-
 class _CostMeter:
     __slots__ = ("ms", "adaptive", "adaptive_reports")
 
@@ -113,8 +98,11 @@ class _CostMeter:
 class QueryEngine:
     """Plan interpreter with a simulated cost meter."""
 
-    def __init__(self, repository: Repository) -> None:
+    def __init__(
+        self, repository: Repository, telemetry: Optional[Telemetry] = None
+    ) -> None:
         self.repository = repository
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self.simple_planner = SimplePlanner(
             can_probe=self._can_probe, columns_of=self._columns_of_view
         )
@@ -170,10 +158,18 @@ class QueryEngine:
         indexed-NL join may migrate to a hash join mid-flight when its
         probe budget is exceeded (Section 3.3 adaptive operators).
         """
-        logical = parse_sql(query)
-        return self.execute(
-            logical, planner=planner, statistics=statistics, adaptive=adaptive
-        )
+        with self.telemetry.span("query.sql", query=query) as span:
+            logical = parse_sql(query)
+            result = self.execute(
+                logical, planner=planner, statistics=statistics, adaptive=adaptive
+            )
+            # sim cost rolls up from the nested query.execute span
+            span.tag("rows", len(result.rows))
+        self.telemetry.inc("query.sql")
+        self.telemetry.observe("query.sql.sim_ms", result.sim_ms)
+        # the full query.sql span (parse → plan → execute) is the trace
+        result.trace = span.record() or result.trace
+        return result
 
     def execute(
         self,
@@ -182,24 +178,28 @@ class QueryEngine:
         statistics=None,
         adaptive: bool = False,
     ) -> QueryResult:
-        if planner == "simple":
-            physical = self.simple_planner.plan(logical)
-        elif planner == "costbased":
-            if statistics is None:
-                raise ValueError("cost-based planning requires statistics")
-            physical = self.optimizer(statistics).plan(logical)
-        else:
-            raise ValueError(f"unknown planner {planner!r}")
+        with self.telemetry.span("query.plan", planner=planner):
+            if planner == "simple":
+                physical = self.simple_planner.plan(logical)
+            elif planner == "costbased":
+                if statistics is None:
+                    raise ValueError("cost-based planning requires statistics")
+                physical = self.optimizer(statistics).plan(logical)
+            else:
+                raise ValueError(f"unknown planner {planner!r}")
         return self.run_physical(physical, adaptive=adaptive)
 
     def run_physical(self, physical: PhysicalPlan, adaptive: bool = False) -> QueryResult:
         meter = _CostMeter(adaptive=adaptive)
-        rows = self._run(physical, meter)
+        with self.telemetry.span("query.execute") as span:
+            rows = self._run(physical, meter)
+            span.charge_sim(meter.ms)
         return QueryResult(
             rows=rows,
             sim_ms=meter.ms,
             plan_text=_describe_physical(physical),
             adaptive_reports=list(meter.adaptive_reports),
+            trace=span.record(),
         )
 
     # ------------------------------------------------------------------

@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.model.values import Path, coerce_numeric
+from repro.obs.telemetry import DISABLED
 from repro.query.keyword import KeywordHit, KeywordSearch
+from repro.query.result import QueryResult
 
 
 @dataclass(frozen=True)
@@ -37,10 +39,12 @@ class FacetedSession:
         repository,
         query: Optional[str] = None,
         within: Optional[Set[str]] = None,
+        telemetry=None,
     ) -> None:
         """*within*, when given, restricts the whole session to that
         doc-id set — the hook security scoping uses."""
         self.repository = repository
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         self._keyword = KeywordSearch(repository)
         self.query = query
         self._within = None if within is None else set(within)
@@ -110,8 +114,16 @@ class FacetedSession:
             facet, within=self._selection, top=top
         )
 
-    def results(self, top_k: int = 10) -> List[KeywordHit]:
-        """Ranked hits within the current selection."""
+    def results(self, top_k: int = 10) -> QueryResult:
+        """Ranked hits within the current selection, as a unified
+        :class:`QueryResult` (iterable/indexable like the old hit list)."""
+        with self.telemetry.span("query.faceted", steps=len(self._steps)) as span:
+            hits = self._ranked_hits(top_k)
+            span.tag("hits", len(hits))
+        self.telemetry.inc("query.faceted")
+        return QueryResult.from_hits(hits, trace=span.record())
+
+    def _ranked_hits(self, top_k: int) -> List[KeywordHit]:
         if self.query is not None:
             return self._keyword.search(self.query, top_k=top_k, within=self._selection)
         selection = self._selection

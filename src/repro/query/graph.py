@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.model.document import Document
+from repro.obs.telemetry import DISABLED
+from repro.query.result import QueryResult
 
 
 @dataclass
@@ -41,8 +43,9 @@ class ConnectionResult:
 class GraphQuery:
     """Association-graph queries over a repository."""
 
-    def __init__(self, repository) -> None:
+    def __init__(self, repository, telemetry=None) -> None:
         self.repository = repository
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     @property
     def _joins(self):
@@ -65,6 +68,30 @@ class GraphQuery:
             relation = self._edge_relation(from_doc, to_doc, relations)
             edges.append((from_doc, relation, to_doc))
         return ConnectionResult(path=path, edges=edges)
+
+    def connected(
+        self,
+        source: str,
+        target: str,
+        max_hops: int = 4,
+        relations: Optional[Set[str]] = None,
+    ) -> QueryResult:
+        """:meth:`how_connected` through the unified result surface.
+
+        Always returns a :class:`QueryResult`: falsy (no rows, no
+        connection) when no path exists, otherwise ``result.connection``
+        is the :class:`ConnectionResult` and each row is one hop
+        (``{"from", "relation", "to"}``).
+        """
+        with self.telemetry.span(
+            "query.graph", source=source, target=target
+        ) as span:
+            connection = self.how_connected(source, target, max_hops, relations)
+            span.tag("hops", connection.hops if connection else -1)
+        self.telemetry.inc("query.graph")
+        if connection is None:
+            return QueryResult(trace=span.record())
+        return QueryResult.from_connection(connection, trace=span.record())
 
     def _edge_relation(
         self, a: str, b: str, relations: Optional[Set[str]]

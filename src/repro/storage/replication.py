@@ -81,12 +81,13 @@ class ReplicaManager:
     :class:`RepairAction` list.
     """
 
-    def __init__(self, node_ids: Iterable[str]) -> None:
+    def __init__(self, node_ids: Iterable[str], telemetry=None) -> None:
         self._node_load: Dict[str, int] = {node: 0 for node in node_ids}
         if not self._node_load:
             raise ValueError("replica manager needs at least one node")
         self._placements: Dict[int, ReplicaSet] = {}
         self._failed: Set[str] = set()
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +125,8 @@ class ReplicaManager:
         for node in nodes:
             self._node_load[node] += 1
         self._placements[segment_id] = replica_set
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.replicas_placed", len(nodes))
         return replica_set
 
     # ------------------------------------------------------------------
@@ -172,6 +175,8 @@ class ReplicaManager:
             replica_set.node_ids.add(target)
             self._node_load[target] += 1
             actions.append(RepairAction(replica_set.segment_id, source, target))
+        if actions and self.telemetry is not None:
+            self.telemetry.inc("storage.repair_actions", len(actions))
         return actions
 
     def repair_deficits(self) -> List[RepairAction]:

@@ -39,9 +39,15 @@ class StorageManagerStats:
 class StorageManager:
     """Policy loop binding a store's segments to replica placement."""
 
-    def __init__(self, store: DocumentStore, replica_manager: ReplicaManager) -> None:
+    def __init__(
+        self,
+        store: DocumentStore,
+        replica_manager: ReplicaManager,
+        telemetry=None,
+    ) -> None:
         self.store = store
         self.replicas = replica_manager
+        self.telemetry = telemetry
         self.stats = StorageManagerStats()
         self._segment_class: Dict[int, ReliabilityClass] = {}
         store.seal_listeners.append(self.on_segment_sealed)
@@ -70,6 +76,9 @@ class StorageManager:
         self.replicas.place(segment_id, reliability)
         self.stats.segments_placed += 1
         self.stats.autonomic_actions += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.segments_placed")
+            self.telemetry.inc("storage.autonomic_actions")
 
     def place_open_segments(self) -> int:
         """Place any segments not yet sealed (e.g. at snapshot time)."""
@@ -88,6 +97,10 @@ class StorageManager:
         self.stats.failures_handled += 1
         self.stats.repairs += len(actions)
         self.stats.autonomic_actions += 1 + len(actions)
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.failures_handled")
+            self.telemetry.inc("storage.repairs", len(actions))
+            self.telemetry.inc("storage.autonomic_actions", 1 + len(actions))
         return actions
 
     def on_node_added(self, node_id: str) -> List[RepairAction]:
@@ -96,6 +109,9 @@ class StorageManager:
         actions = self.replicas.repair_deficits()
         self.stats.repairs += len(actions)
         self.stats.autonomic_actions += 1 + len(actions)
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.repairs", len(actions))
+            self.telemetry.inc("storage.autonomic_actions", 1 + len(actions))
         return actions
 
     # ------------------------------------------------------------------

@@ -1,0 +1,236 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DISABLED,
+    CallbackSink,
+    Counter,
+    DictSink,
+    Gauge,
+    Histogram,
+    JsonLinesSink,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    format_snapshot,
+)
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("backlog")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 16.0
+        assert h.min == 1.0
+        assert h.max == 10.0
+        assert h.mean == 4.0
+
+    def test_percentile_from_buckets(self):
+        h = Histogram("lat", buckets=[1.0, 10.0, 100.0])
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(50.0)
+        assert h.percentile(50) == 1.0
+        assert h.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_percentile_and_mean(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_over_top_bound_still_counted(self):
+        h = Histogram("lat", buckets=[1.0])
+        h.observe(999.0)
+        assert h.count == 1 and h.max == 999.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_cross_type_name_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_value_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("docs", 3)
+        reg.set_gauge("backlog", 7)
+        reg.observe("lat", 2.0)
+        assert reg.value("docs") == 3.0
+        assert reg.value("backlog") == 7.0
+        assert reg.value("missing") == 0.0
+        snap = reg.snapshot()
+        assert snap["counters"]["docs"] == 3.0
+        assert snap["gauges"]["backlog"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 1
+        reg.reset()
+        assert reg.names() == []
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert tracer.roots() == [outer]
+        assert outer.children == [inner]
+        assert inner.finished and outer.finished
+
+    def test_sim_time_rolls_up_but_is_not_double_counted(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            tracer.charge_sim(1.0)  # goes to outer (innermost)
+            with tracer.span("inner") as inner:
+                tracer.charge_sim(2.0)  # goes to inner
+        assert outer.sim_ms == 1.0
+        assert inner.sim_ms == 2.0
+        assert outer.total_sim_ms == 3.0
+
+    def test_bounded_root_ring(self):
+        tracer = Tracer(max_roots=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.roots()] == ["s3", "s4"]
+        assert tracer.last_root.name == "s4"
+
+    def test_walk_find_and_summary(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.charge_sim(5.0)
+        root = tracer.last_root
+        assert [s.name for s in root.walk()] == ["a", "b"]
+        assert root.find("b").sim_ms == 5.0
+        assert root.find("zzz") is None
+        summary = tracer.summary()
+        assert summary["a"]["count"] == 1
+        assert summary["b"]["sim_ms"] == 5.0
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_to_dict_and_render(self):
+        tracer = Tracer()
+        with tracer.span("op", k="v") as span:
+            span.tag("rows", 3)
+        d = tracer.last_root.to_dict()
+        assert d["name"] == "op" and d["tags"] == {"k": "v", "rows": 3}
+        assert "op" in tracer.last_root.render()
+
+
+class TestTelemetryDisabled:
+    def test_all_paths_noop(self):
+        t = Telemetry(enabled=False)
+        with t.span("anything", tag=1) as span:
+            span.tag("ignored", True)
+            span.charge_sim(100.0)
+        assert span is NULL_SPAN
+        assert span.record() is None
+        t.inc("c")
+        t.observe("h", 1.0)
+        t.set_gauge("g", 2.0)
+        t.charge_sim(9.0)
+        t.on_node_work("n", "data", "scan", 5.0)
+        snap = t.snapshot()
+        assert snap["counters"] == {}
+        assert snap["spans"] == {}
+        assert snap["enabled"] is False
+
+    def test_shared_disabled_singleton(self):
+        assert DISABLED.enabled is False
+
+
+class TestTelemetryEnabled:
+    def test_node_work_charges_innermost_span(self):
+        t = Telemetry()
+        with t.span("facade") as span:
+            t.on_node_work("data-0", "data", "scan", 4.0)
+        assert span.sim_ms == 4.0
+        assert t.value("node.ops") == 1.0
+        assert t.value("node.kind.data.sim_ms") == 4.0
+        assert t.value("node.op.scan.sim_ms") == 4.0
+
+    def test_export_reaches_every_sink(self):
+        t = Telemetry()
+        t.inc("events", 2)
+        with t.span("work"):
+            pass
+        dict_sink, json_sink = DictSink(), JsonLinesSink()
+        seen = []
+        t.add_sink(dict_sink)
+        t.add_sink(json_sink)
+        t.add_sink(CallbackSink(seen.append))
+        record = t.export(include_traces=True)
+        assert dict_sink.last["counters"]["events"] == 2.0
+        parsed = json.loads(json_sink.lines[0])
+        assert parsed["counters"]["events"] == 2.0
+        assert seen[0]["traces"][0]["name"] == "work"
+        assert record["spans"]["work"]["count"] == 1
+
+    def test_reset_clears_metrics_and_traces(self):
+        t = Telemetry()
+        t.inc("x")
+        with t.span("s"):
+            pass
+        t.reset()
+        assert t.value("x") == 0.0
+        assert t.tracer.roots() == []
+
+
+class TestFormatSnapshot:
+    def test_renders_sections(self):
+        t = Telemetry()
+        t.inc("ingest.docs", 3)
+        t.set_gauge("backlog", 1)
+        t.observe("lat", 2.0)
+        with t.span("ingest"):
+            pass
+        text = format_snapshot(t.snapshot(), title="report")
+        assert "=== report ===" in text
+        assert "ingest.docs" in text and "backlog" in text
+        assert "spans" in text
+
+    def test_empty_snapshot(self):
+        assert "(no telemetry recorded)" in format_snapshot({})
