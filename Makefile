@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify smoke bench
+.PHONY: test verify smoke chaos-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,8 +9,12 @@ test:
 smoke:
 	$(PYTHON) benchmarks/bench_fig1_pipeline.py --quick
 
-# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke.
-verify: test smoke
+chaos-smoke:
+	$(PYTHON) benchmarks/bench_chaos_availability.py --quick
+
+# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke
+# and a fast fault-injection/availability smoke.
+verify: test smoke chaos-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -18,6 +18,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim reproductions.
 """
 
+from repro.chaos import ChaosController, FaultEvent, FaultKind, FaultPlan, RetryPolicy
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
 from repro.model.document import Document, DocumentKind
@@ -29,8 +30,13 @@ __version__ = "1.0.0"
 __all__ = [
     "Impliance",
     "ApplianceConfig",
+    "ChaosController",
     "Document",
     "DocumentKind",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
     "Telemetry",
     "QueryResult",
     "format_snapshot",

@@ -1,0 +1,33 @@
+"""Deterministic chaos engineering for the simulated appliance.
+
+Impliance's reliability story (Sections 3.1/3.4) is autonomic: nodes
+fail, the appliance re-detects the topology, re-replicates, and keeps
+serving without an administrator.  This package makes failure a
+first-class, *seeded, replayable* input to the simulator so every one of
+those claims can be regression-tested instead of demonstrated:
+
+- :class:`FaultPlan` — a seeded, immutable schedule of fault events
+  (crash, recover, slow node, partition, heal, segment corruption).
+  Same seed ⇒ byte-identical schedule (``schedule_digest``).
+- :class:`ChaosController` — applies a plan against a cluster (and,
+  when bound to an appliance, its storage managers), counting every
+  injected fault, autonomic repair, and skipped event in telemetry.
+- :class:`RetryPolicy` — timeouts plus exponential backoff whose jitter
+  is drawn from the seeded RNG, so retry schedules replay exactly.
+
+See docs/CHAOS.md for the fault model and the seeding/replay contract.
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.plan import FaultEvent, FaultKind, FaultPlan
+from repro.chaos.retry import RetryError, RetryPolicy, call_with_retries
+
+__all__ = [
+    "ChaosController",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RetryError",
+    "RetryPolicy",
+    "call_with_retries",
+]

@@ -1,0 +1,175 @@
+"""Seeded, replayable fault schedules.
+
+A :class:`FaultPlan` is the chaos subsystem's only source of randomness:
+every event time, target, and pairing is drawn from ``random.Random``
+seeded with the plan seed, and consumers (retry jitter, benchmark
+probes) derive their own namespaced RNGs from the same seed via
+:meth:`FaultPlan.rng`.  Two plans generated with the same seed and
+parameters are byte-identical — :meth:`schedule_digest` is the replay
+contract the property tests assert.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The fault vocabulary of the simulator."""
+
+    CRASH = "crash"          # node stops; storage repair kicks in
+    RECOVER = "recover"      # crashed node returns (replacement hardware)
+    SLOW = "slow"            # node CPU + links degrade by `factor`
+    RESTORE = "restore"      # slow node returns to full speed
+    PARTITION = "partition"  # target <-> peer link drops every message
+    HEAL = "heal"            # partitioned link carries traffic again
+    CORRUPT = "corrupt"      # one segment replica on target is lost
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *kind* happens to *target* at sim-time *at_ms*."""
+
+    at_ms: float
+    kind: FaultKind
+    target: str
+    peer: Optional[str] = None  # partition/heal: the other endpoint
+    factor: float = 1.0         # slow: fraction of base speed kept
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("fault times cannot be negative")
+        if self.kind in (FaultKind.PARTITION, FaultKind.HEAL) and not self.peer:
+            raise ValueError(f"{self.kind.value} events need a peer")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+
+    def sort_key(self) -> Tuple[float, str, str, str]:
+        return (self.at_ms, self.kind.value, self.target, self.peer or "")
+
+    def describe(self) -> str:
+        suffix = f" <-> {self.peer}" if self.peer else ""
+        factor = f" x{self.factor:g}" if self.kind is FaultKind.SLOW else ""
+        return f"t={self.at_ms:.1f}ms {self.kind.value} {self.target}{suffix}{factor}"
+
+
+class FaultPlan:
+    """An immutable, time-ordered fault schedule with a seed.
+
+    Build one by hand for scenario tests, or with :meth:`generate` for
+    seeded random campaigns.  Events with equal times apply in a stable
+    (kind, target) order so replays are exact.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent], seed: int = 0) -> None:
+        self.seed = seed
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=FaultEvent.sort_key)
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def duration_ms(self) -> float:
+        return max((e.at_ms for e in self.events), default=0.0)
+
+    def count(self, kind: FaultKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    # ------------------------------------------------------------------
+    # the seeding / replay contract
+    # ------------------------------------------------------------------
+    def schedule_digest(self) -> str:
+        """Stable digest of the full schedule (same seed ⇒ same digest)."""
+        payload = "\n".join(
+            f"{e.at_ms:.6f}|{e.kind.value}|{e.target}|{e.peer or ''}|{e.factor:.6f}"
+            for e in self.events
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def rng(self, namespace: str) -> random.Random:
+        """A deterministic RNG derived from (seed, namespace).
+
+        Consumers that need randomness during a chaos run (retry jitter,
+        probe sampling) must draw from here, never from global state —
+        that is what makes a run replayable.
+        """
+        return random.Random(f"faultplan:{self.seed}:{namespace}")
+
+    def retry_policy(self, **overrides):
+        """The plan's seeded :class:`~repro.chaos.retry.RetryPolicy`."""
+        from repro.chaos.retry import RetryPolicy
+
+        return RetryPolicy(seed=f"faultplan:{self.seed}", **overrides)
+
+    # ------------------------------------------------------------------
+    # seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        node_ids: Sequence[str],
+        duration_ms: float = 1000.0,
+        crashes: int = 1,
+        slows: int = 1,
+        partitions: int = 1,
+        corruptions: int = 0,
+        recover_after_ms: Optional[float] = 250.0,
+        heal_after_ms: float = 150.0,
+        slow_duration_ms: float = 250.0,
+        slow_factor: float = 0.25,
+    ) -> "FaultPlan":
+        """Draw a random campaign from the seeded RNG.
+
+        Crashes pair with a RECOVER ``recover_after_ms`` later (pass
+        ``None`` to leave nodes dead — the double-failure scenarios);
+        partitions pair with a HEAL; slow-downs pair with a RESTORE.
+        Faults land in the first 70% of the window so their paired
+        recovery events still fall inside it.
+        """
+        if not node_ids:
+            raise ValueError("fault generation needs at least one node id")
+        rng = random.Random(f"faultplan:{seed}")
+        window = duration_ms * 0.7
+        events: List[FaultEvent] = []
+
+        for _ in range(crashes):
+            target = rng.choice(list(node_ids))
+            at = rng.uniform(0.0, window)
+            events.append(FaultEvent(at, FaultKind.CRASH, target))
+            if recover_after_ms is not None:
+                events.append(
+                    FaultEvent(at + recover_after_ms, FaultKind.RECOVER, target)
+                )
+
+        for _ in range(slows):
+            target = rng.choice(list(node_ids))
+            at = rng.uniform(0.0, window)
+            events.append(FaultEvent(at, FaultKind.SLOW, target, factor=slow_factor))
+            events.append(FaultEvent(at + slow_duration_ms, FaultKind.RESTORE, target))
+
+        for _ in range(partitions):
+            if len(node_ids) < 2:
+                break
+            a, b = rng.sample(list(node_ids), 2)
+            at = rng.uniform(0.0, window)
+            events.append(FaultEvent(at, FaultKind.PARTITION, a, peer=b))
+            events.append(FaultEvent(at + heal_after_ms, FaultKind.HEAL, a, peer=b))
+
+        for _ in range(corruptions):
+            target = rng.choice(list(node_ids))
+            at = rng.uniform(0.0, window)
+            events.append(FaultEvent(at, FaultKind.CORRUPT, target))
+
+        return cls(events, seed=seed)

@@ -1,0 +1,96 @@
+"""Timeouts and exponential backoff with seeded jitter.
+
+In a simulated cluster, a retry does not sleep: each failed attempt
+*charges simulated time* — its timeout plus a jittered backoff — to
+whatever timeline the caller is building.  Jitter comes from an RNG
+seeded at policy construction, so a chaos run's complete retry schedule
+replays exactly under the same :class:`~repro.chaos.plan.FaultPlan`
+seed (the property tests assert this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, Type
+
+
+class RetryError(RuntimeError):
+    """All attempts exhausted; carries how many were made."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass
+class RetryPolicy:
+    """Timeout + exponential backoff with seeded jitter.
+
+    Defaults (documented in docs/CHAOS.md): 4 attempts, 25 ms timeout
+    per attempt, backoff 5 ms doubling per retry, up to +50% jitter.
+    """
+
+    max_attempts: int = 4
+    timeout_ms: float = 25.0
+    base_backoff_ms: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: Any = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.timeout_ms < 0 or self.base_backoff_ms < 0:
+            raise ValueError("timeout and backoff cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.reseed()
+
+    def reseed(self) -> None:
+        """Reset the jitter stream (replaying a run from its start)."""
+        self._rng = random.Random(f"retry:{self.seed}")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Jittered delay before retry *attempt* (0-based)."""
+        base = self.base_backoff_ms * (self.multiplier ** attempt)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def penalty_ms(self, attempt: int) -> float:
+        """Simulated cost of one failed attempt: timeout + backoff."""
+        return self.timeout_ms + self.backoff_ms(attempt)
+
+
+def call_with_retries(
+    fn: Callable[[int], Any],
+    policy: RetryPolicy,
+    *,
+    retry_on: Tuple[Type[BaseException], ...] = (RuntimeError,),
+    telemetry: Optional[Any] = None,
+    label: str = "retry",
+) -> Tuple[Any, float, int]:
+    """Call ``fn(attempt)`` until it succeeds or the policy is exhausted.
+
+    Returns ``(result, penalty_ms, attempts)`` where *penalty_ms* is the
+    simulated time the failed attempts cost; callers add it to the sim
+    timeline they are building.  Raises :class:`RetryError` after the
+    last attempt fails.
+    """
+    penalty = 0.0
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt), penalty, attempt + 1
+        except retry_on as exc:
+            last = exc
+            penalty += policy.penalty_ms(attempt)
+            if telemetry is not None:
+                telemetry.inc(f"{label}.attempts")
+    if telemetry is not None:
+        telemetry.inc(f"{label}.giveups")
+    raise RetryError(
+        f"gave up after {policy.max_attempts} attempts: {last}", policy.max_attempts
+    ) from last

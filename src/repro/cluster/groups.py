@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.cluster.network import Network
+from repro.cluster.network import Network, PartitionError
 from repro.cluster.node import SimNode
 from repro.util import stable_hash
 
@@ -40,6 +40,7 @@ class LockConflictError(Exception):
 @dataclass
 class GroupStats:
     heartbeats_sent: int = 0
+    heartbeats_missed: int = 0  # dropped by a partitioned link
     heartbeat_ms: float = 0.0
     view_changes: int = 0
     locks_granted: int = 0
@@ -129,9 +130,15 @@ class ConsistencyGroup:
             for receiver in live:
                 if sender is receiver:
                     continue
-                wire = self._network.transfer(
-                    HEARTBEAT_BYTES, sender.node_id, receiver.node_id
-                )
+                try:
+                    wire = self._network.transfer(
+                        HEARTBEAT_BYTES, sender.node_id, receiver.node_id
+                    )
+                except PartitionError:
+                    # The round continues; missed beats are how a real
+                    # group detects the partition in the first place.
+                    self.stats.heartbeats_missed += 1
+                    continue
                 end = receiver.run(
                     HEARTBEAT_CPU_MS, after + wire, label="heartbeat"
                 )

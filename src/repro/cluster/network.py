@@ -10,7 +10,7 @@ quantities the paper's pushdown and scale-out arguments are about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 #: Commodity low-latency network defaults (paper Section 1: "commodity
 #: low-latency networks").  Bandwidth is bytes per simulated millisecond.
@@ -18,11 +18,26 @@ DEFAULT_LATENCY_MS = 0.1
 DEFAULT_BANDWIDTH_BYTES_PER_MS = 125_000.0  # ~1 Gbit/s
 
 
+class PartitionError(RuntimeError):
+    """A transfer was attempted across a partitioned link.
+
+    Callers on retry-capable paths (the executor's gather/update stages,
+    the scheduler's candidate scoring) catch this and back off or route
+    around; everything else propagates it as the hard fault it is.
+    """
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"link {src} <-> {dst} is partitioned")
+        self.src = src
+        self.dst = dst
+
+
 @dataclass
 class NetworkStats:
     messages: int = 0
     bytes_sent: int = 0
     total_transfer_ms: float = 0.0
+    drops: int = 0  # messages refused by a partitioned link
 
 
 class Network:
@@ -45,17 +60,63 @@ class Network:
         self.bandwidth = bandwidth
         self.stats = NetworkStats()
         self._pair_bytes: Dict[Tuple[str, str], int] = {}
+        # Chaos state: severed links and per-node bandwidth degradation.
+        self._partitions: Set[FrozenSet[str]] = set()
+        self._node_bw_factor: Dict[str, float] = {}
 
+    # ------------------------------------------------------------------
+    # chaos hooks: partitions and degraded endpoints
+    # ------------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Sever the (bidirectional) link between *a* and *b*."""
+        if a == b:
+            raise ValueError("cannot partition a node from itself")
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return src != dst and frozenset((src, dst)) in self._partitions
+
+    def degrade_node(self, node_id: str, factor: float) -> None:
+        """All links touching *node_id* run at *factor* of base bandwidth."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("bandwidth factor must be in (0, 1]")
+        self._node_bw_factor[node_id] = factor
+
+    def restore_node(self, node_id: str) -> None:
+        self._node_bw_factor.pop(node_id, None)
+
+    def _effective_bandwidth(self, src: str, dst: str) -> float:
+        factor = min(
+            self._node_bw_factor.get(src, 1.0), self._node_bw_factor.get(dst, 1.0)
+        )
+        return self.bandwidth * factor
+
+    # ------------------------------------------------------------------
     def transfer_cost_ms(self, nbytes: int, src: str, dst: str) -> float:
         """Simulated milliseconds to move *nbytes* from *src* to *dst*."""
         if nbytes < 0:
             raise ValueError("cannot transfer negative bytes")
         if src == dst:
             return 0.0
-        return self.latency_ms + nbytes / self.bandwidth
+        if self.is_partitioned(src, dst):
+            raise PartitionError(src, dst)
+        return self.latency_ms + nbytes / self._effective_bandwidth(src, dst)
 
     def transfer(self, nbytes: int, src: str, dst: str) -> float:
-        """Account a transfer and return its cost in simulated ms."""
+        """Account a transfer and return its cost in simulated ms.
+
+        A transfer across a partitioned link counts a drop and raises
+        :class:`PartitionError` — the message never arrives.
+        """
+        if src != dst and self.is_partitioned(src, dst):
+            self.stats.drops += 1
+            raise PartitionError(src, dst)
         cost = self.transfer_cost_ms(nbytes, src, dst)
         if src != dst:
             self.stats.messages += 1
@@ -71,3 +132,7 @@ class Network:
     def reset_stats(self) -> None:
         self.stats = NetworkStats()
         self._pair_bytes.clear()
+
+    @property
+    def partitioned_links(self) -> int:
+        return len(self._partitions)

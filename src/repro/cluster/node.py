@@ -94,6 +94,7 @@ class SimNode:
         self.node_id = node_id
         self.kind = kind
         self.speed = speed if speed is not None else kind.default_speed
+        self._base_speed = self.speed
         self.available_at = 0.0
         self.busy_ms = 0.0
         self.log: List[WorkRecord] = []
@@ -151,6 +152,22 @@ class SimNode:
 
     def recover(self) -> None:
         self.alive = True
+
+    # ------------------------------------------------------------------
+    # chaos hooks: degraded ("slow") nodes
+    # ------------------------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Run at *factor* of base speed (a slow/overheating node)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        self.speed = self._base_speed * factor
+
+    def restore_speed(self) -> None:
+        self.speed = self._base_speed
+
+    @property
+    def degraded(self) -> bool:
+        return self.speed < self._base_speed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimNode({self.node_id}, {self.kind.value}, speed={self.speed})"

@@ -18,9 +18,11 @@ the cost of moving the inputs to it — and picks the earliest finisher.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.cluster.network import PartitionError
 from repro.cluster.node import NodeKind, SimNode
 from repro.cluster.topology import ImplianceCluster
 
@@ -42,16 +44,27 @@ class OperatorScheduler:
     def __init__(self, cluster: ImplianceCluster) -> None:
         self.cluster = cluster
         self.decisions: List[Tuple[str, PlacementDecision]] = []
+        #: Chaos accounting: re-placements after a target died mid-flight,
+        #: and candidates skipped because a partition cut them off.
+        self.retries = 0
+        self.unreachable_skips = 0
 
     # ------------------------------------------------------------------
-    def candidates(self, operator: str, kinds: Optional[Sequence[NodeKind]] = None
-                   ) -> List[SimNode]:
+    def candidates(
+        self,
+        operator: str,
+        kinds: Optional[Sequence[NodeKind]] = None,
+        exclude: Optional[Set[str]] = None,
+    ) -> List[SimNode]:
         """Live nodes eligible to host *operator* (all flavors by
-        default — "each operation could be executed on any node type")."""
+        default — "each operation could be executed on any node type").
+        *exclude* drops named nodes (retry-after-failure re-placement)."""
         nodes = [n for n in self.cluster.nodes() if n.alive]
         if kinds is not None:
             allowed = set(kinds)
             nodes = [n for n in nodes if n.kind in allowed]
+        if exclude:
+            nodes = [n for n in nodes if n.node_id not in exclude]
         return nodes
 
     def score(
@@ -62,12 +75,25 @@ class OperatorScheduler:
         input_bytes: Mapping[str, int],
         ready_at: float,
     ) -> PlacementDecision:
-        """Expected completion time of running the operator on *node*."""
+        """Expected completion time of running the operator on *node*.
+
+        A node cut off from any input by a partition scores infinite —
+        work cannot reach it, so placement routes around the fault.
+        """
         transfer = 0.0
-        for source, nbytes in input_bytes.items():
-            transfer = max(
-                transfer,
-                self.cluster.network.transfer_cost_ms(nbytes, source, node.node_id),
+        try:
+            for source, nbytes in input_bytes.items():
+                transfer = max(
+                    transfer,
+                    self.cluster.network.transfer_cost_ms(nbytes, source, node.node_id),
+                )
+        except PartitionError:
+            return PlacementDecision(
+                node_id=node.node_id,
+                expected_finish_ms=math.inf,
+                queue_delay_ms=0.0,
+                transfer_ms=math.inf,
+                execute_ms=0.0,
             )
         queue_delay = max(0.0, node.available_at - ready_at)
         execute = node.estimate(cost_ms, operator)
@@ -86,24 +112,57 @@ class OperatorScheduler:
         input_bytes: Optional[Mapping[str, int]] = None,
         ready_at: float = 0.0,
         kinds: Optional[Sequence[NodeKind]] = None,
+        exclude: Optional[Set[str]] = None,
     ) -> PlacementDecision:
         """Choose the node with the earliest expected completion.
 
-        Ties break deterministically by node id.  The decision is logged
-        for inspection (schedulers must be explainable).
+        Ties break deterministically by node id.  Unreachable candidates
+        (partitioned off from an input) are skipped and counted.  The
+        decision is logged for inspection (schedulers must be
+        explainable).
         """
-        nodes = self.candidates(operator, kinds)
+        nodes = self.candidates(operator, kinds, exclude)
         if not nodes:
             raise RuntimeError("no live nodes available for scheduling")
         inputs = dict(input_bytes or {})
         best: Optional[PlacementDecision] = None
         for node in sorted(nodes, key=lambda n: n.node_id):
             decision = self.score(node, operator, cost_ms, inputs, ready_at)
+            if math.isinf(decision.expected_finish_ms):
+                self.unreachable_skips += 1
+                continue
             if best is None or decision.expected_finish_ms < best.expected_finish_ms:
                 best = decision
-        assert best is not None
+        if best is None:
+            raise RuntimeError(
+                "no reachable nodes available for scheduling (partitioned?)"
+            )
         self.decisions.append((operator, best))
         return best
+
+    def replace(
+        self,
+        operator: str,
+        cost_ms: float,
+        failed: Set[str],
+        input_bytes: Optional[Mapping[str, int]] = None,
+        ready_at: float = 0.0,
+        kinds: Optional[Sequence[NodeKind]] = None,
+    ) -> PlacementDecision:
+        """Re-place an operator after its chosen node failed mid-flight.
+
+        The executor's retry path: same scoring, minus the dead nodes,
+        counted as a retry so chaos benches can report re-placements.
+        """
+        self.retries += 1
+        return self.place(
+            operator,
+            cost_ms,
+            input_bytes=input_bytes,
+            ready_at=ready_at,
+            kinds=kinds,
+            exclude=failed,
+        )
 
     def node_for(self, decision: PlacementDecision) -> SimNode:
         return self.cluster.node(decision.node_id)

@@ -390,6 +390,16 @@ class Impliance:
     # ------------------------------------------------------------------
     # query interfaces — every entry point returns a QueryResult
     # ------------------------------------------------------------------
+    def _flag_degradation(self, result: QueryResult) -> QueryResult:
+        """Graceful degradation: a query issued while replicas are
+        unreachable still answers, but the result is flagged partial
+        with the count of segments that had no live copy."""
+        missing = self.missing_segments()
+        if missing:
+            result.mark_degraded(missing)
+            self.telemetry.inc("query.degraded")
+        return result
+
     def search(self, query: str, top_k: int = 10) -> QueryResult:
         """Keyword search — works out of the box (Section 3.2.1).
 
@@ -401,11 +411,15 @@ class Impliance:
             hits = KeywordSearch(self).search(query, top_k=top_k)
             span.tag("hits", len(hits))
         self.telemetry.inc("query.search")
-        return QueryResult.from_hits(hits, trace=span.record())
+        return self._flag_degradation(
+            QueryResult.from_hits(hits, trace=span.record())
+        )
 
     def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
         """SQL over views (Figure 2's legacy-application path)."""
-        return self.engine.sql(query, planner=planner, statistics=statistics)
+        return self._flag_degradation(
+            self.engine.sql(query, planner=planner, statistics=statistics)
+        )
 
     def faceted(self, query: Optional[str] = None) -> FacetedSession:
         """Start a guided-search session."""
@@ -427,8 +441,10 @@ class Impliance:
         path exists; otherwise ``result.connection`` holds the
         :class:`ConnectionResult` and ``result.rows`` the edge list.
         """
-        return self.graph().connected(
-            source, target, max_hops=max_hops, relations=relations
+        return self._flag_degradation(
+            self.graph().connected(
+                source, target, max_hops=max_hops, relations=relations
+            )
         )
 
     def as_of(self, ts: int):
@@ -454,7 +470,9 @@ class Impliance:
             hits = HybridSearch(self).search(query, top_k=top_k)
             span.tag("hits", len(hits))
         self.telemetry.inc("query.hybrid")
-        return QueryResult.from_hits(hits, trace=span.record())
+        return self._flag_degradation(
+            QueryResult.from_hits(hits, trace=span.record())
+        )
 
     def define_view(self, view: RelationalView) -> None:
         self.views.define(view)
@@ -512,6 +530,43 @@ class Impliance:
                 rehomed += 1
         return rehomed
 
+    def recover_node(self, node_id: str) -> int:
+        """Bring a failed node back; repairs drain onto it autonomically.
+
+        Returns the number of repair actions the storage managers took
+        now that the capacity is back.
+        """
+        node = self.cluster.recover_node(node_id)
+        node.restore_speed()
+        repairs = 0
+        if node.kind is NodeKind.DATA:
+            for manager in self._storage_managers:
+                try:
+                    repairs += len(manager.on_node_added(node_id))
+                except ValueError:
+                    # Manager already counts the node as live; just sweep
+                    # its outstanding deficits.
+                    repairs += len(manager.repair_outstanding())
+        return repairs
+
+    def missing_segments(self) -> int:
+        """Storage segments with zero live replicas right now — the
+        degradation signal every query entry point reports."""
+        return sum(len(m.data_loss_risk()) for m in self._storage_managers)
+
+    def chaos(self, plan):
+        """Bind a seeded :class:`repro.chaos.FaultPlan` to this appliance.
+
+        Returns the :class:`repro.chaos.ChaosController` that will apply
+        the plan's faults against this cluster and count every injection,
+        retry, and repair in the appliance telemetry.
+        """
+        from repro.chaos.controller import ChaosController
+
+        return ChaosController(
+            self.cluster, plan, appliance=self, telemetry=self.telemetry
+        )
+
     def health(self) -> Dict[str, Any]:
         """Single-pane health report: topology, storage, discovery."""
         inventory = self.cluster.inventory
@@ -529,6 +584,7 @@ class Impliance:
             "under_replicated": sum(
                 len(r["under_replicated"]) for r in storage_reports
             ),
+            "missing_segments": self.missing_segments(),
             "admin_actions": 0,
         }
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.chaos.retry import RetryError, RetryPolicy
 from repro.cluster.groups import LockConflictError
+from repro.cluster.network import PartitionError
 from repro.cluster.node import NodeKind, SimNode
 from repro.cluster.topology import ImplianceCluster
 from repro.exec import costs
@@ -52,6 +54,7 @@ class StageTiming:
     rows: int
     bytes_shipped: int = 0
     nodes: Tuple[str, ...] = ()
+    lost_partitions: int = 0  # input partitions dropped (unreachable)
 
 
 @dataclass
@@ -59,9 +62,16 @@ class ExecReport:
     """Accumulated cost report of one distributed query."""
 
     stages: List[StageTiming] = field(default_factory=list)
+    #: Input partitions that stayed unreachable after retries; when
+    #: non-zero the answer is partial and ``degraded`` is set.
+    lost_partitions: int = 0
+    degraded: bool = False
 
     def record(self, stage: StageTiming) -> None:
         self.stages.append(stage)
+        if stage.lost_partitions:
+            self.lost_partitions += stage.lost_partitions
+            self.degraded = True
 
     @property
     def finish_ms(self) -> float:
@@ -92,9 +102,14 @@ class ParallelExecutor:
         cluster: ImplianceCluster,
         use_scheduler: bool = False,
         telemetry: Optional[Telemetry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.cluster = cluster
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        # Timed-out / dropped work retries under this policy; a chaos
+        # controller swaps in the fault plan's seeded policy so backoff
+        # jitter replays with the plan (see repro.chaos).
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.scheduler = None
         if use_scheduler:
             from repro.cluster.scheduler import OperatorScheduler
@@ -127,6 +142,68 @@ class ParallelExecutor:
             return self.cluster.node(decision.node_id)
         crew = self.cluster.work_crew(1)
         return crew[0] if crew else self.cluster.data_nodes[0]
+
+    # ------------------------------------------------------------------
+    # fault tolerance: retried compute and shipping
+    # ------------------------------------------------------------------
+    def _failover_candidates(self, exclude: Set[str]) -> List[SimNode]:
+        """Surviving nodes eligible to adopt orphaned work, grid first."""
+        nodes = [
+            n
+            for n in self.cluster.nodes()
+            if n.alive and n.node_id not in exclude
+        ]
+        return sorted(
+            nodes, key=lambda n: (0 if n.kind is NodeKind.GRID else 1, n.node_id)
+        )
+
+    def _run_with_failover(
+        self,
+        node: Optional[SimNode],
+        cost_ms: float,
+        after: float,
+        label: str,
+        operator: str,
+    ) -> Tuple[SimNode, float]:
+        """Charge *cost_ms* to *node*, failing over when it is dead.
+
+        Each failed attempt pays the retry policy's timeout + seeded
+        backoff in simulated time, then the work moves to a surviving
+        node (via the scheduler when one is attached).  Raises
+        :class:`RetryError` when the policy exhausts with no survivor.
+        """
+        policy = self.retry_policy
+        tried: Set[str] = set()
+        delay = 0.0
+        current = node
+        for attempt in range(policy.max_attempts):
+            if current is not None and current.alive:
+                return current, current.run(
+                    cost_ms, after + delay, label=label, operator=operator
+                )
+            if current is not None:
+                tried.add(current.node_id)
+            delay += policy.penalty_ms(attempt)
+            self.telemetry.inc("exec.retries")
+            current = self._next_survivor(operator, cost_ms, tried, after + delay)
+        raise RetryError(
+            f"no surviving node to run {label!r} after {policy.max_attempts} attempts",
+            policy.max_attempts,
+        )
+
+    def _next_survivor(
+        self, operator: str, cost_ms: float, tried: Set[str], ready_at: float
+    ) -> Optional[SimNode]:
+        if self.scheduler is not None:
+            try:
+                decision = self.scheduler.replace(
+                    operator, cost_ms, failed=set(tried), ready_at=ready_at
+                )
+                return self.cluster.node(decision.node_id)
+            except RuntimeError:
+                return None
+        candidates = self._failover_candidates(tried)
+        return candidates[0] if candidates else None
 
     # ------------------------------------------------------------------
     # stage 1: data-node row production
@@ -221,18 +298,42 @@ class ParallelExecutor:
         report: Optional[ExecReport] = None,
         label: str = "ship",
     ) -> Tuple[List[Row], float]:
-        """Ship every partition to *dest*; returns (rows, ready time)."""
+        """Ship every partition to *dest*; returns (rows, ready time).
+
+        A partitioned source is retried under the executor's
+        :class:`RetryPolicy` (each attempt charges its timeout + seeded
+        backoff to the ready time).  A source that stays unreachable is
+        *dropped*: the gather completes with the surviving partitions,
+        the loss is counted on the report, and the result is degraded —
+        a partial answer now beats no answer (Section 3.1's availability
+        stance).
+        """
+        policy = self.retry_policy
         gathered: List[Row] = []
         ready = 0.0
         shipped_bytes = 0
+        lost = 0
         for node_id in sorted(partitions):
             rows, produced_at = partitions[node_id]
             nbytes = costs.estimate_rows_bytes(rows)
-            wire = self.cluster.network.transfer(nbytes, node_id, dest.node_id)
+            delay = 0.0
+            wire = None
+            for attempt in range(policy.max_attempts):
+                try:
+                    wire = self.cluster.network.transfer(nbytes, node_id, dest.node_id)
+                    break
+                except PartitionError:
+                    delay += policy.penalty_ms(attempt)
+                    self.telemetry.inc("exec.retries")
+            if wire is None:
+                lost += 1
+                self.telemetry.inc("exec.partitions_lost")
+                ready = max(ready, produced_at + delay)
+                continue
             if node_id != dest.node_id:
                 shipped_bytes += nbytes
             gathered.extend(rows)
-            ready = max(ready, produced_at + wire)
+            ready = max(ready, produced_at + delay + wire)
         self._note_stage(label, len(gathered), shipped_bytes)
         if report is not None:
             report.record(
@@ -242,6 +343,7 @@ class ParallelExecutor:
                     rows=len(gathered),
                     bytes_shipped=shipped_bytes,
                     nodes=(dest.node_id,),
+                    lost_partitions=lost,
                 )
             )
         return gathered, ready
@@ -259,8 +361,8 @@ class ParallelExecutor:
         label: str = "filter",
     ) -> Tuple[List[Row], float]:
         result = [r for r in rows if predicate(r)]
-        finish = node.run(
-            len(rows) * costs.FILTER_CPU_MS_PER_ROW, after, label=label, operator="filter"
+        node, finish = self._run_with_failover(
+            node, len(rows) * costs.FILTER_CPU_MS_PER_ROW, after, label, "filter"
         )
         self._note_stage(label, len(result))
         if report is not None:
@@ -283,7 +385,7 @@ class ParallelExecutor:
             len(right) * costs.HASH_BUILD_MS_PER_ROW
             + len(left) * costs.HASH_PROBE_MS_PER_ROW
         )
-        finish = node.run(cost, after, label=label, operator="join")
+        node, finish = self._run_with_failover(node, cost, after, label, "join")
         self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
@@ -304,7 +406,9 @@ class ParallelExecutor:
         result = list(indexed_nl_join(left, left_key, probe))
         probe_wire = self.cluster.network.latency_ms * 2 if self.cluster.data_nodes else 0
         cost = len(left) * costs.INDEX_PROBE_MS
-        finish = node.run(cost, after + probe_wire * min(1, len(left)), label=label, operator="join")
+        node, finish = self._run_with_failover(
+            node, cost, after + probe_wire * min(1, len(left)), label, "join"
+        )
         self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
@@ -321,7 +425,9 @@ class ParallelExecutor:
         label: str = "sort",
     ) -> Tuple[List[Row], float]:
         result = sort_rows(rows, keys, descending)
-        finish = node.run(costs.sort_cost_ms(len(rows)), after, label=label, operator="sort")
+        node, finish = self._run_with_failover(
+            node, costs.sort_cost_ms(len(rows)), after, label, "sort"
+        )
         self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
@@ -338,8 +444,8 @@ class ParallelExecutor:
         label: str = "aggregate",
     ) -> Tuple[List[Row], float]:
         result = group_aggregate(rows, group_by, aggs)
-        finish = node.run(
-            len(rows) * costs.AGG_MS_PER_ROW, after, label=label, operator="aggregate"
+        node, finish = self._run_with_failover(
+            node, len(rows) * costs.AGG_MS_PER_ROW, after, label, "aggregate"
         )
         self._note_stage(label, len(result))
         if report is not None:
@@ -358,7 +464,9 @@ class ParallelExecutor:
         label: str = "topk",
     ) -> Tuple[List[Row], float]:
         result = top_k(rows, k, key, descending)
-        finish = node.run(len(rows) * costs.TOPK_MS_PER_ROW, after, label=label, operator="sort")
+        node, finish = self._run_with_failover(
+            node, len(rows) * costs.TOPK_MS_PER_ROW, after, label, "sort"
+        )
         self._note_stage(label, len(result))
         if report is not None:
             report.record(StageTiming(label, finish, len(result), nodes=(node.node_id,)))
@@ -428,20 +536,16 @@ class ParallelExecutor:
             for node_id, (rows, ready) in partitions.items():
                 node = self.cluster.node(node_id)
                 partials = partial_aggregate(rows, group_by, aggs)
-                finish = node.run(
-                    len(rows) * costs.AGG_MS_PER_ROW,
-                    ready,
-                    label="partial-agg",
-                    operator="aggregate",
+                _, finish = self._run_with_failover(
+                    node, len(rows) * costs.AGG_MS_PER_ROW, ready,
+                    "partial-agg", "aggregate",
                 )
                 reduced[node_id] = (partials, finish)
             gathered, ready = self.gather(reduced, dest, report=report)
             result = merge_partial_aggregates(gathered, group_by, aggs)
-            finish = dest.run(
-                len(gathered) * costs.AGG_MS_PER_ROW,
-                ready,
-                label="merge-agg",
-                operator="aggregate",
+            dest, finish = self._run_with_failover(
+                dest, len(gathered) * costs.AGG_MS_PER_ROW, ready,
+                "merge-agg", "aggregate",
             )
         else:
             gathered, ready = self.gather(partitions, dest, report=report)
@@ -473,9 +577,9 @@ class ParallelExecutor:
         for node_id, (rows, ready) in partitions.items():
             node = self.cluster.node(node_id)
             partials = partial_aggregate(rows, group_by, aggs)
-            finish = node.run(
-                len(rows) * costs.AGG_MS_PER_ROW, ready,
-                label="partial-agg", operator="aggregate",
+            _, finish = self._run_with_failover(
+                node, len(rows) * costs.AGG_MS_PER_ROW, ready,
+                "partial-agg", "aggregate",
             )
             reduced[node_id] = (partials, finish)
 
@@ -488,22 +592,39 @@ class ParallelExecutor:
             return stable_hash(key, len(crew))
 
         # repartition: each data node ships each shard to its crew member
+        # (partitioned links retry under the executor policy, then drop)
+        policy = self.retry_policy
         shards: List[List[Row]] = [[] for _ in crew]
         shard_ready = [0.0] * len(crew)
         shipped_bytes = 0
+        lost = 0
         for node_id, (partials, produced_at) in sorted(reduced.items()):
             per_shard: Dict[int, List[Row]] = {}
             for row in partials:
                 per_shard.setdefault(shard_of(row), []).append(row)
-            for shard_no, rows in per_shard.items():
+            for shard_no, rows in sorted(per_shard.items()):
                 nbytes = costs.estimate_rows_bytes(rows)
-                wire = self.cluster.network.transfer(
-                    nbytes, node_id, crew[shard_no].node_id
-                )
+                delay = 0.0
+                wire = None
+                for attempt in range(policy.max_attempts):
+                    try:
+                        wire = self.cluster.network.transfer(
+                            nbytes, node_id, crew[shard_no].node_id
+                        )
+                        break
+                    except PartitionError:
+                        delay += policy.penalty_ms(attempt)
+                        self.telemetry.inc("exec.retries")
+                if wire is None:
+                    lost += 1
+                    self.telemetry.inc("exec.partitions_lost")
+                    continue
                 if node_id != crew[shard_no].node_id:
                     shipped_bytes += nbytes
                 shards[shard_no].extend(rows)
-                shard_ready[shard_no] = max(shard_ready[shard_no], produced_at + wire)
+                shard_ready[shard_no] = max(
+                    shard_ready[shard_no], produced_at + delay + wire
+                )
         report.record(
             StageTiming(
                 "repartition",
@@ -511,6 +632,7 @@ class ParallelExecutor:
                 sum(len(s) for s in shards),
                 bytes_shipped=shipped_bytes,
                 nodes=tuple(n.node_id for n in crew),
+                lost_partitions=lost,
             )
         )
 
@@ -519,11 +641,12 @@ class ParallelExecutor:
         finish = 0.0
         for shard_no, node in enumerate(crew):
             merged = merge_partial_aggregates(shards[shard_no], group_by, aggs)
-            end = node.run(
+            node, end = self._run_with_failover(
+                node,
                 len(shards[shard_no]) * costs.AGG_MS_PER_ROW,
                 shard_ready[shard_no],
-                label="merge-shard",
-                operator="aggregate",
+                "merge-shard",
+                "aggregate",
             )
             result.extend(merged)
             finish = max(finish, end)
@@ -564,6 +687,7 @@ class ParallelExecutor:
         report: Optional[ExecReport],
     ) -> Tuple[int, float]:
         group = self.cluster.consistency_group
+        policy = self.retry_policy
         applied = 0
         finish = after
         for doc_id in sorted(updates):
@@ -575,7 +699,24 @@ class ParallelExecutor:
                     break
             if home is None:
                 continue
-            granted = group.acquire(doc_id, holder, home.node_id, after)
+            # Lock traffic crosses the interconnect; a partition between
+            # the home node and the key's owner retries with backoff,
+            # and an unreachable lock skips the update (it stays pending
+            # rather than bypassing consistency).
+            granted = None
+            delay = 0.0
+            for attempt in range(policy.max_attempts):
+                try:
+                    granted = group.acquire(
+                        doc_id, holder, home.node_id, after + delay
+                    )
+                    break
+                except PartitionError:
+                    delay += policy.penalty_ms(attempt)
+                    self.telemetry.inc("exec.retries")
+            if granted is None:
+                self.telemetry.inc("exec.updates_unreachable")
+                continue
             assert home.store is not None
             old = home.store.get(doc_id)
             new_content = updates[doc_id](old)

@@ -12,7 +12,11 @@ connection objects).  A :class:`QueryResult` now carries all of them:
   an alias),
 - ``trace``   — the telemetry span that produced it (None when
   telemetry is disabled),
-- ``connection`` — the graph answer, when the query was a graph query.
+- ``connection`` — the graph answer, when the query was a graph query,
+- ``degraded`` / ``missing_segments`` — graceful-degradation flags: when
+  replicas are unreachable the appliance still answers, but marks the
+  result partial and says how many storage segments had no live copy at
+  answer time (see docs/CHAOS.md).
 
 For compatibility the object still *behaves* like the old shapes:
 iterating, indexing, ``len()``, truthiness, and equality against plain
@@ -40,6 +44,17 @@ class QueryResult:
     adaptive_reports: List[Any] = field(default_factory=list)
     trace: Optional[Any] = None
     connection: Optional[Any] = None
+    #: True when the answer is partial because replicas were unreachable.
+    degraded: bool = False
+    #: Storage segments with zero live replicas at answer time.
+    missing_segments: int = 0
+
+    def mark_degraded(self, missing_segments: int) -> "QueryResult":
+        """Flag this result as partial (chained by the facade)."""
+        if missing_segments > 0:
+            self.degraded = True
+            self.missing_segments = missing_segments
+        return self
 
     # ------------------------------------------------------------------
     @property

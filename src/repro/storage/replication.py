@@ -29,7 +29,9 @@ class ReliabilityClass(enum.Enum):
 
     @property
     def replicas(self) -> int:
-        return {"GOLD": 3, "SILVER": 2, "BRONZE": 1}[self.name]
+        # The enum value IS the replica count — returning it directly
+        # means adding a class can never silently desync a lookup table.
+        return int(self.value)
 
 
 def class_for_kind(kind: DocumentKind) -> ReliabilityClass:
@@ -178,6 +180,24 @@ class ReplicaManager:
         if actions and self.telemetry is not None:
             self.telemetry.inc("storage.repair_actions", len(actions))
         return actions
+
+    def invalidate_replica(self, segment_id: int, node_id: str) -> List[RepairAction]:
+        """Drop one (corrupted or lost) replica copy and repair at once.
+
+        The chaos engine's segment-corruption fault lands here: a single
+        bad copy is indistinguishable from a failed disk block, so the
+        response is the same — discard it and re-replicate from a
+        surviving copy.
+        """
+        replica_set = self.placement(segment_id)
+        if node_id not in replica_set.node_ids:
+            return []
+        replica_set.node_ids.discard(node_id)
+        if node_id not in self._failed:
+            self._node_load[node_id] = max(0, self._node_load[node_id] - 1)
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.replicas_invalidated")
+        return self._repair(replica_set)
 
     def repair_deficits(self) -> List[RepairAction]:
         """Retry repairs for every under-replicated segment."""

@@ -114,6 +114,30 @@ class StorageManager:
             self.telemetry.inc("storage.autonomic_actions", 1 + len(actions))
         return actions
 
+    def on_replica_corrupted(self, segment_id: int, node_id: str) -> List[RepairAction]:
+        """A replica copy went bad (chaos corruption fault): drop it and
+        re-replicate from a surviving copy, autonomically."""
+        actions = self.replicas.invalidate_replica(segment_id, node_id)
+        self.stats.repairs += len(actions)
+        self.stats.autonomic_actions += 1 + len(actions)
+        if self.telemetry is not None:
+            self.telemetry.inc("storage.corruptions_handled")
+            self.telemetry.inc("storage.repairs", len(actions))
+            self.telemetry.inc("storage.autonomic_actions", 1 + len(actions))
+        return actions
+
+    def repair_outstanding(self) -> List[RepairAction]:
+        """Repair every under-replicated segment with current capacity
+        (the chaos controller's settle pass)."""
+        actions = self.replicas.repair_deficits()
+        if actions:
+            self.stats.repairs += len(actions)
+            self.stats.autonomic_actions += len(actions)
+            if self.telemetry is not None:
+                self.telemetry.inc("storage.repairs", len(actions))
+                self.telemetry.inc("storage.autonomic_actions", len(actions))
+        return actions
+
     # ------------------------------------------------------------------
     def service_report(self) -> Dict[str, object]:
         """Current storage service level, for the health dashboard."""

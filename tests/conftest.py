@@ -73,3 +73,22 @@ def tiny_app() -> Impliance:
             product_lexicon=("WidgetPro", "GadgetMax"),
         )
     )
+
+
+CHAOS_DOC_IDS = tuple(f"cd-{i}" for i in range(24))
+
+
+@pytest.fixture
+def chaos_cluster() -> Impliance:
+    """A wider appliance for fault-injection scenarios: 4 data nodes (so
+    GOLD's 3 replicas always have a spare home), pre-loaded with BASE
+    documents and with every segment replica-placed."""
+    app = Impliance(
+        ApplianceConfig(n_data_nodes=4, n_grid_nodes=2, n_cluster_nodes=1)
+    )
+    for doc_id in CHAOS_DOC_IDS:
+        app.ingest(f"chaos corpus document {doc_id} mentions widget", "text",
+                   doc_id=doc_id)
+    for manager in app._storage_managers:
+        manager.place_open_segments()
+    return app

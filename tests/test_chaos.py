@@ -1,0 +1,269 @@
+"""Chaos scenarios: seeded faults applied to a live appliance.
+
+Each scenario asserts the two invariants the chaos engine exists to
+protect: GOLD (user base) data is never lost, and queries issued while
+replicas are unreachable come back flagged ``degraded`` instead of
+failing — then come back complete once the system heals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosController, FaultEvent, FaultKind, FaultPlan
+from repro.cluster.topology import ImplianceCluster
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.exec.operators import AggSpec
+from repro.exec.parallel import ParallelExecutor
+from repro.model.converters import from_text
+from repro.model.document import Document, DocumentKind
+from repro.obs.telemetry import Telemetry
+from repro.storage.replication import ReliabilityClass, ReplicaManager
+from repro.storage.store import DocumentStore
+from repro.virt.storagemgr import StorageManager
+from repro.workloads.relational import RelationalWorkload
+
+pytestmark = pytest.mark.chaos
+
+# Matches the corpus the ``chaos_cluster`` fixture loads.
+CHAOS_DOC_IDS = tuple(f"cd-{i}" for i in range(24))
+
+
+def assert_no_gold_loss(app: Impliance) -> None:
+    for doc_id in CHAOS_DOC_IDS:
+        assert app.lookup(doc_id) is not None, f"lost GOLD document {doc_id}"
+
+
+def test_reliability_class_replica_counts():
+    """The enum value IS the replica count (regression: a name-keyed
+    lookup table used to shadow the values)."""
+    assert ReliabilityClass.GOLD.replicas == 3
+    assert ReliabilityClass.SILVER.replicas == 2
+    assert ReliabilityClass.BRONZE.replicas == 1
+    assert all(isinstance(c.replicas, int) for c in ReliabilityClass)
+
+
+class TestSingleCrash:
+    def test_no_data_loss_and_autonomic_repair(self, chaos_cluster):
+        app = chaos_cluster
+        victim = app.cluster.data_nodes[0].node_id
+        plan = FaultPlan([FaultEvent(10.0, FaultKind.CRASH, victim)], seed=42)
+        controller = app.chaos(plan)
+
+        controller.run_all()
+        assert not app.cluster.node(victim).alive
+        assert_no_gold_loss(app)
+        # the victim held replicas; repair re-placed them without help
+        assert controller.repair_actions > 0
+        assert app.telemetry.value("chaos.faults_injected") == 1
+        assert app.telemetry.value("chaos.fault.crash") == 1
+
+        controller.settle()
+        assert app.missing_segments() == 0
+        result = app.search("widget")
+        assert len(result) > 0
+        assert not result.degraded
+
+    def test_crash_guard_protects_last_data_node(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=1, n_grid_nodes=1,
+                                        n_cluster_nodes=1))
+        only = app.cluster.data_nodes[0].node_id
+        plan = FaultPlan([FaultEvent(1.0, FaultKind.CRASH, only)], seed=1)
+        controller = app.chaos(plan)
+        controller.run_all()
+        assert app.cluster.node(only).alive
+        assert len(controller.skipped) == 1
+        assert app.telemetry.value("chaos.skipped") == 1
+
+
+class TestDoubleCrash:
+    """Two concurrent failures: GOLD (3 replicas) survives outright;
+    BRONZE (1 replica) segments that lived on the victims get rebuilt."""
+
+    def _build(self):
+        cluster = ImplianceCluster(n_data=5, n_grid=1, n_cluster=1)
+        store = DocumentStore(page_bytes=512, segment_pages=2)
+        data_ids = [n.node_id for n in cluster.data_nodes]
+        manager = StorageManager(store, ReplicaManager(data_ids))
+        # GOLD segments first (BASE docs), then BRONZE (DERIVED docs).
+        for i in range(8):
+            store.put(from_text(f"base-{i}", "irreplaceable user data " * 6))
+        for i in range(8):
+            store.put(Document(
+                doc_id=f"derived-{i}",
+                content={"summary": "re-creatable analytics " * 6},
+                kind=DocumentKind.DERIVED,
+            ))
+        manager.place_open_segments()
+        return cluster, store, manager
+
+    def test_gold_survives_bronze_rebuilt(self):
+        cluster, store, manager = self._build()
+        placements = manager.replicas.placements()
+        gold = [r for r in placements if r.reliability is ReliabilityClass.GOLD]
+        bronze = [r for r in placements if r.reliability is ReliabilityClass.BRONZE]
+        assert gold and bronze, "fixture must produce both classes"
+
+        # Kill two holders of the same GOLD segment — worst case for it.
+        victims = sorted(gold[0].node_ids)[:2]
+        plan = FaultPlan(
+            [
+                FaultEvent(10.0, FaultKind.CRASH, victims[0]),
+                FaultEvent(20.0, FaultKind.CRASH, victims[1]),
+            ],
+            seed=99,
+        )
+        controller = ChaosController(cluster, plan, storage_managers=[manager])
+        controller.run_all()
+
+        # GOLD never dropped below one live replica (no loss window).
+        for replica_set in gold:
+            assert manager.replicas.data_available(replica_set.segment_id)
+        controller.settle()
+
+        # Everything — including single-copy BRONZE that lived on a
+        # victim — is back at full strength on the 3 survivors.
+        assert manager.replicas.under_replicated() == []
+        assert manager.data_loss_risk() == []
+        assert controller.repair_actions > 0
+        for victim in victims:
+            assert not cluster.node(victim).alive  # no silent resurrection
+        assert manager.stats.admin_actions == 0
+
+
+class TestSlowNode:
+    def test_degraded_node_still_answers_at_reduced_speed(self, chaos_cluster):
+        app = chaos_cluster
+        slow = app.cluster.data_nodes[1].node_id
+        other = app.cluster.data_nodes[0].node_id
+        grid = app.cluster.grid_nodes[0].node_id
+        plan = FaultPlan(
+            [FaultEvent(0.0, FaultKind.SLOW, slow, factor=0.25)], seed=7
+        )
+        controller = app.chaos(plan)
+        controller.run_all()
+
+        node = app.cluster.node(slow)
+        assert node.degraded
+        # its links carry 1/4 the bandwidth of a healthy node's
+        healthy_ms = app.cluster.network.transfer_cost_ms(4096, other, grid)
+        slowed_ms = app.cluster.network.transfer_cost_ms(4096, slow, grid)
+        assert slowed_ms > healthy_ms
+
+        # slow is not broken: full, undegraded answers
+        result = app.search("widget")
+        assert len(result) > 0
+        assert not result.degraded
+        assert_no_gold_loss(app)
+
+        controller.settle()
+        assert not node.degraded
+        assert app.cluster.network.transfer_cost_ms(4096, slow, grid) == (
+            pytest.approx(healthy_ms)
+        )
+
+
+class TestPartitionHeals:
+    def test_partitioned_aggregate_degrades_then_completes(self):
+        cluster = ImplianceCluster(n_data=3, n_grid=1, n_cluster=1)
+        workload = RelationalWorkload(n_customers=10, n_orders=120, seed=5)
+        for doc in workload.documents():
+            cluster.ingest(doc)
+        telemetry = Telemetry()
+        executor = ParallelExecutor(cluster, telemetry=telemetry)
+
+        def order_extract(doc):
+            if doc.metadata.get("table") != "orders":
+                return None
+            return dict(doc.content["orders"])
+
+        aggs = [AggSpec("total", "sum", "amount")]
+        cut = cluster.data_nodes[0].node_id
+        grid = cluster.grid_nodes[0].node_id
+        plan = FaultPlan(
+            [
+                FaultEvent(0.0, FaultKind.PARTITION, cut, peer=grid),
+                FaultEvent(500.0, FaultKind.HEAL, cut, peer=grid),
+            ],
+            seed=11,
+        )
+        controller = ChaosController(cluster, plan)
+        controller.advance_to(0.0)  # cut the link, leave the heal pending
+
+        rows, report = executor.aggregate_distributed(
+            order_extract, ["region"], aggs
+        )
+        # the unreachable partition was retried, then dropped: a partial
+        # answer, honestly flagged
+        assert report.degraded
+        assert report.lost_partitions > 0
+        assert telemetry.value("exec.retries") > 0
+        expected = workload.expected_totals_by_region()
+        partial_total = sum(r["total"] for r in rows)
+        assert partial_total < sum(expected.values())
+
+        controller.run_all()  # heal fires
+        cluster.reset_timelines()
+        rows, report = executor.aggregate_distributed(
+            order_extract, ["region"], aggs
+        )
+        assert not report.degraded
+        assert report.lost_partitions == 0
+        for row in rows:
+            assert row["total"] == pytest.approx(expected[row["region"]])
+
+
+class TestDegradedFlag:
+    def test_facade_flags_partial_answers(self, chaos_cluster):
+        """During a window where a segment has zero live replicas, every
+        query interface answers but is stamped degraded."""
+        app = chaos_cluster
+        manager = next(m for m in app._storage_managers if m.replicas.placements())
+        replica_set = manager.replicas.placements()[0]
+        replica_set.node_ids.clear()  # the loss window, before repair lands
+
+        result = app.search("widget")
+        assert result.degraded
+        assert result.missing_segments >= 1
+        assert app.telemetry.value("query.degraded") >= 1
+        assert app.health()["missing_segments"] >= 1
+
+        # repair closes the window; answers are whole again
+        manager.repair_outstanding()
+        assert not app.search("widget").degraded
+
+
+class TestCrashDuringIngest:
+    def test_ingest_continues_and_nothing_is_lost(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=4, n_grid_nodes=1,
+                                        n_cluster_nodes=1))
+        victim = app.cluster.data_nodes[2].node_id
+        plan = FaultPlan(
+            [
+                FaultEvent(5.0, FaultKind.CRASH, victim),
+                FaultEvent(400.0, FaultKind.RECOVER, victim),
+            ],
+            seed=3,
+        )
+        controller = app.chaos(plan)
+
+        for i in range(12):
+            app.ingest(f"early widget report {i}", "text", doc_id=f"pre-{i}")
+        for manager in app._storage_managers:
+            manager.place_open_segments()
+
+        controller.advance_to(10.0)  # crash lands mid-stream
+        assert not app.cluster.node(victim).alive
+        for i in range(12):  # the pot keeps accepting data
+            app.ingest(f"late widget report {i}", "text", doc_id=f"post-{i}")
+
+        controller.settle()  # recovery fires, deficits drain
+        assert app.cluster.node(victim).alive
+        for i in range(12):
+            assert app.lookup(f"pre-{i}") is not None
+            assert app.lookup(f"post-{i}") is not None
+        assert app.missing_segments() == 0
+        result = app.search("widget")
+        assert len(result) > 0
+        assert not result.degraded
