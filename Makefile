@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify smoke chaos-smoke bench
+.PHONY: test verify smoke chaos-smoke exec-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,9 +12,13 @@ smoke:
 chaos-smoke:
 	$(PYTHON) benchmarks/bench_chaos_availability.py --quick
 
-# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke
-# and a fast fault-injection/availability smoke.
-verify: test smoke chaos-smoke
+exec-smoke:
+	$(PYTHON) benchmarks/bench_exec_vectorized.py --quick
+
+# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke,
+# a fast fault-injection/availability smoke, and the vectorized-engine
+# speedup smoke (writes BENCH_exec.json).
+verify: test smoke chaos-smoke exec-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

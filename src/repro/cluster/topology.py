@@ -242,6 +242,13 @@ class ImplianceCluster:
             assert node.store is not None
             yield from node.store.scan()
 
+    def scan_all_batches(self, batch_size: int = 256) -> Iterator[List[Document]]:
+        """Like :meth:`scan_all`, but in fixed-size document batches
+        (same node order, so row order matches the flat scan)."""
+        for node in self.data_nodes:
+            assert node.store is not None
+            yield from node.store.scan_batches(batch_size)
+
     @property
     def doc_count(self) -> int:
         return sum(n.store.doc_count for n in self.data_nodes if n.store)

@@ -84,8 +84,17 @@ class Impliance:
             telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         self.views = ViewCatalog()
-        self.engine = QueryEngine(self, telemetry=self.telemetry)
-        self.executor = ParallelExecutor(self.cluster, telemetry=self.telemetry)
+        self.engine = QueryEngine(
+            self,
+            telemetry=self.telemetry,
+            vectorized=self.config.vectorized,
+            batch_size=self.config.batch_size,
+        )
+        self.executor = ParallelExecutor(
+            self.cluster,
+            telemetry=self.telemetry,
+            batch_size=self.config.batch_size,
+        )
         self.miner = PiggybackMiner()
 
         annotators = default_annotators(
@@ -129,6 +138,11 @@ class Impliance:
     # ------------------------------------------------------------------
     def documents(self) -> Iterator[Document]:
         return self.cluster.scan_all()
+
+    def document_batches(self, batch_size: int = 256) -> Iterator[List[Document]]:
+        """Batched scan feeding the vectorized engine (same order as
+        :meth:`documents`)."""
+        return self.cluster.scan_all_batches(batch_size)
 
     def lookup(self, doc_id: str) -> Optional[Document]:
         return self.cluster.lookup(doc_id)

@@ -33,6 +33,12 @@ class ApplianceConfig:
     #: (``Impliance.telemetry`` / ``Impliance.stats()``).  When False the
     #: telemetry layer is a guaranteed no-op on every hot path.
     telemetry: bool = True
+    #: Execution engine: when True (the default) queries run on the
+    #: vectorized ColumnBatch interpreter; False keeps the legacy
+    #: row-at-a-time engine alive for comparison runs (docs/EXECUTION.md).
+    vectorized: bool = True
+    #: Rows per ColumnBatch on the vectorized path.
+    batch_size: int = 1024
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()
@@ -46,6 +52,8 @@ class ApplianceConfig:
             raise ValueError("need at least one cluster node")
         if self.buffer_capacity < 1:
             raise ValueError("buffer capacity must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch size must be positive")
         object.__setattr__(self, "product_lexicon", tuple(self.product_lexicon))
         object.__setattr__(self, "location_lexicon", tuple(self.location_lexicon))
         object.__setattr__(self, "procedure_lexicon", tuple(self.procedure_lexicon))

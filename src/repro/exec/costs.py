@@ -32,6 +32,10 @@ ENCRYPT_MS_PER_KB = 0.02
 #: Fixed serialization overhead per shipped row.
 ROW_OVERHEAD_BYTES = 16
 
+#: Fixed serialization overhead per shipped columnar batch (header:
+#: schema, column offsets, row count).
+BATCH_OVERHEAD_BYTES = 64
+
 
 def sort_cost_ms(n_rows: int) -> float:
     """n log n sort cost."""
@@ -50,3 +54,23 @@ def estimate_row_bytes(row: Dict[str, Any]) -> int:
 
 def estimate_rows_bytes(rows) -> int:
     return sum(estimate_row_bytes(r) for r in rows)
+
+
+def estimate_batch_bytes(batch) -> int:
+    """Approximate wire size of one :class:`~repro.exec.batch.ColumnBatch`.
+
+    The columnar wire format serializes each column name once per batch
+    (the row format repeats keys and pays :data:`ROW_OVERHEAD_BYTES` per
+    row), so shipping the same rows as batches amortizes the per-row
+    overhead down to one marker byte per value.
+    """
+    total = BATCH_OVERHEAD_BYTES
+    for name, values in batch.columns.items():
+        total += len(name)
+        for value in values:
+            total += len(str(value)) + 1
+    return total
+
+
+def estimate_batches_bytes(batches) -> int:
+    return sum(estimate_batch_bytes(b) for b in batches)

@@ -1,10 +1,19 @@
-"""Physical row operators.
+"""Physical operators: the row vocabulary and its vectorized twins.
 
 The paper argues for "a simple planner that allows only a few limited
 choices of the underlying physical operators" (Section 3.3); this module
-is that limited operator vocabulary.  Operators are iterator-style over
-plain dict rows and keep row-count statistics so the executor can charge
-simulated cost for the work they actually did.
+is that limited operator vocabulary.  Two executions of each operator
+exist:
+
+* the original iterator-style functions over plain dict rows (kept as
+  the compatibility edge and the legacy engine), and
+* ``*_batches`` variants that operate on :class:`~repro.exec.batch.
+  ColumnBatch` streams batch-at-a-time — the vectorized hot path the
+  query engine and the distributed executor now run on.
+
+Both keep row/batch statistics so the executor can charge simulated cost
+for the work they actually did, and both produce *identical* rows — the
+cross-engine property tests depend on it.
 
 Aggregation functions intentionally include the type guards motivated in
 Section 2.2 — summing a column that is not numeric raises instead of
@@ -17,20 +26,46 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.exec.batch import ColumnBatch
 from repro.model.values import classify_value, coerce_numeric
 
 Row = Dict[str, Any]
 Predicate = Callable[[Row], bool]
+
+#: Vectorized predicate: batch → indices of the selected rows, in order.
+BatchSelector = Callable[[ColumnBatch], Sequence[int]]
 
 
 @dataclass
 class OperatorStats:
     rows_in: int = 0
     rows_out: int = 0
+    batches_in: int = 0
+    batches_out: int = 0
 
 
 class AggregationTypeError(TypeError):
     """Raised when a numeric aggregate is applied to non-numeric values."""
+
+
+def merge_joined_row(joined: Row, match: Row) -> Row:
+    """Merge *match* (the other join side) into *joined*, in place.
+
+    Colliding columns keep the left value and surface the right value
+    under an ``r_``-prefixed name.  The rename itself is collision-safe:
+    if the left row already carries ``r_<col>`` (e.g. from an earlier
+    join) with a different value, the prefix stacks (``r_r_<col>``)
+    instead of silently clobbering.
+    """
+    for key, value in match.items():
+        if key in joined and joined[key] != value:
+            renamed = f"r_{key}"
+            while renamed in joined and joined[renamed] != value:
+                renamed = f"r_{renamed}"
+            joined[renamed] = value
+        else:
+            joined[key] = value
+    return joined
 
 
 def filter_rows(rows: Iterable[Row], predicate: Predicate, stats: Optional[OperatorStats] = None) -> Iterator[Row]:
@@ -70,12 +105,7 @@ def hash_join(
         if stats is not None:
             stats.rows_in += 1
         for match in table.get(row.get(left_key), ()):
-            joined = dict(row)
-            for key, value in match.items():
-                if key in joined and joined[key] != value:
-                    joined[f"r_{key}"] = value
-                else:
-                    joined[key] = value
+            joined = merge_joined_row(dict(row), match)
             if stats is not None:
                 stats.rows_out += 1
             yield joined
@@ -101,19 +131,22 @@ def indexed_nl_join(
         if key is None:
             continue
         for match in probe(key):
-            joined = dict(row)
-            for mkey, mvalue in match.items():
-                if mkey in joined and joined[mkey] != mvalue:
-                    joined[f"r_{mkey}"] = mvalue
-                else:
-                    joined[mkey] = mvalue
+            joined = merge_joined_row(dict(row), match)
             if stats is not None:
                 stats.rows_out += 1
             yield joined
 
 
-def sort_rows(rows: Iterable[Row], keys: Sequence[str], descending: bool = False) -> List[Row]:
+def sort_rows(
+    rows: Iterable[Row],
+    keys: Sequence[str],
+    descending: bool = False,
+    stats: Optional[OperatorStats] = None,
+) -> List[Row]:
     materialized = list(rows)
+    if stats is not None:
+        stats.rows_in += len(materialized)
+        stats.rows_out += len(materialized)
 
     def sort_key(row: Row):
         return tuple(_orderable(row.get(k)) for k in keys)
@@ -133,15 +166,26 @@ def _orderable(value: Any) -> Tuple[int, Any]:
     return (2, str(value))
 
 
-def top_k(rows: Iterable[Row], k: int, key: str, descending: bool = True) -> List[Row]:
+def top_k(
+    rows: Iterable[Row],
+    k: int,
+    key: str,
+    descending: bool = True,
+    stats: Optional[OperatorStats] = None,
+) -> List[Row]:
     """Heap-based top-k by one column (the retrieval-interface shape)."""
     if k < 1:
         raise ValueError("k must be >= 1")
+    if stats is not None:
+        rows = list(rows)
+        stats.rows_in += len(rows)
     decorated = (( _orderable(row.get(key)), i, row) for i, row in enumerate(rows))
     if descending:
         selected = heapq.nlargest(k, decorated, key=lambda t: (t[0], -t[1]))
     else:
         selected = heapq.nsmallest(k, decorated, key=lambda t: (t[0], t[1]))
+    if stats is not None:
+        stats.rows_out += len(selected)
     return [row for _, _, row in selected]
 
 
@@ -177,15 +221,24 @@ class _AggState:
         self.maximum: Optional[float] = None
 
     def update(self, value: Any) -> None:
-        self.count += 1
+        # SQL semantics: NULLs are invisible to count(col)/sum/avg/min/max
+        # (a bare count(*) is handled by the caller, never through here).
         if value is None:
             return
-        if not classify_value(value).is_numeric:
-            raise AggregationTypeError(
-                f"cannot aggregate non-numeric value {value!r}; "
-                "the semantic layer should have excluded this column"
-            )
-        number = coerce_numeric(value)
+        # Fast path for plain numbers — the vectorized engine funnels
+        # millions of values through here, and classify_value's regex
+        # machinery is only needed for strings (money/number literals).
+        vtype = type(value)
+        if vtype is int or vtype is float:
+            number = float(value)
+        else:
+            if not classify_value(value).is_numeric:
+                raise AggregationTypeError(
+                    f"cannot aggregate non-numeric value {value!r}; "
+                    "the semantic layer should have excluded this column"
+                )
+            number = coerce_numeric(value)
+        self.count += 1
         self.total += number
         self.minimum = number if self.minimum is None else min(self.minimum, number)
         self.maximum = number if self.maximum is None else max(self.maximum, number)
@@ -277,3 +330,190 @@ def merge_partial_aggregates(
             elif agg.func == "count":
                 row[agg.name] = int(row[agg.name])
     return merged
+
+
+# ----------------------------------------------------------------------
+# vectorized (batch-at-a-time) operators
+# ----------------------------------------------------------------------
+def _note_batch_in(stats: Optional[OperatorStats], batch: ColumnBatch) -> None:
+    if stats is not None:
+        stats.batches_in += 1
+        stats.rows_in += batch.length
+
+
+def _note_batch_out(stats: Optional[OperatorStats], batch: ColumnBatch) -> None:
+    if stats is not None:
+        stats.batches_out += 1
+        stats.rows_out += batch.length
+
+
+def selector_from_predicate(predicate: Predicate) -> BatchSelector:
+    """Adapt a dict-row predicate into a :data:`BatchSelector`.
+
+    The generic fallback for callers without a column-wise predicate —
+    it materializes rows, so prefer a native selector (e.g.
+    ``Conjunction.selector``) on hot paths.
+    """
+
+    def select(batch: ColumnBatch) -> List[int]:
+        return [i for i, row in enumerate(batch.to_rows()) if predicate(row)]
+
+    return select
+
+
+def filter_batches(
+    batches: Iterable[ColumnBatch],
+    selector: BatchSelector,
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[ColumnBatch]:
+    """Vectorized filter: *selector* picks surviving row indices per batch."""
+    for batch in batches:
+        _note_batch_in(stats, batch)
+        indices = selector(batch)
+        if not indices:
+            continue
+        out = batch if len(indices) == batch.length else batch.take(indices)
+        _note_batch_out(stats, out)
+        yield out
+
+
+def project_batches(
+    batches: Iterable[ColumnBatch],
+    columns: Sequence[str],
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[ColumnBatch]:
+    """Vectorized projection — O(columns) per batch, not O(rows)."""
+    columns = list(columns)
+    for batch in batches:
+        _note_batch_in(stats, batch)
+        out = batch.select_columns(columns)
+        _note_batch_out(stats, out)
+        yield out
+
+
+def hash_join_batches(
+    probe_batches: Iterable[ColumnBatch],
+    build_batches: Iterable[ColumnBatch],
+    probe_key: str,
+    build_key: str,
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[ColumnBatch]:
+    """Vectorized hash join: build on *build_batches*, probe batch-at-a-time.
+
+    Key-column probing is columnar (non-matching probe rows are skipped
+    without ever materializing a dict); only matching rows pay the
+    row-merge that implements the collision-rename semantics.  Output
+    rows are identical to :func:`hash_join` on the same inputs.
+    """
+    table: Dict[Any, List[Row]] = {}
+    for batch in build_batches:
+        _note_batch_in(stats, batch)
+        keys = batch.column(build_key)
+        rows = batch.to_rows()
+        for key, row in zip(keys, rows):
+            table.setdefault(key, []).append(row)
+    table.pop(None, None)  # null keys never join
+    for batch in probe_batches:
+        _note_batch_in(stats, batch)
+        keys = batch.column(probe_key)
+        hits = [i for i, key in enumerate(keys) if key in table]
+        if not hits:
+            continue
+        probe_rows = batch.take(hits).to_rows()
+        joined_rows: List[Row] = []
+        for i, row in zip(hits, probe_rows):
+            for match in table[keys[i]]:
+                joined_rows.append(merge_joined_row(dict(row), match))
+        out = ColumnBatch.from_rows(joined_rows)
+        _note_batch_out(stats, out)
+        yield out
+
+
+def sort_batches(
+    batches: Iterable[ColumnBatch],
+    keys: Sequence[str],
+    descending: bool = False,
+    stats: Optional[OperatorStats] = None,
+) -> ColumnBatch:
+    """Vectorized sort: one output batch, same ordering as :func:`sort_rows`."""
+    merged = ColumnBatch.concat(list(batches))
+    if stats is not None:
+        stats.batches_in += 1
+        stats.rows_in += merged.length
+    key_columns = [merged.column(k) for k in keys]
+    order = sorted(
+        range(merged.length),
+        key=lambda i: tuple(_orderable(col[i]) for col in key_columns),
+        reverse=descending,
+    )
+    out = merged.take(order)
+    _note_batch_out(stats, out)
+    return out
+
+
+def top_k_batches(
+    batches: Iterable[ColumnBatch],
+    k: int,
+    key: str,
+    descending: bool = True,
+    stats: Optional[OperatorStats] = None,
+) -> ColumnBatch:
+    """Vectorized top-k: heap over (orderable, row-index) pairs only."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    merged = ColumnBatch.concat(list(batches))
+    if stats is not None:
+        stats.batches_in += 1
+        stats.rows_in += merged.length
+    values = merged.column(key)
+    decorated = ((_orderable(v), i) for i, v in enumerate(values))
+    if descending:
+        selected = heapq.nlargest(k, decorated, key=lambda t: (t[0], -t[1]))
+    else:
+        selected = heapq.nsmallest(k, decorated, key=lambda t: (t[0], t[1]))
+    out = merged.take([i for _, i in selected])
+    _note_batch_out(stats, out)
+    return out
+
+
+def group_aggregate_batches(
+    batches: Iterable[ColumnBatch],
+    group_by: Sequence[str],
+    aggs: Sequence[AggSpec],
+    stats: Optional[OperatorStats] = None,
+) -> ColumnBatch:
+    """Vectorized hash group-by: column access replaces per-row dicts.
+
+    Produces the same groups, values, and (sorted) group order as
+    :func:`group_aggregate`.
+    """
+    group_by = list(group_by)
+    aggs = list(aggs)
+    counting_star = [a.column is None for a in aggs]
+    states: Dict[Tuple, List[_AggState]] = {}
+    for batch in batches:
+        _note_batch_in(stats, batch)
+        group_columns = [batch.column(c) for c in group_by]
+        agg_columns = [
+            None if star else batch.column(agg.column)
+            for star, agg in zip(counting_star, aggs)
+        ]
+        for i in range(batch.length):
+            key = tuple(col[i] for col in group_columns)
+            bucket = states.get(key)
+            if bucket is None:
+                bucket = states[key] = [_AggState() for _ in aggs]
+            for state, column in zip(bucket, agg_columns):
+                if column is None:
+                    state.count += 1  # bare count(*) counts every row
+                else:
+                    state.update(column[i])
+    ordered = sorted(states, key=lambda k: tuple(_orderable(v) for v in k))
+    columns: Dict[str, List[Any]] = {
+        name: [key[j] for key in ordered] for j, name in enumerate(group_by)
+    }
+    for j, agg in enumerate(aggs):
+        columns[agg.name] = [states[key][j].result(agg.func) for key in ordered]
+    out = ColumnBatch(columns, len(ordered))
+    _note_batch_out(stats, out)
+    return out

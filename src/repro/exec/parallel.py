@@ -22,6 +22,12 @@ from repro.cluster.network import PartitionError
 from repro.cluster.node import NodeKind, SimNode
 from repro.cluster.topology import ImplianceCluster
 from repro.exec import costs
+from repro.exec.batch import (
+    DEFAULT_BATCH_SIZE,
+    ColumnBatch,
+    batches_from_rows,
+    rows_from_batches,
+)
 from repro.exec.operators import (
     AggSpec,
     Row,
@@ -43,6 +49,9 @@ RowPredicate = Callable[[Row], bool]
 
 #: Partitioned intermediate result: node_id -> (rows, ready_at).
 Partitions = Dict[str, Tuple[List[Row], float]]
+
+#: Columnar partitioned intermediate: node_id -> (batches, ready_at).
+BatchPartitions = Dict[str, Tuple[List[ColumnBatch], float]]
 
 
 @dataclass
@@ -103,9 +112,12 @@ class ParallelExecutor:
         use_scheduler: bool = False,
         telemetry: Optional[Telemetry] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.cluster = cluster
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        #: Rows per shipped ColumnBatch on columnar inter-node transfers.
+        self.batch_size = batch_size
         # Timed-out / dropped work retries under this policy; a chaos
         # controller swaps in the fault plan's seeded policy so backoff
         # jitter replays with the plan (see repro.chaos).
@@ -348,6 +360,81 @@ class ParallelExecutor:
             )
         return gathered, ready
 
+    def gather_batches(
+        self,
+        partitions: BatchPartitions,
+        dest: SimNode,
+        report: Optional[ExecReport] = None,
+        label: str = "ship",
+    ) -> Tuple[List[ColumnBatch], float]:
+        """Ship partitioned ColumnBatch streams to *dest* (columnar wire).
+
+        Each batch is one network transfer charged at
+        :func:`costs.estimate_batch_bytes` — column names travel once per
+        batch instead of once per row, so the same rows cost fewer bytes
+        than :meth:`gather`'s row wire format.  Retry and degradation
+        semantics are identical to :meth:`gather`: a partitioned source
+        retries under the executor policy (charging timeout + seeded
+        backoff), then drops, leaving a partial, degraded answer.
+        """
+        policy = self.retry_policy
+        gathered: List[ColumnBatch] = []
+        ready = 0.0
+        shipped_bytes = 0
+        shipped_batches = 0
+        total_rows = 0
+        lost = 0
+        for node_id in sorted(partitions):
+            batches, produced_at = partitions[node_id]
+            delay = 0.0
+            wire = None
+            for attempt in range(policy.max_attempts):
+                try:
+                    # Partition state is stable within a gather, so either
+                    # every batch transfers or the first raises — partial
+                    # accounting cannot happen mid-partition.  An empty
+                    # stream still ships its (empty) manifest, so a dead
+                    # link is detected exactly as in the row gather.
+                    if batches:
+                        wire = sum(
+                            self.cluster.network.transfer(
+                                costs.estimate_batch_bytes(batch), node_id, dest.node_id
+                            )
+                            for batch in batches
+                        )
+                    else:
+                        wire = self.cluster.network.transfer(0, node_id, dest.node_id)
+                    break
+                except PartitionError:
+                    delay += policy.penalty_ms(attempt)
+                    self.telemetry.inc("exec.retries")
+            if wire is None:
+                lost += 1
+                self.telemetry.inc("exec.partitions_lost")
+                ready = max(ready, produced_at + delay)
+                continue
+            if node_id != dest.node_id:
+                shipped_bytes += costs.estimate_batches_bytes(batches)
+                shipped_batches += len(batches)
+            gathered.extend(batches)
+            total_rows += sum(b.length for b in batches)
+            ready = max(ready, produced_at + delay + wire)
+        if shipped_batches:
+            self.telemetry.inc("exec.batches_shipped", shipped_batches)
+        self._note_stage(label, total_rows, shipped_bytes)
+        if report is not None:
+            report.record(
+                StageTiming(
+                    label=label,
+                    finish_ms=ready,
+                    rows=total_rows,
+                    bytes_shipped=shipped_bytes,
+                    nodes=(dest.node_id,),
+                    lost_partitions=lost,
+                )
+            )
+        return gathered, ready
+
     # ------------------------------------------------------------------
     # stage 2: grid computation
     # ------------------------------------------------------------------
@@ -532,7 +619,10 @@ class ParallelExecutor:
             "aggregate", total_rows * costs.AGG_MS_PER_ROW, partitions
         )
         if pushdown:
-            reduced: Partitions = {}
+            # Partial aggregates travel as ColumnBatches: the columnar
+            # wire format pays column names once per batch, so pushdown
+            # ships even fewer bytes than row-shipped partials would.
+            reduced: BatchPartitions = {}
             for node_id, (rows, ready) in partitions.items():
                 node = self.cluster.node(node_id)
                 partials = partial_aggregate(rows, group_by, aggs)
@@ -540,8 +630,12 @@ class ParallelExecutor:
                     node, len(rows) * costs.AGG_MS_PER_ROW, ready,
                     "partial-agg", "aggregate",
                 )
-                reduced[node_id] = (partials, finish)
-            gathered, ready = self.gather(reduced, dest, report=report)
+                reduced[node_id] = (
+                    list(batches_from_rows(partials, self.batch_size)),
+                    finish,
+                )
+            batches, ready = self.gather_batches(reduced, dest, report=report)
+            gathered = rows_from_batches(batches)
             result = merge_partial_aggregates(gathered, group_by, aggs)
             dest, finish = self._run_with_failover(
                 dest, len(gathered) * costs.AGG_MS_PER_ROW, ready,
@@ -603,13 +697,19 @@ class ParallelExecutor:
             for row in partials:
                 per_shard.setdefault(shard_of(row), []).append(row)
             for shard_no, rows in sorted(per_shard.items()):
-                nbytes = costs.estimate_rows_bytes(rows)
+                shard_batches = list(batches_from_rows(rows, self.batch_size))
+                nbytes = costs.estimate_batches_bytes(shard_batches)
                 delay = 0.0
                 wire = None
                 for attempt in range(policy.max_attempts):
                     try:
-                        wire = self.cluster.network.transfer(
-                            nbytes, node_id, crew[shard_no].node_id
+                        wire = sum(
+                            self.cluster.network.transfer(
+                                costs.estimate_batch_bytes(batch),
+                                node_id,
+                                crew[shard_no].node_id,
+                            )
+                            for batch in shard_batches
                         )
                         break
                     except PartitionError:
@@ -621,6 +721,7 @@ class ParallelExecutor:
                     continue
                 if node_id != crew[shard_no].node_id:
                     shipped_bytes += nbytes
+                    self.telemetry.inc("exec.batches_shipped", len(shard_batches))
                 shards[shard_no].extend(rows)
                 shard_ready[shard_no] = max(
                     shard_ready[shard_no], produced_at + delay + wire

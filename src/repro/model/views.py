@@ -151,6 +151,82 @@ class RelationalView:
                 yield row
 
 
+class ColumnProjector:
+    """Columnar (struct-of-arrays) projection of documents through a view.
+
+    The row path builds one dict per document (``view.project``); the
+    vectorized scan appends each column value to a list instead, and —
+    for the common table-view shape where every column is a self-sourced
+    two-segment path under one root — resolves the root *once* per
+    document and reads columns with plain dict gets, instead of walking
+    ``get_path`` per column.  Documents that need the general machinery
+    (view predicates, subject columns, nested values) fall back to
+    ``view.project`` per document, so the projected values are always
+    identical to the row path.
+
+    The caller is responsible for :meth:`RelationalView.matches`; this
+    object only projects.  ``columns``/``length`` expose the accumulated
+    result (the exec layer wraps them into ColumnBatches).
+    """
+
+    __slots__ = ("view", "lookup", "names", "columns", "length", "_paths", "_root")
+
+    def __init__(self, view: RelationalView, lookup: Optional[DocumentLookup] = None) -> None:
+        self.view = view
+        self.lookup = lookup
+        self.names = [c.name for c in view.columns]
+        self.columns: Dict[str, List[Any]] = {name: [] for name in self.names}
+        self.length = 0
+        self._paths = [c.path for c in view.columns]
+        root = None
+        if (
+            view.predicate is None
+            and not view.needs_subject
+            and self._paths
+            and all(len(p) == 2 for p in self._paths)
+        ):
+            roots = {p[0] for p in self._paths}
+            if len(roots) == 1:
+                root = next(iter(roots))
+        self._root = root
+
+    def add(self, document: Document) -> bool:
+        """Project one matching document; True when a row was appended."""
+        values = self._fast_values(document)
+        if values is not None:
+            for name, value in zip(self.names, values):
+                self.columns[name].append(value)
+            self.length += 1
+            return True
+        return self._add_generic(document)
+
+    def _fast_values(self, document: Document) -> Optional[List[Any]]:
+        if self._root is None:
+            return None
+        content = document.content
+        if type(content) is not dict:
+            return None
+        inner = content.get(self._root)
+        if type(inner) is not dict:
+            return None
+        values: List[Any] = []
+        for path in self._paths:
+            value = inner.get(path[1])
+            if isinstance(value, (dict, list, tuple)):
+                return None  # nested value: defer to get_path's leaf walk
+            values.append(value)
+        return values
+
+    def _add_generic(self, document: Document) -> bool:
+        row = self.view.project(document, self.lookup)
+        if row is None:
+            return False
+        for name in self.names:
+            self.columns[name].append(row.get(name))
+        self.length += 1
+        return True
+
+
 def base_table_view(name: str, table: str, columns: Sequence[str]) -> RelationalView:
     """Convenience: the identity view over rows infused from *table*.
 

@@ -4,27 +4,54 @@ The engine executes for real (rows out are correct) while charging a
 simulated cost meter, so the PLAN experiment can compare planner choices
 by simulated latency without depending on host noise.
 
+Two interpreters share the cost model and produce identical rows:
+
+* the **vectorized** interpreter (the default) runs plans over
+  :class:`~repro.exec.batch.ColumnBatch` streams — scans project
+  documents column-wise, filters/joins/aggregates work batch-at-a-time
+  (``repro.exec.operators``'s ``*_batches`` family), and
+  ``QueryResult.rows`` is a thin adapter over the final batches;
+* the **legacy row** interpreter walks dict rows one at a time, kept
+  alive behind ``vectorized=False`` so benches and property tests can
+  compare the two for identical output.
+
 A *repository* is anything exposing documents, point lookup, a view
 catalog, and indexes — :class:`LocalRepository` wraps a single document
 store; the appliance facade (:class:`repro.core.appliance.Impliance`)
-implements the same protocol over a cluster.
+implements the same protocol over a cluster.  Repositories may also
+offer ``document_batches(batch_size)`` (the stores do) to feed the
+vectorized scan without per-document generator hops.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Protocol, Sequence
 
 from repro.exec import costs
+from repro.exec.batch import (
+    DEFAULT_BATCH_SIZE,
+    ColumnBatch,
+    batches_from_columns,
+    batches_from_rows,
+    rows_from_batches,
+)
 from repro.exec.operators import (
     AggSpec,
+    OperatorStats,
     Row,
+    filter_batches,
     group_aggregate,
+    group_aggregate_batches,
     hash_join,
+    hash_join_batches,
+    merge_joined_row,
+    project_batches,
+    sort_batches,
     sort_rows,
 )
 from repro.index.manager import IndexManager
 from repro.model.document import Document
-from repro.model.views import RelationalView, ViewCatalog
+from repro.model.views import ColumnProjector, RelationalView, ViewCatalog
 from repro.obs.telemetry import DISABLED, Telemetry
 from repro.query.planner import (
     CostBasedOptimizer,
@@ -79,30 +106,52 @@ class LocalRepository:
     def documents(self) -> Iterable[Document]:
         return self.store.scan()
 
+    def document_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Document]]:
+        return self.store.scan_batches(batch_size)
+
     def lookup(self, doc_id: str) -> Optional[Document]:
         return self.store.lookup(doc_id)
 
 
 class _CostMeter:
-    __slots__ = ("ms", "adaptive", "adaptive_reports")
+    __slots__ = ("ms", "adaptive", "adaptive_reports", "operators")
 
     def __init__(self, adaptive: bool = False) -> None:
         self.ms = 0.0
         self.adaptive = adaptive
         self.adaptive_reports: List[Any] = []
+        #: Per-operator row+batch statistics, keyed by operator name.
+        self.operators: Dict[str, OperatorStats] = {}
 
     def charge(self, ms: float) -> None:
         self.ms += ms
 
+    def stats(self, operator: str) -> OperatorStats:
+        stats = self.operators.get(operator)
+        if stats is None:
+            stats = self.operators[operator] = OperatorStats()
+        return stats
+
 
 class QueryEngine:
-    """Plan interpreter with a simulated cost meter."""
+    """Plan interpreter with a simulated cost meter.
+
+    ``vectorized`` selects the batch interpreter (the default hot path);
+    ``vectorized=False`` keeps the legacy row-at-a-time interpreter for
+    comparison runs.  Both charge identical simulated costs.
+    """
 
     def __init__(
-        self, repository: Repository, telemetry: Optional[Telemetry] = None
+        self,
+        repository: Repository,
+        telemetry: Optional[Telemetry] = None,
+        vectorized: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.repository = repository
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.vectorized = vectorized
+        self.batch_size = batch_size
         self.simple_planner = SimplePlanner(
             can_probe=self._can_probe, columns_of=self._columns_of_view
         )
@@ -191,19 +240,81 @@ class QueryEngine:
 
     def run_physical(self, physical: PhysicalPlan, adaptive: bool = False) -> QueryResult:
         meter = _CostMeter(adaptive=adaptive)
-        with self.telemetry.span("query.execute") as span:
-            rows = self._run(physical, meter)
+        engine_kind = "vectorized" if self.vectorized else "rows"
+        with self.telemetry.span("query.execute", engine=engine_kind) as span:
+            batches: Optional[List[ColumnBatch]] = None
+            if self.vectorized:
+                batches = self._run_batches(physical, meter)
+                rows = rows_from_batches(batches)
+            else:
+                rows = self._run(physical, meter)
             span.charge_sim(meter.ms)
+        self._note_batch_metrics(meter)
         return QueryResult(
             rows=rows,
             sim_ms=meter.ms,
             plan_text=_describe_physical(physical),
             adaptive_reports=list(meter.adaptive_reports),
             trace=span.record(),
+            batches=batches,
+            operator_stats=dict(meter.operators),
         )
 
+    def _note_batch_metrics(self, meter: _CostMeter) -> None:
+        if not self.telemetry.enabled or not meter.operators:
+            return
+        produced = sum(s.batches_out for s in meter.operators.values())
+        if produced:
+            self.telemetry.inc("exec.batches", produced)
+        for stats in meter.operators.values():
+            if stats.batches_out:
+                self.telemetry.observe(
+                    "exec.rows_per_batch", stats.rows_out / stats.batches_out
+                )
+
     # ------------------------------------------------------------------
-    # interpreter
+    # scan (shared leaf of both interpreters)
+    # ------------------------------------------------------------------
+    def _document_batches(self) -> Iterator[List[Document]]:
+        """Documents in storage-sized batches, falling back to chunking
+        the flat iterator for repositories without a batched scan."""
+        provider = getattr(self.repository, "document_batches", None)
+        if provider is not None:
+            yield from provider(self.batch_size)
+            return
+        pending: List[Document] = []
+        for document in self.repository.documents():
+            pending.append(document)
+            if len(pending) >= self.batch_size:
+                yield pending
+                pending = []
+        if pending:
+            yield pending
+
+    def _view_batches(self, view_name: str, meter: _CostMeter) -> List[ColumnBatch]:
+        """Vectorized scan: project matching documents column-wise."""
+        view = self.repository.views.get(view_name)
+        projector = ColumnProjector(view, self.repository.lookup)
+        matches = view.matches
+        n_docs = 0
+        for chunk in self._document_batches():
+            n_docs += len(chunk)
+            for document in chunk:
+                if matches(document):
+                    projector.add(document)
+        meter.charge(n_docs * costs.SCAN_CPU_MS_PER_DOC)
+        meter.charge(projector.length * costs.PROJECT_CPU_MS_PER_ROW)
+        batches = batches_from_columns(
+            projector.columns, projector.length, self.batch_size
+        )
+        stats = meter.stats("scan")
+        stats.rows_in += n_docs
+        stats.rows_out += projector.length
+        stats.batches_out += len(batches)
+        return batches
+
+    # ------------------------------------------------------------------
+    # row interpreter (legacy engine)
     # ------------------------------------------------------------------
     def _view_rows(self, view_name: str, meter: _CostMeter) -> List[Row]:
         view = self.repository.views.get(view_name)
@@ -218,7 +329,85 @@ class QueryEngine:
                 rows.append(row)
         meter.charge(n_docs * costs.SCAN_CPU_MS_PER_DOC)
         meter.charge(len(rows) * costs.PROJECT_CPU_MS_PER_ROW)
+        stats = meter.stats("scan")
+        stats.rows_in += n_docs
+        stats.rows_out += len(rows)
         return rows
+
+    # ------------------------------------------------------------------
+    # batch interpreter (vectorized engine)
+    # ------------------------------------------------------------------
+    def _run_batches(self, plan: PhysicalPlan, meter: _CostMeter) -> List[ColumnBatch]:
+        if isinstance(plan, ScanView):
+            return self._view_batches(plan.view, meter)
+        if isinstance(plan, Filter):
+            child = self._run_batches(plan.child, meter)
+            meter.charge(
+                sum(b.length for b in child) * costs.FILTER_CPU_MS_PER_ROW
+            )
+            return list(
+                filter_batches(child, plan.predicate.selector, meter.stats("filter"))
+            )
+        if isinstance(plan, Project):
+            child = self._run_batches(plan.child, meter)
+            meter.charge(
+                sum(b.length for b in child) * costs.PROJECT_CPU_MS_PER_ROW
+            )
+            return list(
+                project_batches(child, plan.columns, meter.stats("project"))
+            )
+        if isinstance(plan, Aggregate):
+            child = self._run_batches(plan.child, meter)
+            meter.charge(sum(b.length for b in child) * costs.AGG_MS_PER_ROW)
+            out = group_aggregate_batches(
+                child, plan.group_by, plan.aggs, meter.stats("aggregate")
+            )
+            out = out.drop_column("__distinct")
+            return [out] if out.length else []
+        if isinstance(plan, Sort):
+            child = self._run_batches(plan.child, meter)
+            meter.charge(costs.sort_cost_ms(sum(b.length for b in child)))
+            out = sort_batches(child, plan.keys, plan.descending, meter.stats("sort"))
+            return [out] if out.length else []
+        if isinstance(plan, Limit):
+            child = self._run_batches(plan.child, meter)
+            remaining = plan.count
+            limited: List[ColumnBatch] = []
+            for batch in child:
+                if remaining <= 0:
+                    break
+                head = batch.head(remaining)
+                limited.append(head)
+                remaining -= head.length
+            return limited
+        if isinstance(plan, PhysHashJoin):
+            probe = self._run_batches(plan.probe, meter)
+            build = self._run_batches(plan.build, meter)
+            meter.charge(
+                sum(b.length for b in build) * costs.HASH_BUILD_MS_PER_ROW
+                + sum(b.length for b in probe) * costs.HASH_PROBE_MS_PER_ROW
+            )
+            return list(
+                hash_join_batches(
+                    probe,
+                    build,
+                    plan.probe_column,
+                    plan.build_column,
+                    meter.stats("hash_join"),
+                )
+            )
+        if isinstance(plan, PhysIndexedJoin):
+            outer = rows_from_batches(self._run_batches(plan.outer, meter))
+            joined = self._indexed_join_rows(plan, outer, meter)
+            stats = meter.stats("indexed_join")
+            stats.rows_in += len(outer)
+            stats.rows_out += len(joined)
+            out = list(batches_from_rows(joined, self.batch_size))
+            stats.batches_out += len(out)
+            return out
+        if isinstance(plan, Join):
+            raise TypeError("logical Join reached the interpreter; run a planner first")
+        raise TypeError(f"cannot execute {plan!r}")
 
     def _run(self, plan: PhysicalPlan, meter: _CostMeter) -> List[Row]:
         if isinstance(plan, ScanView):
@@ -226,22 +415,31 @@ class QueryEngine:
         if isinstance(plan, Filter):
             child = self._run(plan.child, meter)
             meter.charge(len(child) * costs.FILTER_CPU_MS_PER_ROW)
-            return [r for r in child if plan.predicate.matches(r)]
+            out = [r for r in child if plan.predicate.matches(r)]
+            stats = meter.stats("filter")
+            stats.rows_in += len(child)
+            stats.rows_out += len(out)
+            return out
         if isinstance(plan, Project):
             child = self._run(plan.child, meter)
             meter.charge(len(child) * costs.PROJECT_CPU_MS_PER_ROW)
+            stats = meter.stats("project")
+            stats.rows_in += len(child)
+            stats.rows_out += len(child)
             return [{c: r.get(c) for c in plan.columns} for r in child]
         if isinstance(plan, Aggregate):
             child = self._run(plan.child, meter)
             meter.charge(len(child) * costs.AGG_MS_PER_ROW)
-            rows = group_aggregate(child, plan.group_by, plan.aggs)
+            rows = group_aggregate(
+                child, plan.group_by, plan.aggs, meter.stats("aggregate")
+            )
             return [
                 {k: v for k, v in row.items() if k != "__distinct"} for row in rows
             ]
         if isinstance(plan, Sort):
             child = self._run(plan.child, meter)
             meter.charge(costs.sort_cost_ms(len(child)))
-            return sort_rows(child, plan.keys, plan.descending)
+            return sort_rows(child, plan.keys, plan.descending, meter.stats("sort"))
         if isinstance(plan, Limit):
             child = self._run(plan.child, meter)
             return child[: plan.count]
@@ -252,15 +450,31 @@ class QueryEngine:
                 len(build) * costs.HASH_BUILD_MS_PER_ROW
                 + len(probe) * costs.HASH_PROBE_MS_PER_ROW
             )
-            return list(hash_join(probe, build, plan.probe_column, plan.build_column))
+            return list(
+                hash_join(
+                    probe,
+                    build,
+                    plan.probe_column,
+                    plan.build_column,
+                    meter.stats("hash_join"),
+                )
+            )
         if isinstance(plan, PhysIndexedJoin):
-            return self._run_indexed_join(plan, meter)
+            outer = self._run(plan.outer, meter)
+            joined = self._indexed_join_rows(plan, outer, meter)
+            stats = meter.stats("indexed_join")
+            stats.rows_in += len(outer)
+            stats.rows_out += len(joined)
+            return joined
         if isinstance(plan, Join):
             raise TypeError("logical Join reached the interpreter; run a planner first")
         raise TypeError(f"cannot execute {plan!r}")
 
-    def _run_indexed_join(self, plan: PhysIndexedJoin, meter: _CostMeter) -> List[Row]:
-        outer = self._run(plan.outer, meter)
+    def _indexed_join_rows(
+        self, plan: PhysIndexedJoin, outer: List[Row], meter: _CostMeter
+    ) -> List[Row]:
+        """Indexed-NL join body shared by both interpreters (probes are
+        inherently row-at-a-time: one index lookup per outer row)."""
         view = self.repository.views.get(plan.inner_view)
         path = self._column_path(view, plan.inner_column)
         if meter.adaptive:
@@ -281,13 +495,7 @@ class QueryEngine:
                     continue
                 if plan.inner_predicate is not None and not plan.inner_predicate.matches(inner_row):
                     continue
-                joined = dict(row)
-                for ikey, ivalue in inner_row.items():
-                    if ikey in joined and joined[ikey] != ivalue:
-                        joined[f"r_{ikey}"] = ivalue
-                    else:
-                        joined[ikey] = ivalue
-                results.append(joined)
+                results.append(merge_joined_row(dict(row), inner_row))
         return results
 
     def _run_adaptive_indexed_join(

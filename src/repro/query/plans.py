@@ -68,6 +68,56 @@ class Comparison:
     def matches(self, row: Row) -> bool:
         return self.op.apply(row.get(self.column), self.value)
 
+    def value_predicate(self) -> Callable[[Any], bool]:
+        """A value → bool closure equivalent to ``op.apply(value, literal)``.
+
+        Built once per batch by the vectorized filter so the per-row loop
+        skips the enum dispatch inside :meth:`CompareOp.apply`.  The
+        specialized closures replicate ``apply``'s semantics exactly
+        (None never matches ordering ops, cross-type comparisons are
+        False, string equality is case-insensitive).
+        """
+        op, literal = self.op, self.value
+        if op in (CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE) and literal is not None:
+            def ordered(value: Any, _op=op, _lit=literal) -> bool:
+                if value is None:
+                    return False
+                try:
+                    if _op is CompareOp.LT:
+                        return value < _lit
+                    if _op is CompareOp.LE:
+                        return value <= _lit
+                    if _op is CompareOp.GT:
+                        return value > _lit
+                    return value >= _lit
+                except TypeError:
+                    return False
+
+            return ordered
+        if op is CompareOp.EQ and isinstance(literal, str):
+            lowered = literal.lower()
+
+            def str_eq(value: Any, _lowered=lowered) -> bool:
+                return value.lower() == _lowered if isinstance(value, str) else False
+
+            return str_eq
+        if (
+            op is CompareOp.EQ
+            and isinstance(literal, (int, float))
+            and not isinstance(literal, bool)
+        ):
+            as_float = float(literal)
+
+            def num_eq(value: Any, _lit=as_float, _raw=literal) -> bool:
+                if isinstance(value, bool) or value is None:
+                    return False
+                if isinstance(value, (int, float)):
+                    return float(value) == _lit
+                return value == _raw
+
+            return num_eq
+        return lambda value: op.apply(value, literal)
+
     def __str__(self) -> str:
         return f"{self.column} {self.op.value} {self.value!r}"
 
@@ -83,6 +133,24 @@ class Conjunction:
 
     def matches(self, row: Row) -> bool:
         return all(term.matches(row) for term in self.terms)
+
+    def selector(self, batch: Any) -> List[int]:
+        """Vectorized evaluation: indices of the batch rows that match.
+
+        Terms narrow the candidate set column-by-column — each term reads
+        one column list and filters the surviving indices, so a selective
+        leading term makes the remaining terms nearly free.  *batch* is a
+        :class:`repro.exec.batch.ColumnBatch` (typed as Any to keep this
+        module free of an exec-layer import).
+        """
+        indices: Sequence[int] = range(batch.length)
+        for term in self.terms:
+            if not indices:
+                break
+            values = batch.column(term.column)
+            predicate = term.value_predicate()
+            indices = [i for i in indices if predicate(values[i])]
+        return list(indices)
 
     def columns(self) -> List[str]:
         return [t.column for t in self.terms]

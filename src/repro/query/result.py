@@ -16,7 +16,9 @@ connection objects).  A :class:`QueryResult` now carries all of them:
 - ``degraded`` / ``missing_segments`` — graceful-degradation flags: when
   replicas are unreachable the appliance still answers, but marks the
   result partial and says how many storage segments had no live copy at
-  answer time (see docs/CHAOS.md).
+  answer time (see docs/CHAOS.md),
+- ``batches`` / ``operator_stats`` — the vectorized engine's columnar
+  output and per-operator row/batch counters (see docs/EXECUTION.md).
 
 For compatibility the object still *behaves* like the old shapes:
 iterating, indexing, ``len()``, truthiness, and equality against plain
@@ -48,6 +50,12 @@ class QueryResult:
     degraded: bool = False
     #: Storage segments with zero live replicas at answer time.
     missing_segments: int = 0
+    #: Columnar result batches, when the vectorized engine produced the
+    #: answer (``rows`` is their flattened adapter view); None otherwise.
+    batches: Optional[List[Any]] = None
+    #: Per-operator row/batch statistics from execution, keyed by
+    #: operator name (scan, filter, hash_join, ...).
+    operator_stats: Dict[str, Any] = field(default_factory=dict)
 
     def mark_degraded(self, missing_segments: int) -> "QueryResult":
         """Flag this result as partial (chained by the facade)."""

@@ -229,6 +229,27 @@ class DocumentStore:
                             continue
                     yield document
 
+    def scan_batches(
+        self, batch_size: int = 256, latest_only: bool = True
+    ) -> Iterator[List[Document]]:
+        """Sequential scan yielding documents in fixed-size batches.
+
+        The vectorized execution path consumes scans batch-at-a-time;
+        this is the storage end of that pipeline.  Page traffic and scan
+        accounting are identical to :meth:`scan` — only the hand-off
+        granularity changes.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        batch: List[Document] = []
+        for document in self.scan(latest_only=latest_only):
+            batch.append(document)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def scan_addresses(self) -> Iterator[Tuple[PageAddress, Document]]:
         """Scan with physical addresses, for index builders."""
         for segment_id in sorted(self._segments):

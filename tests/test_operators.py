@@ -169,12 +169,50 @@ class TestAggregation:
         assert out[0]["s"] == pytest.approx(110.0)
 
     def test_nulls_skipped_in_numeric_agg(self):
+        # SQL semantics: NULLs are invisible to count(col)/sum/avg/min/max;
+        # only a bare count(*) counts every row.
         rows = [{"g": 1, "v": 10}, {"g": 1, "v": None}]
         out = group_aggregate(
-            rows, ["g"], [AggSpec("s", "sum", "v"), AggSpec("n", "count", "v")]
+            rows,
+            ["g"],
+            [
+                AggSpec("s", "sum", "v"),
+                AggSpec("n", "count", "v"),
+                AggSpec("star", "count"),
+            ],
         )
         assert out[0]["s"] == 10.0
-        assert out[0]["n"] == 2  # count counts rows, sum skips nulls
+        assert out[0]["n"] == 1  # count(v) skips the NULL
+        assert out[0]["star"] == 2  # count(*) counts all rows
+
+    def test_null_heavy_aggregates(self):
+        rows = [
+            {"g": "a", "v": None},
+            {"g": "a", "v": 4},
+            {"g": "a", "v": None},
+            {"g": "a", "v": 2},
+            {"g": "b", "v": None},
+        ]
+        out = group_aggregate(
+            rows,
+            ["g"],
+            [
+                AggSpec("n", "count", "v"),
+                AggSpec("star", "count"),
+                AggSpec("s", "sum", "v"),
+                AggSpec("a", "avg", "v"),
+                AggSpec("lo", "min", "v"),
+                AggSpec("hi", "max", "v"),
+            ],
+        )
+        a, b = out
+        assert (a["g"], a["n"], a["star"], a["s"]) == ("a", 2, 4, 6.0)
+        assert a["a"] == pytest.approx(3.0)  # avg over non-null values only
+        assert (a["lo"], a["hi"]) == (2.0, 4.0)
+        # all-NULL group: count(v)=0, aggregates are NULL, count(*) still counts
+        assert (b["g"], b["n"], b["star"]) == ("b", 0, 1)
+        assert b["s"] == 0.0 and b["a"] is None
+        assert b["lo"] is None and b["hi"] is None
 
     def test_invalid_agg_spec(self):
         with pytest.raises(ValueError):
