@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify smoke chaos-smoke exec-smoke bench
+.PHONY: test verify smoke chaos-smoke exec-smoke cache-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,10 +15,14 @@ chaos-smoke:
 exec-smoke:
 	$(PYTHON) benchmarks/bench_exec_vectorized.py --quick
 
+cache-smoke:
+	$(PYTHON) benchmarks/bench_cache.py --quick
+
 # Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke,
-# a fast fault-injection/availability smoke, and the vectorized-engine
-# speedup smoke (writes BENCH_exec.json).
-verify: test smoke chaos-smoke exec-smoke
+# a fast fault-injection/availability smoke, the vectorized-engine
+# speedup smoke (writes BENCH_exec.json), and the cache-hierarchy
+# speedup smoke (writes BENCH_cache.json).
+verify: test smoke chaos-smoke exec-smoke cache-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -132,3 +132,10 @@ def test_prefetch_policy_report(benchmark):
     # count stays moderate even in the mixed workload.
     hinted_waste = next(r[4] for r in rows if r[0] == "scan+probe" and r[1] == "hinted")
     assert hinted_waste <= 8
+    # Regression floors for the cold-end prefetch install: pending
+    # prefetches must survive to their demand read (measured 0.984 /
+    # 0.984 / 0.756 once eviction spared pending frames — a return of
+    # the install-at-MRU or evict-pending behaviour drops these hard).
+    assert hit("sequential", "hinted") >= 0.95
+    assert hit("interleaved", "hinted") >= 0.95
+    assert hit("scan+probe", "hinted") >= 0.70

@@ -1,0 +1,89 @@
+"""The invalidation bus: one event spine for every cache tier.
+
+Before this existed, each cache wired its own private hook into
+``DocumentStore.put_listeners`` (the :class:`MaterializationManager`
+fan-out being the only instance).  The bus centralizes that: stores are
+attached once, chaos/topology events are published once, and every
+subscriber — result cache, probe memo, plan epoch, materializations —
+sees the same ordered stream.
+
+Two event families flow through:
+
+* **put events** — a document persisted anywhere in the appliance.
+  Subscribers receive the document and invalidate by dependency (its
+  ``table`` metadata, its paths).
+* **node events** — chaos faults and topology changes (crash, recover,
+  corrupt, partition, heal).  These change *which* data is visible, not
+  just its content, so subscribers are expected to flush wholesale:
+  a result derived from a now-unreachable node's segments must never be
+  served as fresh.
+
+Every event bumps ``epoch``; caches that cannot invalidate precisely
+(the physical-plan tier, whose validity depends on index/view state)
+stamp entries with the epoch at fill time and treat any mismatch as a
+miss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.model.document import Document
+
+PutListener = Callable[[Document], None]
+NodeListener = Callable[[str, str], None]  # (node_id, event kind)
+
+
+class BusStats:
+    __slots__ = ("put_events", "node_events")
+
+    def __init__(self) -> None:
+        self.put_events = 0
+        self.node_events = 0
+
+
+class InvalidationBus:
+    """Fan-out of put and node events to every subscribed cache."""
+
+    def __init__(self) -> None:
+        #: Monotone event counter; bumped by every put and node event.
+        self.epoch = 0
+        self.stats = BusStats()
+        self._put_subscribers: List[PutListener] = []
+        self._node_subscribers: List[NodeListener] = []
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe_puts(self, listener: PutListener) -> None:
+        self._put_subscribers.append(listener)
+
+    def subscribe_node_events(self, listener: NodeListener) -> None:
+        self._node_subscribers.append(listener)
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Subscribe this bus to a document store's put stream."""
+        store.put_listeners.append(self._on_store_put)
+
+    def _on_store_put(self, document: Document, address=None) -> None:
+        self.publish_put(document)
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+    def publish_put(self, document: Document) -> None:
+        self.epoch += 1
+        self.stats.put_events += 1
+        for listener in self._put_subscribers:
+            listener(document)
+
+    def publish_node_event(self, node_id: str, kind: str) -> None:
+        """A chaos/topology event: crash, recover, corrupt, partition,
+        heal, or catalog (view-definition) change."""
+        self.epoch += 1
+        self.stats.node_events += 1
+        for listener in self._node_subscribers:
+            listener(node_id, kind)

@@ -1,0 +1,39 @@
+"""Cache-hierarchy configuration (the ``ApplianceConfig(cache=...)`` knob).
+
+Like everything in :mod:`repro.core.config`, the defaults are the
+product: caching is on out of the box, sized for the simulated appliance,
+and requires no administration.  ``enabled=False`` is the one hard off
+switch — every tier becomes a guaranteed no-op and the engine behaves
+exactly as if no hierarchy were wired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Per-tier size caps and the master switch."""
+
+    #: Master switch: when False the hierarchy never caches, never
+    #: subscribes work to lookups, and serves every query uncached.
+    enabled: bool = True
+    #: Parsed/planned statements retained (LRU).
+    plan_entries: int = 256
+    #: Query results retained (LRU, also bounded by ``result_bytes``).
+    result_entries: int = 128
+    #: Total estimated bytes of cached result rows.
+    result_bytes: int = 8_000_000
+    #: Memoized index probes retained (LRU).
+    probe_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.plan_entries < 1:
+            raise ValueError("plan_entries must be >= 1")
+        if self.result_entries < 1:
+            raise ValueError("result_entries must be >= 1")
+        if self.result_bytes < 1:
+            raise ValueError("result_bytes must be >= 1")
+        if self.probe_entries < 1:
+            raise ValueError("probe_entries must be >= 1")

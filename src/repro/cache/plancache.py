@@ -1,0 +1,140 @@
+"""Parse/plan cache keyed by normalized SQL.
+
+Repeated queries used to re-tokenize, re-parse, and re-plan on every
+call even though nothing relevant had changed — the repeated-query
+pattern BIMS observes over a document repository.  This tier splits the
+work by validity:
+
+* the **logical plan** (parse result) is a pure function of the SQL
+  text: cached forever under the normalized statement, no invalidation;
+* the **physical plan** depends on catalog and index state (the simple
+  planner's probe-ability check looks at the live value index), so each
+  physical entry is stamped with the invalidation-bus epoch at plan time
+  and treated as a miss once any event has fired since.
+
+Normalization collapses whitespace and lowercases everything *outside*
+single-quoted string literals (the SQL subset is case-insensitive except
+inside strings), so ``SELECT X  FROM t`` and ``select x from t`` share
+one entry while ``WHERE name = 'Ab'`` keeps its literal intact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+from repro.query.sql import parse_sql
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical cache key for one SQL statement."""
+    out: list = []
+    in_string = False
+    pending_space = False
+    for ch in sql.strip():
+        if in_string:
+            out.append(ch)
+            if ch == "'":
+                in_string = False
+            continue
+        if ch == "'":
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(ch)
+            in_string = True
+            continue
+        if ch.isspace():
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+    return "".join(out)
+
+
+class PlanCacheStats:
+    __slots__ = ("parse_hits", "parse_misses", "plan_hits", "plan_misses")
+
+    def __init__(self) -> None:
+        self.parse_hits = 0
+        self.parse_misses = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+
+class PlanCache:
+    """LRU over parsed statements and epoch-stamped physical plans."""
+
+    def __init__(self, capacity: int = 256, telemetry=None) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache needs at least one entry")
+        self.capacity = capacity
+        self.telemetry = telemetry
+        self.stats = PlanCacheStats()
+        self._logical: "OrderedDict[str, Any]" = OrderedDict()
+        # key -> (epoch at plan time, physical plan)
+        self._physical: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def parse(self, sql: str) -> Tuple[str, Any]:
+        """Parse through the cache; returns (normalized key, logical plan).
+
+        The logical plan is shared between executions — plan nodes are
+        treated as immutable by every interpreter and planner.
+        """
+        key = normalize_sql(sql)
+        cached = self._logical.get(key)
+        if cached is not None:
+            self._logical.move_to_end(key)
+            self.stats.parse_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.plan.parse_hits")
+            return key, cached
+        logical = parse_sql(sql)
+        self.stats.parse_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.plan.parse_misses")
+        self._logical[key] = logical
+        while len(self._logical) > self.capacity:
+            self._logical.popitem(last=False)
+        return key, logical
+
+    # ------------------------------------------------------------------
+    def physical(
+        self, key: str, epoch: int, plan: Callable[[], Any]
+    ) -> Any:
+        """Physical plan for *key*, valid only at the current *epoch*.
+
+        Any invalidation-bus event since plan time (a put may have
+        defined a view or made the value index probe-able; a node event
+        may have changed topology) forces a replan — planning is cheap
+        relative to execution, so the epoch check trades hit rate for
+        unconditional correctness.
+        """
+        entry = self._physical.get(key)
+        if entry is not None and entry[0] == epoch:
+            self._physical.move_to_end(key)
+            self.stats.plan_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.plan.hits")
+            return entry[1]
+        physical = plan()
+        self.stats.plan_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.plan.misses")
+        self._physical[key] = (epoch, physical)
+        while len(self._physical) > self.capacity:
+            self._physical.popitem(last=False)
+        return physical
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Drop everything (parse entries too — used by the off ramp)."""
+        self._logical.clear()
+        self._physical.clear()
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._logical) + len(self._physical)

@@ -1,0 +1,86 @@
+"""Memo in front of hot :class:`~repro.index.manager.IndexManager` probes.
+
+Indexed-NL joins probe the value index once per outer row; with skewed
+join keys the same ``(path, value)`` probe repeats thousands of times in
+one query and across consecutive queries.  The memo caches the resolved
+doc-id sets.
+
+Invalidation is deliberately coarse: *any* put flushes the memo.  A new
+document version can both add postings and remove the old version's
+(its paths may differ), so per-path invalidation against the new version
+alone would be unsound.  Probes are cheap to recompute and the memo
+refills within one query, so wholesale flushing costs little — the win
+is the read-mostly window between writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, FrozenSet, Tuple
+
+ProbeKey = Tuple[Tuple[str, ...], object]
+
+
+class ProbeMemoStats:
+    __slots__ = ("hits", "misses", "flushes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+
+class IndexProbeMemo:
+    """LRU of (path, value) → frozenset of doc ids."""
+
+    def __init__(self, capacity: int = 4096, telemetry=None) -> None:
+        if capacity < 1:
+            raise ValueError("probe memo needs at least one entry")
+        self.capacity = capacity
+        self.telemetry = telemetry
+        self.stats = ProbeMemoStats()
+        self._entries: "OrderedDict[ProbeKey, FrozenSet[str]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, path, value, probe: Callable[[], set]
+    ) -> FrozenSet[str]:
+        """Serve the memoized probe, filling from *probe* on miss.
+
+        Unhashable values (a probe key that is itself a list) bypass the
+        memo entirely.
+        """
+        try:
+            key: ProbeKey = (tuple(path), value)
+            cached = self._entries.get(key)
+        except TypeError:
+            self.stats.misses += 1
+            return frozenset(probe())
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.probe.hits")
+            return cached
+        resolved = frozenset(probe())
+        self.stats.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.probe.misses")
+        self._entries[key] = resolved
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return resolved
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.flushes += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.probe.flushes")
+        return dropped
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)

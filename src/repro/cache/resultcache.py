@@ -1,0 +1,168 @@
+"""Query-result cache with ``base_views()`` dependency invalidation.
+
+Each entry is one executed query's rows, keyed by the fingerprint of the
+physical plan that produced them and tagged with the same dependency set
+:class:`~repro.query.materialized.MaterializedQuery` uses — the base
+views the plan reads.  A put against any dependency table drops exactly
+the entries that could have changed; unrelated writes leave the cache
+warm, which is what makes result caching pay under mixed load.
+
+Node events (crash, corrupt, partition, …) flush the whole tier: they
+change which segments are reachable, and a cached answer derived from a
+now-missing segment must never be served as fresh (the engine
+additionally refuses to *admit* results computed while the appliance
+reports missing segments — see :class:`repro.cache.CacheHierarchy`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from repro.exec.costs import estimate_rows_bytes
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class CachedResult:
+    """One cached query answer (rows plus what produced them)."""
+
+    rows: List[Row]
+    dependencies: FrozenSet[str]
+    sim_ms: float
+    plan_text: str
+    bytes: int
+
+
+class ResultCacheStats:
+    __slots__ = ("hits", "misses", "invalidations", "flushes", "evictions", "bytes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.flushes = 0
+        self.evictions = 0
+        self.bytes = 0
+
+
+class ResultCache:
+    """LRU + byte-capped map of plan fingerprint → :class:`CachedResult`."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        byte_capacity: int = 8_000_000,
+        telemetry=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("result cache needs at least one entry")
+        if byte_capacity < 1:
+            raise ValueError("result cache byte capacity must be >= 1")
+        self.capacity = capacity
+        self.byte_capacity = byte_capacity
+        self.telemetry = telemetry
+        self.stats = ResultCacheStats()
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> Optional[CachedResult]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.result.misses")
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.result.hits")
+        return entry
+
+    def store(
+        self,
+        fingerprint: str,
+        rows: List[Row],
+        dependencies: FrozenSet[str],
+        sim_ms: float,
+        plan_text: str = "",
+    ) -> Optional[CachedResult]:
+        """Admit one result; returns the entry (None when it cannot fit)."""
+        nbytes = estimate_rows_bytes(rows)
+        if nbytes > self.byte_capacity:
+            return None  # a single oversized result would evict everything
+        old = self._entries.pop(fingerprint, None)
+        if old is not None:
+            self.stats.bytes -= old.bytes
+        entry = CachedResult(
+            rows=[dict(r) for r in rows],
+            dependencies=frozenset(dependencies),
+            sim_ms=sim_ms,
+            plan_text=plan_text,
+            bytes=nbytes,
+        )
+        self._entries[fingerprint] = entry
+        self.stats.bytes += nbytes
+        self._evict_if_needed()
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.result.stores")
+            self.telemetry.set_gauge("cache.result.bytes", self.stats.bytes)
+        return entry
+
+    def _evict_if_needed(self) -> None:
+        while len(self._entries) > self.capacity or self.stats.bytes > self.byte_capacity:
+            _, victim = self._entries.popitem(last=False)
+            self.stats.bytes -= victim.bytes
+            self.stats.evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.result.evictions")
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table: Optional[str]) -> int:
+        """Drop every entry whose dependency set contains *table*.
+
+        A put with no table metadata (free text, e-mail) still changes
+        scan results for views that match such documents, so ``None``
+        conservatively flushes everything.
+        """
+        if table is None:
+            return self.flush()
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if table in entry.dependencies
+        ]
+        for key in stale:
+            victim = self._entries.pop(key)
+            self.stats.bytes -= victim.bytes
+        self.stats.invalidations += len(stale)
+        if stale and self.telemetry is not None:
+            self.telemetry.inc("cache.result.invalidations", len(stale))
+            self.telemetry.set_gauge("cache.result.bytes", self.stats.bytes)
+        return len(stale)
+
+    def flush(self) -> int:
+        """Drop everything (node/chaos/catalog events)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.bytes = 0
+        self.stats.invalidations += dropped
+        self.stats.flushes += 1
+        if self.telemetry is not None:
+            if dropped:
+                self.telemetry.inc("cache.result.invalidations", dropped)
+            self.telemetry.inc("cache.result.flushes")
+            self.telemetry.set_gauge("cache.result.bytes", 0)
+        return dropped
+
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries

@@ -168,6 +168,16 @@ class ChaosController:
     def _repair_snapshot(self) -> int:
         return sum(m.stats.repairs for m in self.storage_managers)
 
+    def _publish_cache_event(self, target: str, kind: str) -> None:
+        """Flush the appliance cache hierarchy for faults that do not
+        route through ``fail_node``/``recover_node`` (which publish their
+        own events): a partition, heal, or corruption changes which
+        replicas answer, so cached results are suspect.  SLOW/RESTORE
+        only change latency, never answers, and stay silent."""
+        caches = getattr(self.appliance, "caches", None)
+        if caches is not None:
+            caches.bus.publish_node_event(target, kind)
+
     def _count_repairs(self, at_ms: float, actions: int) -> None:
         if actions <= 0:
             return
@@ -246,6 +256,7 @@ class ChaosController:
         if self.cluster.network.is_partitioned(event.target, event.peer):
             return False
         self.cluster.network.partition(event.target, event.peer)
+        self._publish_cache_event(event.target, "partition")
         return True
 
     def _apply_heal(self, event: FaultEvent) -> bool:
@@ -253,6 +264,7 @@ class ChaosController:
         if not self.cluster.network.is_partitioned(event.target, event.peer):
             return False
         self.cluster.network.heal(event.target, event.peer)
+        self._publish_cache_event(event.target, "heal")
         return True
 
     def _apply_corrupt(self, event: FaultEvent) -> bool:
@@ -279,6 +291,7 @@ class ChaosController:
             ]
             manager.on_replica_corrupted(pick, event.target)
             self._count_repairs(event.at_ms, self._repair_snapshot() - before)
+            self._publish_cache_event(event.target, "corrupt")
             return True
         return False
 

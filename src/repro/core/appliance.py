@@ -13,6 +13,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Union
 
+from repro.cache import CacheHierarchy
 from repro.cluster.network import Network
 from repro.cluster.node import NodeKind, SimNode
 from repro.cluster.topology import ImplianceCluster
@@ -39,6 +40,7 @@ from repro.model.views import RelationalView, ViewCatalog, base_table_view
 from repro.obs.telemetry import Telemetry
 from repro.query.engine import QueryEngine
 from repro.query.faceted import FacetedSession
+from repro.query.materialized import MaterializationManager, MaterializedQuery
 from repro.query.graph import GraphQuery
 from repro.query.keyword import KeywordSearch
 from repro.query.result import QueryResult
@@ -84,12 +86,23 @@ class Impliance:
             telemetry=self.telemetry if self.telemetry.enabled else None,
         )
         self.views = ViewCatalog()
+        # The cache hierarchy sits between the engine and everything that
+        # can change an answer: every data node's put stream and every
+        # chaos/topology event flow into its invalidation bus, and results
+        # are only admitted while no storage segment is missing (a
+        # degraded answer must never outlive the degradation).
+        self.caches = CacheHierarchy(self.config.cache, telemetry=self.telemetry)
+        self.caches.admit_results = lambda: self.missing_segments() == 0
         self.engine = QueryEngine(
             self,
             telemetry=self.telemetry,
             vectorized=self.config.vectorized,
             batch_size=self.config.batch_size,
+            cache=self.caches,
         )
+        # Materializations ride the same bus as the query caches.
+        self.materializations = MaterializationManager(self.engine)
+        self.materializations.attach_to_bus(self.caches.bus)
         self.executor = ParallelExecutor(
             self.cluster,
             telemetry=self.telemetry,
@@ -129,6 +142,7 @@ class Impliance:
             )
             self.miner.attach(node.store.buffer_pool)
             node.store.put_listeners.append(self._on_any_put)
+            self.caches.attach_to_store(node.store)
 
         self._ids: Dict[str, IdGenerator] = {}
         self._auto_views: Dict[str, Set[str]] = {}
@@ -490,6 +504,14 @@ class Impliance:
 
     def define_view(self, view: RelationalView) -> None:
         self.views.define(view)
+        # New catalog state can change what plans are valid and what a
+        # cached result would contain; flush through the bus.
+        self.caches.on_catalog_change()
+
+    def materialize(self, name: str, sql: str) -> MaterializedQuery:
+        """Define a named materialized query; it refreshes lazily and is
+        invalidated through the shared cache bus like every other tier."""
+        return self.materializations.define(name, sql)
 
     def secure_session(self, principal, policy, audit=None):
         """A policy-scoped, audited view of the appliance for one
@@ -542,6 +564,9 @@ class Impliance:
             if not home.store.contains(chain[0].doc_id):
                 home.store.import_chain(chain)
                 rehomed += 1
+        # After re-homing, not before: results computed mid-repair must
+        # not survive the flush that announces the new topology.
+        self.caches.bus.publish_node_event(node_id, "crash")
         return rehomed
 
     def recover_node(self, node_id: str) -> int:
@@ -561,6 +586,7 @@ class Impliance:
                     # Manager already counts the node as live; just sweep
                     # its outstanding deficits.
                     repairs += len(manager.repair_outstanding())
+        self.caches.bus.publish_node_event(node_id, "recover")
         return repairs
 
     def missing_segments(self) -> int:
@@ -615,6 +641,7 @@ class Impliance:
             "annotations": self.discovery.stats.annotations_created,
             "join_edges": self.indexes.joins.edge_count,
         }
+        snapshot["cache"] = self.caches.stats()
         return snapshot
 
     @property

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence, Tuple
 
+from repro.cache.config import CacheConfig
 from repro.cluster.network import DEFAULT_BANDWIDTH_BYTES_PER_MS, DEFAULT_LATENCY_MS
 
 
@@ -39,6 +40,9 @@ class ApplianceConfig:
     vectorized: bool = True
     #: Rows per ColumnBatch on the vectorized path.
     batch_size: int = 1024
+    #: Cache hierarchy: per-tier size caps and the off switch
+    #: (``CacheConfig(enabled=False)`` makes every tier a no-op).
+    cache: CacheConfig = field(default_factory=CacheConfig)
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()

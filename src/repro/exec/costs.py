@@ -25,6 +25,7 @@ AGG_MS_PER_ROW = 0.0008
 SEARCH_MS_PER_DOC_SCORED = 0.001   # BM25 scoring one candidate
 TOPK_MS_PER_ROW = 0.0003
 UPDATE_CPU_MS = 0.05               # apply one versioned update
+CACHE_LOOKUP_MS = 0.005            # serve a query from the result cache
 ANNOTATE_MS_PER_KB = 0.5           # text analytics are expensive
 COMPRESS_MS_PER_KB = 0.01
 ENCRYPT_MS_PER_KB = 0.02

@@ -102,8 +102,14 @@ def adaptive_indexed_join(
             table.setdefault(inner_row.get(inner_key), []).append(inner_row)
         table.pop(None, None)
         for row in remaining:
+            key = row.get(outer_key)
+            if key is None:
+                # Null keys never join; the probe path skips them before
+                # charging, so the migrated path must be free too or the
+                # two strategies would disagree on cost for equal work.
+                continue
             report.sim_ms += costs.HASH_PROBE_MS_PER_ROW
-            for match in table.get(row.get(outer_key), ()):
+            for match in table.get(key, ()):
                 results.append(merge(row, match))
 
     report.rows_out = len(results)

@@ -25,7 +25,20 @@ vectorized scan without per-document generator hops.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Protocol, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+)
+
+if TYPE_CHECKING:  # repro.cache imports the SQL parser; keep the cycle lazy
+    from repro.cache.hierarchy import CacheHierarchy
 
 from repro.exec import costs
 from repro.exec.batch import (
@@ -70,6 +83,7 @@ from repro.query.plans import (
     Project,
     ScanView,
     Sort,
+    base_views,
     describe,
 )
 from repro.query.result import QueryResult
@@ -147,14 +161,24 @@ class QueryEngine:
         telemetry: Optional[Telemetry] = None,
         vectorized: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        cache: Optional[CacheHierarchy] = None,
     ) -> None:
         self.repository = repository
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self.vectorized = vectorized
         self.batch_size = batch_size
+        #: Optional appliance-wide cache hierarchy (docs/CACHING.md).
+        #: None (the standalone default) means every query runs uncached.
+        self.cache = cache
         self.simple_planner = SimplePlanner(
             can_probe=self._can_probe, columns_of=self._columns_of_view
         )
+
+    def _active_cache(self) -> Optional[CacheHierarchy]:
+        cache = self.cache
+        if cache is not None and cache.enabled:
+            return cache
+        return None
 
     # ------------------------------------------------------------------
     def optimizer(self, statistics) -> CostBasedOptimizer:
@@ -206,18 +230,75 @@ class QueryEngine:
         ``"costbased"`` (requires *statistics*).  With ``adaptive``, an
         indexed-NL join may migrate to a hash join mid-flight when its
         probe budget is exceeded (Section 3.3 adaptive operators).
+
+        With a cache hierarchy wired in, the statement flows through
+        three tiers (docs/CACHING.md): the parse cache (always), the
+        epoch-validated physical-plan cache, and — for the default
+        simple/non-adaptive path — the dependency-tracked result cache.
         """
         with self.telemetry.span("query.sql", query=query) as span:
-            logical = parse_sql(query)
-            result = self.execute(
-                logical, planner=planner, statistics=statistics, adaptive=adaptive
+            cache = self._active_cache()
+            if cache is not None:
+                key, logical = cache.plans.parse(query)
+            else:
+                logical = parse_sql(query)
+            # Result caching covers only the deterministic default path:
+            # cost-based plans depend on caller statistics and adaptive
+            # runs carry per-execution reports.
+            cacheable = (
+                cache is not None
+                and planner == "simple"
+                and statistics is None
+                and not adaptive
             )
+            if cacheable:
+                result = self._sql_cached(cache, key, logical, span)
+            else:
+                result = self.execute(
+                    logical, planner=planner, statistics=statistics, adaptive=adaptive
+                )
             # sim cost rolls up from the nested query.execute span
             span.tag("rows", len(result.rows))
         self.telemetry.inc("query.sql")
         self.telemetry.observe("query.sql.sim_ms", result.sim_ms)
         # the full query.sql span (parse → plan → execute) is the trace
         result.trace = span.record() or result.trace
+        return result
+
+    def _sql_cached(self, cache: CacheHierarchy, key: str, logical, span) -> QueryResult:
+        """The simple-planner path through plan + result tiers."""
+        epoch = cache.epoch
+        # Same trace shape as the uncached path: planning (even a plan
+        # cache hit) appears as a query.plan child span.
+        with self.telemetry.span("query.plan", planner="simple"):
+            physical = cache.plans.physical(
+                key, epoch, lambda: self.simple_planner.plan(logical)
+            )
+        fingerprint = _describe_physical(physical)
+        hit = cache.results.lookup(fingerprint)
+        if hit is not None:
+            span.tag("cache", "hit")
+            span.charge_sim(costs.CACHE_LOOKUP_MS)
+            return QueryResult(
+                rows=[dict(r) for r in hit.rows],
+                sim_ms=costs.CACHE_LOOKUP_MS,
+                plan_text=hit.plan_text,
+                cached=True,
+            )
+        span.tag("cache", "miss")
+        result = self.run_physical(physical)
+        # Admit only when (a) nothing invalidated mid-execution — a put
+        # fired while we scanned would leave this answer already stale —
+        # and (b) the admission guard agrees (the facade points it at
+        # "no missing segments", so degraded answers are never cached).
+        if cache.epoch == epoch and cache.can_admit_results():
+            cache.results.store(
+                fingerprint,
+                result.rows,
+                frozenset(base_views(logical)),
+                result.sim_ms,
+                result.plan_text,
+            )
         return result
 
     def execute(
@@ -470,6 +551,18 @@ class QueryEngine:
             raise TypeError("logical Join reached the interpreter; run a planner first")
         raise TypeError(f"cannot execute {plan!r}")
 
+    def _probe_index(self, path, key):
+        """Value-index probe, memoized through the cache hierarchy's
+        probe tier when one is wired (docs/CACHING.md)."""
+        cache = self._active_cache()
+        if cache is not None:
+            return cache.probes.lookup(
+                path,
+                key,
+                lambda: self.repository.indexes.values.docs_with_value(path, key),
+            )
+        return self.repository.indexes.values.docs_with_value(path, key)
+
     def _indexed_join_rows(
         self, plan: PhysIndexedJoin, outer: List[Row], meter: _CostMeter
     ) -> List[Row]:
@@ -485,7 +578,7 @@ class QueryEngine:
             if key is None:
                 continue
             meter.charge(costs.INDEX_PROBE_MS)
-            doc_ids = self.repository.indexes.values.docs_with_value(path, key)
+            doc_ids = self._probe_index(path, key)
             for doc_id in sorted(doc_ids):
                 document = self.repository.lookup(doc_id)
                 if document is None or not view.matches(document):
@@ -506,7 +599,7 @@ class QueryEngine:
 
         def probe(key) -> List[Row]:
             matches: List[Row] = []
-            for doc_id in sorted(self.repository.indexes.values.docs_with_value(path, key)):
+            for doc_id in sorted(self._probe_index(path, key)):
                 document = self.repository.lookup(doc_id)
                 if document is None or not view.matches(document):
                     continue

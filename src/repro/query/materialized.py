@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.cache.bus import InvalidationBus
 from repro.exec.operators import Row
 from repro.model.document import Document, DocumentKind
 from repro.query.engine import QueryEngine, QueryResult
@@ -75,15 +76,26 @@ class MaterializedQuery:
 
         Writes to unrelated tables leave the cache valid — dependency
         tracking is what makes materialization cheap under mixed load.
+        Persisting *this* materialization's own state is exempt: an MV
+        whose SQL reads an ``mv_`` view would otherwise self-invalidate
+        on every :meth:`to_document` put, staying dirty forever.
         """
+        if document.metadata.get("materialization") == self.name:
+            return
         table = document.metadata.get("table")
         if table in self._dependencies:
             self.invalidate()
 
     def refresh(self) -> List[Row]:
+        # Clear the dirty flag *before* recomputing: an invalidation that
+        # fires mid-refresh (a discovery put piggybacked on the refresh
+        # scan, a concurrent ingest) must re-mark the cache dirty rather
+        # than be erased by a post-recompute clear — the classic lost
+        # invalidation.  If the flag is set again by the time the SQL
+        # returns, the fresh rows are served but stay flagged stale.
+        self._dirty = False
         result = self.engine.sql(self.sql)
         self._cache = list(result.rows)
-        self._dirty = False
         self.stats.refreshes += 1
         return list(self._cache)
 
@@ -112,12 +124,20 @@ class MaterializedQuery:
 
 
 class MaterializationManager:
-    """Registry wiring materializations to a repository's put streams."""
+    """Registry riding the appliance invalidation bus.
+
+    Pre-cache-hierarchy this class kept a private fan-out hooked straight
+    into ``DocumentStore.put_listeners``; it now subscribes to the shared
+    :class:`~repro.cache.bus.InvalidationBus` like every other cache tier
+    (:meth:`attach_to_store` remains as a shim that builds a private bus
+    for standalone use).  Node events — chaos crash/corrupt/partition —
+    dirty every materialization, because a refresh may now read different
+    replicas than the cached rows did.
+    """
 
     def __init__(self, engine: QueryEngine) -> None:
         self.engine = engine
         self._materializations: Dict[str, MaterializedQuery] = {}
-        self._put_hooks: List[Callable[[Document], None]] = []
 
     def define(self, name: str, sql: str) -> MaterializedQuery:
         if name in self._materializations:
@@ -140,8 +160,24 @@ class MaterializationManager:
         for materialized in self._materializations.values():
             materialized.on_put(document, address)
 
+    def on_node_event(self, node_id: str, kind: str) -> None:
+        """Chaos/topology change: all cached rows are suspect."""
+        self.invalidate_all()
+
+    def invalidate_all(self) -> None:
+        for materialized in self._materializations.values():
+            materialized.invalidate()
+
+    def attach_to_bus(self, bus: InvalidationBus) -> None:
+        """Subscribe to the shared invalidation bus (the appliance way)."""
+        bus.subscribe_puts(self.on_put)
+        bus.subscribe_node_events(self.on_node_event)
+
     def attach_to_store(self, store) -> None:
-        store.put_listeners.append(self.on_put)
+        """Standalone shim: bridge one store through a private bus."""
+        bus = InvalidationBus()
+        bus.attach_store(store)
+        self.attach_to_bus(bus)
 
     def refresh_all(self) -> int:
         refreshed = 0

@@ -56,6 +56,10 @@ class QueryResult:
     #: Per-operator row/batch statistics from execution, keyed by
     #: operator name (scan, filter, hash_join, ...).
     operator_stats: Dict[str, Any] = field(default_factory=dict)
+    #: True when the rows were served from the appliance result cache
+    #: instead of being recomputed (see docs/CACHING.md); ``sim_ms`` is
+    #: then the cache-lookup cost, not the execution cost.
+    cached: bool = False
 
     def mark_degraded(self, missing_segments: int) -> "QueryResult":
         """Flag this result as partial (chained by the facade)."""

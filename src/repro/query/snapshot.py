@@ -58,10 +58,25 @@ class SnapshotRepository:
                     yield visible
 
     def lookup(self, doc_id: str) -> Optional[Document]:
+        """Latest version of *doc_id* visible at the pinned time, across
+        every store.
+
+        A re-homed replica means one document's chain may live (in part)
+        on several stores: stopping at the first store that ``contains``
+        the id would miss a visible version held elsewhere whenever that
+        store's copy of the chain starts after the pinned time.  All
+        stores are consulted and the highest visible version wins.
+        """
+        best: Optional[Document] = None
         for store in self._stores:
-            if store.contains(doc_id):
-                return store.versions.as_of(doc_id, self.ts)
-        return None
+            if not store.contains(doc_id):
+                continue
+            visible = store.versions.as_of(doc_id, self.ts)
+            if visible is None:
+                continue
+            if best is None or visible.version > best.version:
+                best = visible
+        return best
 
     # ------------------------------------------------------------------
     def sql(self, query: str) -> QueryResult:

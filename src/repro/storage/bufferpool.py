@@ -169,18 +169,55 @@ class BufferPool:
         self.page_observers: List[Callable[[PageKey, Page], None]] = []
 
     # ------------------------------------------------------------------
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed(self, protected: frozenset = frozenset()) -> None:
+        """Evict from the cold end, preferring already-referenced frames
+        over pending prefetches.
+
+        A pending prefetched page's reference is still in the *future*:
+        evicting it before its demand read arrives converts the
+        read-ahead I/O into pure waste (the page is read twice).  So the
+        victim is the coldest frame whose reference is in the past; only
+        when every frame is a pending prefetch does the oldest pending
+        one go — and cold-end installation (see :meth:`_install`) makes
+        "oldest pending" exactly the prefetch most likely to have been
+        speculative waste.  Frames installed by the in-flight request are
+        never victims."""
         while len(self._frames) > self.capacity_pages:
-            key, _ = self._frames.popitem(last=False)
+            victim = next(
+                (
+                    k
+                    for k in self._frames
+                    if k not in protected and k not in self._prefetched_pending
+                ),
+                None,
+            )
+            if victim is None:  # every referenced frame is protected
+                victim = next(
+                    (k for k in self._frames if k not in protected), None
+                )
+            if victim is None:  # capacity smaller than one request's frames
+                victim = next(iter(self._frames))
+            del self._frames[victim]
             self.stats.evictions += 1
-            if key in self._prefetched_pending:
-                self._prefetched_pending.discard(key)
+            if victim in self._prefetched_pending:
+                self._prefetched_pending.discard(victim)
                 self.stats.prefetch_wasted += 1
 
-    def _install(self, key: PageKey, page: Page) -> None:
+    def _install(
+        self,
+        key: PageKey,
+        page: Page,
+        mru: bool = True,
+        protected: frozenset = frozenset(),
+    ) -> None:
+        """Insert a frame at the MRU end (demand reads) or the cold end
+        (``mru=False``, speculative prefetch).  Cold-end installation is
+        what keeps read-ahead honest: a prefetched page that is never
+        referenced is the first victim, instead of evicting demand-read
+        pages that are still hot.  A demand hit promotes it to MRU."""
         self._frames[key] = page
-        self._frames.move_to_end(key)
-        self._evict_if_needed()
+        self._frames.move_to_end(key, last=mru)
+        self._evict_if_needed(protected)
 
     def _read_from_disk(self, key: PageKey) -> Page:
         self.stats.io_reads += 1
@@ -202,15 +239,17 @@ class BufferPool:
         else:
             self.stats.misses += 1
             page = self._read_from_disk(key)
-            self._install(key, page)
+            self._install(key, page, protected=frozenset((key,)))
 
+        installed = {key}
         for plan_key in self.prefetcher.plan(key, hint, self._segment_pages(segment_id)):
             if plan_key in self._frames:
                 continue
             prefetched = self._read_from_disk(plan_key)
             self.stats.prefetch_issued += 1
             self._prefetched_pending.add(plan_key)
-            self._install(plan_key, prefetched)
+            installed.add(plan_key)
+            self._install(plan_key, prefetched, mru=False, protected=frozenset(installed))
 
         for observer in self.page_observers:
             observer(key, page)

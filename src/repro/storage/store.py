@@ -216,8 +216,15 @@ class DocumentStore:
         With ``latest_only`` (the default) superseded versions are
         skipped, so query processing sees current state while audits can
         still scan everything.
+
+        Not itself a generator: the scan is *counted* at the call site,
+        not at first iteration — deferred ``stats.scans`` accounting made
+        the counter disagree with the number of scans callers issued.
         """
         self.stats.scans += 1
+        return self._scan_documents(latest_only)
+
+    def _scan_documents(self, latest_only: bool) -> Iterator[Document]:
         for segment_id in sorted(self._segments):
             segment = self._segments[segment_id]
             for page_id in range(segment.page_count):
@@ -238,11 +245,22 @@ class DocumentStore:
         this is the storage end of that pipeline.  Page traffic and scan
         accounting are identical to :meth:`scan` — only the hand-off
         granularity changes.
+
+        Validation is eager: a bad *batch_size* raises here, at the call
+        site, not at first ``next()`` deep inside an operator pipeline
+        (the wrapper-over-generator pattern :meth:`scan` also uses for
+        its accounting).
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        return self._batched(self.scan(latest_only=latest_only), batch_size)
+
+    @staticmethod
+    def _batched(
+        documents: Iterator[Document], batch_size: int
+    ) -> Iterator[List[Document]]:
         batch: List[Document] = []
-        for document in self.scan(latest_only=latest_only):
+        for document in documents:
             batch.append(document)
             if len(batch) >= batch_size:
                 yield batch

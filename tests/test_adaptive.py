@@ -132,3 +132,52 @@ class TestEngineAdaptiveMode:
             self.QUERY, planner="costbased", statistics=stats, adaptive=True
         )
         assert adaptive.sim_ms <= static.sim_ms
+
+
+class TestNullKeyCostParity:
+    """Regression: the migrated hash path must charge null-keyed outer
+    rows exactly like the probe path does — not at all.  Before the fix
+    the hash loop charged HASH_PROBE_MS_PER_ROW for every remaining row,
+    nulls included, so the two strategies priced identical work
+    differently and the break-even budget lied."""
+
+    def test_nulls_free_on_migrated_path(self):
+        from repro.exec import costs
+
+        nulls = [{"cid": None, "v": i} for i in range(40)]
+        keyed = [{"cid": i % 10, "v": i} for i in range(20)]
+        outer = keyed[:5] + nulls + keyed[5:]
+        rows, report = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=5
+        )
+        assert report.switched
+        assert report.probes_done == 5
+        # remaining = 40 nulls + 15 keyed rows; only the keyed 15 pay
+        expected = (
+            5 * costs.INDEX_PROBE_MS
+            + report.hash_build_rows * costs.HASH_BUILD_MS_PER_ROW
+            + 15 * costs.HASH_PROBE_MS_PER_ROW
+        )
+        assert report.sim_ms == pytest.approx(expected)
+
+    def test_cost_parity_between_strategies(self):
+        """Same outer (with nulls), both strategies: per-row charges may
+        use different rates, but the *set* of rows charged is identical —
+        verified by pricing each side with its own rate card."""
+        from repro.exec import costs
+
+        outer = [{"cid": None}] * 30 + [{"cid": 3, "v": 1}, {"cid": 4, "v": 2}]
+        _, probed = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=10_000
+        )
+        _, migrated = adaptive_indexed_join(
+            outer, "cid", probe, inner_scan, "cid", probe_budget=1
+        )
+        # probe path charged exactly the two non-null rows
+        assert probed.sim_ms == pytest.approx(2 * costs.INDEX_PROBE_MS)
+        # migrated path: 1 probe, then exactly ONE remaining non-null row
+        assert migrated.sim_ms == pytest.approx(
+            costs.INDEX_PROBE_MS
+            + migrated.hash_build_rows * costs.HASH_BUILD_MS_PER_ROW
+            + 1 * costs.HASH_PROBE_MS_PER_ROW
+        )

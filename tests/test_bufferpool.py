@@ -147,3 +147,60 @@ class TestObservers:
         pool.get(0, 5)
         pool.get(0, 5)
         assert seen == [(0, 5), (0, 5)]
+
+
+class TestPrefetchInstallPolicy:
+    """Regression for the cold-end prefetch install: speculative pages
+    must neither displace hot demand-read frames (the old MRU-install
+    pollution) nor be evicted before their own demand read arrives."""
+
+    def test_tiny_pool_keeps_nearest_prefetch(self):
+        # capacity 2, window 4: the far-ahead prefetches cannot fit and
+        # are dropped (counted wasted), but the demand page and the
+        # *nearest* prefetch survive — cold-end installation orders the
+        # window so distance-4 dies before distance-1
+        pool, disk = make_pool(capacity=2, prefetcher=HintedPrefetcher(window=4))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)
+        assert (0, 0) in pool and (0, 1) in pool
+        assert pool.stats.prefetch_wasted >= 2
+        reads_before = disk.reads[:]
+        pool.get(0, 1, AccessHint.SEQUENTIAL)
+        assert pool.stats.hits == 1
+        assert (0, 1) not in [k for k in disk.reads[len(reads_before):]]
+
+    def test_pending_prefetch_survives_to_demand_read(self):
+        pool, disk = make_pool(capacity=6, prefetcher=HintedPrefetcher(window=4))
+        # fill the pool with referenced pages, then scan sequentially:
+        # each prefetched page must be served from memory, not re-read
+        for page in range(6):
+            pool.get(0, page + 10, AccessHint.RANDOM)
+        for page in range(8):
+            pool.get(0, page, AccessHint.SEQUENTIAL)
+        assert pool.stats.prefetch_used > 0
+        assert pool.stats.prefetch_wasted == 0
+        # pages 1..7 all hit (prefetched ahead); only page 0 missed
+        assert pool.stats.hits >= 7
+
+    def test_full_pool_prefetch_keeps_current_request(self):
+        # capacity smaller than one request's install set: the demand
+        # page and as much of the window as fits must survive the call
+        pool, _ = make_pool(capacity=2, prefetcher=HintedPrefetcher(window=4))
+        page = pool.get(0, 0, AccessHint.SEQUENTIAL)
+        assert page.page_id == 0
+        assert (0, 0) in pool
+        assert pool.resident_pages == 2
+
+    def test_consumed_scan_pages_evicted_before_pending_prefetches(self):
+        # use-once scan semantics: pages the scan already consumed are
+        # eviction victims, while pending prefetches (whose reference is
+        # still in the future) survive random churn and then hit
+        pool, _ = make_pool(capacity=4, prefetcher=HintedPrefetcher(window=2))
+        pool.get(0, 0, AccessHint.SEQUENTIAL)   # prefetches 1, 2
+        pool.get(0, 1, AccessHint.SEQUENTIAL)   # promotes 1; prefetches 3
+        assert pool.stats.prefetch_used == 1
+        pool.get(0, 8, AccessHint.RANDOM)
+        pool.get(0, 9, AccessHint.RANDOM)
+        assert (0, 0) not in pool and (0, 1) not in pool  # consumed, dead
+        assert (0, 2) in pool and (0, 3) in pool          # still pending
+        pool.get(0, 2, AccessHint.SEQUENTIAL)
+        assert pool.stats.prefetch_used == 2

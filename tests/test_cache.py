@@ -1,0 +1,470 @@
+"""Tests for the cache hierarchy (repro.cache) and its appliance wiring.
+
+Covers each tier in isolation (normalization, plan cache epochs, result
+cache dependency invalidation, probe memo), the invalidation bus, the
+engine integration (hits, misses, mid-query invalidation), and the
+appliance-level behaviour: chaos events flush, degraded results are
+never admitted, and ``CacheConfig(enabled=False)`` is a true off switch.
+"""
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    IndexProbeMemo,
+    InvalidationBus,
+    PlanCache,
+    ResultCache,
+    normalize_sql,
+)
+from repro.chaos.plan import FaultEvent, FaultKind, FaultPlan
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.model.converters import from_relational_row
+from repro.model.views import base_table_view
+from repro.query.engine import LocalRepository, QueryEngine
+from repro.storage.store import DocumentStore
+
+
+# ---------------------------------------------------------------------------
+# SQL normalization
+# ---------------------------------------------------------------------------
+class TestNormalizeSql:
+    def test_collapses_whitespace_and_case(self):
+        assert (
+            normalize_sql("SELECT   X \n FROM    T")
+            == normalize_sql("select x from t")
+        )
+
+    def test_string_literals_survive_verbatim(self):
+        key = normalize_sql("SELECT a FROM t WHERE name = 'Ab  Cd'")
+        assert "'Ab  Cd'" in key
+        assert key.startswith("select a from t")
+
+    def test_distinct_literals_distinct_keys(self):
+        assert normalize_sql("SELECT a FROM t WHERE x = 'A'") != normalize_sql(
+            "SELECT a FROM t WHERE x = 'a'"
+        )
+
+    def test_strip_and_stability(self):
+        key = normalize_sql("  SELECT a FROM t  ")
+        assert key == normalize_sql(key)
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+class TestPlanCache:
+    def test_parse_hits_share_entry(self):
+        cache = PlanCache(capacity=8)
+        key1, plan1 = cache.parse("SELECT a FROM t")
+        key2, plan2 = cache.parse("select  a   from t")
+        assert key1 == key2
+        assert plan1 is plan2
+        assert cache.stats.parse_hits == 1
+        assert cache.stats.parse_misses == 1
+
+    def test_parse_lru_bounded(self):
+        cache = PlanCache(capacity=2)
+        for name in ("a", "b", "c"):
+            cache.parse(f"SELECT x FROM {name}")
+        assert cache.entry_count <= 2  # only logical entries exist here
+
+    def test_physical_epoch_validation(self):
+        cache = PlanCache(capacity=8)
+        calls = []
+        plan = cache.physical("k", 0, lambda: calls.append(1) or "plan0")
+        assert plan == "plan0"
+        assert cache.physical("k", 0, lambda: calls.append(1) or "never") == "plan0"
+        assert len(calls) == 1
+        # any bus event since fill time forces a replan
+        assert cache.physical("k", 1, lambda: calls.append(1) or "plan1") == "plan1"
+        assert len(calls) == 2
+        assert cache.stats.plan_hits == 1
+        assert cache.stats.plan_misses == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# result cache
+# ---------------------------------------------------------------------------
+ROWS = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+
+class TestResultCache:
+    def test_store_and_lookup(self):
+        cache = ResultCache(capacity=4, byte_capacity=10_000)
+        cache.store("f1", ROWS, frozenset({"orders"}), 1.5, "plan")
+        hit = cache.lookup("f1")
+        assert hit is not None
+        assert hit.rows == ROWS
+        assert hit.dependencies == frozenset({"orders"})
+        assert hit.sim_ms == 1.5
+
+    def test_rows_are_copies(self):
+        cache = ResultCache(capacity=4, byte_capacity=10_000)
+        rows = [dict(r) for r in ROWS]
+        cache.store("f1", rows, frozenset(), 0.0)
+        rows[0]["a"] = 999
+        assert cache.lookup("f1").rows[0]["a"] == 1
+
+    def test_dependency_invalidation_is_precise(self):
+        cache = ResultCache(capacity=8, byte_capacity=10_000)
+        cache.store("orders-q", ROWS, frozenset({"orders"}), 0.0)
+        cache.store("cust-q", ROWS, frozenset({"customers"}), 0.0)
+        dropped = cache.invalidate_table("orders")
+        assert dropped == 1
+        assert cache.lookup("orders-q") is None
+        assert cache.lookup("cust-q") is not None
+
+    def test_tableless_put_flushes_everything(self):
+        cache = ResultCache(capacity=8, byte_capacity=10_000)
+        cache.store("q", ROWS, frozenset({"orders"}), 0.0)
+        cache.invalidate_table(None)
+        assert cache.entry_count == 0
+
+    def test_lru_entry_cap(self):
+        cache = ResultCache(capacity=2, byte_capacity=10_000)
+        for i in range(3):
+            cache.store(f"f{i}", ROWS, frozenset(), 0.0)
+        assert cache.entry_count == 2
+        assert "f0" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_cap_evicts_and_oversized_rejected(self):
+        wide = [{"k": "v" * 100} for _ in range(10)]
+        small = ResultCache(capacity=100, byte_capacity=10)
+        assert small.store("big", wide, frozenset(), 0.0) is None  # never fits
+        assert small.entry_count == 0
+        sized = ResultCache(capacity=100, byte_capacity=2000)  # fits one, not two
+        sized.store("a", wide, frozenset(), 0.0)
+        sized.store("b", wide, frozenset(), 0.0)
+        assert sized.stats.bytes <= 2000
+        assert sized.stats.evictions >= 1
+        assert "a" not in sized and "b" in sized
+
+    def test_bytes_accounting_on_overwrite(self):
+        cache = ResultCache(capacity=4, byte_capacity=10_000)
+        cache.store("f", ROWS, frozenset(), 0.0)
+        before = cache.stats.bytes
+        cache.store("f", ROWS, frozenset(), 0.0)  # same key, same rows
+        assert cache.stats.bytes == before
+        assert cache.entry_count == 1
+
+
+# ---------------------------------------------------------------------------
+# probe memo
+# ---------------------------------------------------------------------------
+class TestProbeMemo:
+    def test_memoizes_probe(self):
+        memo = IndexProbeMemo(capacity=8)
+        calls = []
+        probe = lambda: calls.append(1) or {"d1", "d2"}
+        assert memo.lookup(("t", "c"), 5, probe) == frozenset({"d1", "d2"})
+        assert memo.lookup(("t", "c"), 5, probe) == frozenset({"d1", "d2"})
+        assert len(calls) == 1
+        assert memo.stats.hits == 1
+
+    def test_flush_forces_recompute(self):
+        memo = IndexProbeMemo(capacity=8)
+        calls = []
+        probe = lambda: calls.append(1) or set()
+        memo.lookup(("t", "c"), 1, probe)
+        memo.flush()
+        memo.lookup(("t", "c"), 1, probe)
+        assert len(calls) == 2
+        assert memo.stats.flushes == 1
+
+    def test_unhashable_value_bypasses(self):
+        memo = IndexProbeMemo(capacity=8)
+        assert memo.lookup(("t", "c"), ["un", "hashable"], lambda: {"d"}) == frozenset({"d"})
+        assert memo.entry_count == 0
+
+    def test_lru_bounded(self):
+        memo = IndexProbeMemo(capacity=2)
+        for i in range(4):
+            memo.lookup(("t", "c"), i, lambda: set())
+        assert memo.entry_count == 2
+
+
+# ---------------------------------------------------------------------------
+# invalidation bus + hierarchy
+# ---------------------------------------------------------------------------
+class TestInvalidationBus:
+    def test_store_puts_flow_through(self):
+        bus = InvalidationBus()
+        store = DocumentStore()
+        bus.attach_store(store)
+        seen = []
+        bus.subscribe_puts(seen.append)
+        store.put(from_relational_row("r1", "orders", {"oid": 1}))
+        assert len(seen) == 1
+        assert seen[0].metadata["table"] == "orders"
+        assert bus.epoch == 1
+        assert bus.stats.put_events == 1
+
+    def test_node_events_bump_epoch(self):
+        bus = InvalidationBus()
+        events = []
+        bus.subscribe_node_events(lambda n, k: events.append((n, k)))
+        bus.publish_node_event("data-0", "crash")
+        assert events == [("data-0", "crash")]
+        assert bus.epoch == 1
+        assert bus.stats.node_events == 1
+
+
+class TestCacheHierarchy:
+    def test_put_invalidates_by_dependency(self):
+        h = CacheHierarchy(CacheConfig())
+        h.results.store("orders-q", ROWS, frozenset({"orders"}), 0.0)
+        h.results.store("cust-q", ROWS, frozenset({"customers"}), 0.0)
+        h.probes.lookup(("orders", "oid"), 1, lambda: {"d"})
+        h.bus.publish_put(from_relational_row("r", "orders", {"oid": 2}))
+        assert h.results.lookup("orders-q") is None
+        assert h.results.lookup("cust-q") is not None
+        assert h.probes.entry_count == 0  # puts flush the memo wholesale
+
+    def test_node_event_flushes_results_and_probes(self):
+        h = CacheHierarchy(CacheConfig())
+        h.results.store("q", ROWS, frozenset({"orders"}), 0.0)
+        h.probes.lookup(("t", "c"), 1, lambda: set())
+        h.bus.publish_node_event("data-1", "corrupt")
+        assert h.results.entry_count == 0
+        assert h.probes.entry_count == 0
+
+    def test_admission_guard(self):
+        h = CacheHierarchy(CacheConfig())
+        assert h.can_admit_results()  # no guard: admit everything
+        h.admit_results = lambda: False
+        assert not h.can_admit_results()
+
+    def test_catalog_change_is_a_node_event(self):
+        h = CacheHierarchy(CacheConfig())
+        before = h.epoch
+        h.results.store("q", ROWS, frozenset(), 0.0)
+        h.on_catalog_change()
+        assert h.epoch == before + 1
+        assert h.results.entry_count == 0
+
+    def test_stats_shape(self):
+        h = CacheHierarchy(CacheConfig())
+        stats = h.stats()
+        assert set(stats) == {"enabled", "epoch", "plan", "result", "probe", "bus"}
+        assert stats["enabled"] is True
+
+
+# ---------------------------------------------------------------------------
+# engine integration (standalone LocalRepository)
+# ---------------------------------------------------------------------------
+SQL = "SELECT region, sum(amount) AS total FROM orders GROUP BY region"
+
+
+@pytest.fixture
+def cached_setup():
+    store = DocumentStore()
+    repo = LocalRepository(store)
+    repo.views.define(base_table_view("orders", "orders", ["oid", "region", "amount"]))
+    repo.views.define(base_table_view("customers", "customers", ["cid", "name"]))
+    for i in range(12):
+        store.put(from_relational_row(
+            f"o{i}", "orders",
+            {"oid": i, "region": "east" if i % 2 else "west", "amount": float(i)},
+        ))
+    caches = CacheHierarchy(CacheConfig())
+    caches.attach_to_store(store)
+    engine = QueryEngine(repo, cache=caches)
+    return store, engine, caches
+
+
+class TestEngineCaching:
+    def test_repeat_query_hits(self, cached_setup):
+        _, engine, caches = cached_setup
+        first = engine.sql(SQL)
+        second = engine.sql(SQL)
+        assert not first.cached
+        assert second.cached
+        assert second.rows == first.rows
+        assert second.sim_ms < first.sim_ms
+        assert caches.results.stats.hits == 1
+
+    def test_whitespace_variants_share_entry(self, cached_setup):
+        _, engine, _ = cached_setup
+        engine.sql(SQL)
+        variant = engine.sql(SQL.replace(" FROM ", "   from   "))
+        assert variant.cached
+
+    def test_dependency_put_invalidates(self, cached_setup):
+        store, engine, _ = cached_setup
+        before = engine.sql(SQL).rows
+        store.put(from_relational_row(
+            "o99", "orders", {"oid": 99, "region": "east", "amount": 500.0}))
+        after = engine.sql(SQL)
+        assert not after.cached
+        east = lambda rows: next(r["total"] for r in rows if r["region"] == "east")
+        assert east(after.rows) == east(before) + 500.0
+
+    def test_unrelated_put_keeps_result_warm(self, cached_setup):
+        store, engine, _ = cached_setup
+        engine.sql(SQL)
+        store.put(from_relational_row("c1", "customers", {"cid": 1, "name": "Acme"}))
+        assert engine.sql(SQL).cached
+
+    def test_mid_query_invalidation_blocks_admission(self, cached_setup):
+        store, engine, caches = cached_setup
+        # a put that lands while the query executes must keep the result
+        # out of the cache (the lost-invalidation race, engine flavor)
+        original = engine.run_physical
+
+        def put_during_execution(physical, adaptive=False):
+            result = original(physical, adaptive=adaptive)
+            store.put(from_relational_row(
+                "o77", "orders", {"oid": 77, "region": "west", "amount": 1.0}))
+            return result
+
+        engine.run_physical = put_during_execution
+        engine.sql(SQL)
+        engine.run_physical = original
+        assert caches.results.entry_count == 0
+        # and the next execution (post-put) sees the new row
+        total = sum(r["total"] for r in engine.sql(SQL).rows)
+        assert total == sum(float(i) for i in range(12)) + 1.0
+
+    def test_admission_guard_respected(self, cached_setup):
+        _, engine, caches = cached_setup
+        caches.admit_results = lambda: False
+        engine.sql(SQL)
+        assert not engine.sql(SQL).cached
+        assert caches.results.entry_count == 0
+
+    def test_disabled_cache_is_noop(self):
+        store = DocumentStore()
+        repo = LocalRepository(store)
+        repo.views.define(base_table_view("orders", "orders", ["oid", "amount"]))
+        store.put(from_relational_row("o1", "orders", {"oid": 1, "amount": 5.0}))
+        caches = CacheHierarchy(CacheConfig(enabled=False))
+        caches.attach_to_store(store)
+        engine = QueryEngine(repo, cache=caches)
+        sql = "SELECT oid FROM orders"
+        assert not engine.sql(sql).cached
+        assert not engine.sql(sql).cached
+        assert caches.results.entry_count == 0
+        assert caches.plans.entry_count == 0
+
+    def test_non_simple_paths_bypass_result_cache(self, cached_setup):
+        _, engine, caches = cached_setup
+        engine.sql(SQL, adaptive=True)
+        assert caches.results.entry_count == 0
+
+
+# ---------------------------------------------------------------------------
+# appliance integration
+# ---------------------------------------------------------------------------
+def _load_app(app, n=10):
+    for i in range(n):
+        app.ingest({"oid": i, "region": "east" if i % 2 else "west",
+                    "amount": float(i)}, table="orders", doc_id=f"o{i}")
+
+
+class TestApplianceCaching:
+    def test_repeat_sql_cached_and_counted(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        _load_app(app)
+        q = "SELECT region, sum(amount) AS total FROM orders GROUP BY region"
+        first = app.sql(q)
+        second = app.sql(q)
+        assert not first.cached
+        assert second.cached
+        assert second.rows == first.rows
+        stats = app.stats()["cache"]
+        assert stats["result"]["hits"] == 1
+        assert stats["bus"]["put_events"] >= 10
+
+    def test_ingest_invalidates(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        _load_app(app)
+        q = "SELECT region, sum(amount) AS total FROM orders GROUP BY region"
+        app.sql(q)
+        app.ingest({"oid": 99, "region": "east", "amount": 100.0},
+                   table="orders", doc_id="o99")
+        result = app.sql(q)
+        assert not result.cached
+        east = next(r["total"] for r in result.rows if r["region"] == "east")
+        assert east == sum(float(i) for i in range(10) if i % 2) + 100.0
+
+    def test_fail_node_flushes_cache(self, chaos_cluster):
+        app = chaos_cluster
+        q = "SELECT source FROM __dummy__"  # any cacheable statement
+        app.views.define(base_table_view("__dummy__", "__dummy__", ["source"]))
+        app.sql(q)
+        assert app.caches.results.entry_count >= 0  # may or may not admit
+        app.sql(q)
+        victim = app.cluster.data_nodes[0].node_id
+        app.fail_node(victim)
+        assert app.caches.results.entry_count == 0
+        assert app.caches.bus.stats.node_events >= 1
+
+    def test_chaos_partition_flushes(self, chaos_cluster):
+        app = chaos_cluster
+        nodes = [n.node_id for n in app.cluster.data_nodes]
+        plan = FaultPlan([
+            FaultEvent(at_ms=10.0, kind=FaultKind.PARTITION,
+                       target=nodes[0], peer=nodes[1]),
+        ], seed=3)
+        q = "SELECT amount FROM orders"
+        app.views.define(base_table_view("orders", "orders", ["oid", "amount"]))
+        app.sql(q)
+        app.sql(q)
+        controller = app.chaos(plan)
+        controller.advance_to(10.0)
+        assert app.caches.results.entry_count == 0
+        assert app.sql(q).cached is False
+
+    def test_degraded_results_never_admitted(self, chaos_cluster):
+        app = chaos_cluster
+        app.views.define(base_table_view("orders", "orders", ["oid", "amount"]))
+        # Force the degradation signal the admission guard watches.
+        original = Impliance.missing_segments
+        try:
+            Impliance.missing_segments = lambda self: 3
+            result = app.sql("SELECT amount FROM orders")
+            assert result.degraded
+            assert app.caches.results.entry_count == 0
+        finally:
+            Impliance.missing_segments = original
+
+    def test_cache_off_switch(self):
+        app = Impliance(ApplianceConfig(
+            n_data_nodes=2, n_grid_nodes=1, cache=CacheConfig(enabled=False)))
+        _load_app(app, n=4)
+        q = "SELECT oid FROM orders"
+        app.sql(q)
+        assert not app.sql(q).cached
+        assert app.stats()["cache"]["enabled"] is False
+
+    def test_define_view_flushes(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        _load_app(app, n=4)
+        q = "SELECT oid FROM orders"
+        app.sql(q)
+        app.sql(q)
+        app.define_view(base_table_view("other", "other", ["x"]))
+        assert app.caches.results.entry_count == 0
+
+    def test_materializations_ride_the_bus(self):
+        app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
+        _load_app(app, n=6)
+        mv = app.materialize(
+            "totals", "SELECT region, sum(amount) AS total FROM orders GROUP BY region")
+        mv.rows()
+        assert mv.is_fresh
+        app.ingest({"oid": 50, "region": "west", "amount": 9.0},
+                   table="orders", doc_id="o50")
+        assert not mv.is_fresh
+        # node events dirty materializations too
+        mv.rows()
+        app.fail_node(app.cluster.data_nodes[0].node_id)
+        assert not mv.is_fresh

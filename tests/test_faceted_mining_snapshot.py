@@ -121,3 +121,61 @@ class TestSnapshotRepository:
         app = Impliance(ApplianceConfig(n_data_nodes=2, n_grid_nodes=1))
         app.ingest_row("t", {"x": 1})
         assert app.as_of(0).doc_count() == 0
+
+
+class TestSnapshotLookupAcrossStores:
+    """Regression: ``SnapshotRepository.lookup`` used to stop at the
+    first store whose ``contains`` matched — wrong whenever a document's
+    chain exists on several stores (re-homing, stale replicas) and the
+    first-checked copy either can't see the pinned time or holds an
+    older version than another store."""
+
+    @staticmethod
+    def _source(*stores):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            data_nodes=[SimpleNamespace(store=s) for s in stores]
+        )
+
+    def test_best_visible_version_wins_over_stale_replica(self):
+        from repro.util import LogicalClock
+
+        clock = LogicalClock()
+        stale = DocumentStore(clock=clock)
+        stale.put(from_relational_row("p1", "prices", {"sku": 1, "price": 10.0}))
+        stale.update("p1", {"prices": {"sku": 1, "price": 20.0}})
+        # re-home the chain onto a second store, which then takes a write
+        # the stale copy never sees
+        fresh = DocumentStore(clock=clock)
+        fresh.import_chain(list(stale.history("p1")))
+        fresh.update("p1", {"prices": {"sku": 1, "price": 30.0}})
+
+        ts = clock.now
+        # stale store listed first: the old code returned its v2
+        snapshot = SnapshotRepository(self._source(stale, fresh), ts)
+        doc = snapshot.lookup("p1")
+        assert doc.version == 3
+        assert doc.first(("prices", "price")) == 30.0
+
+    def test_invisible_chain_does_not_mask_other_store(self):
+        # the first store *contains* the doc but none of its versions are
+        # visible at the pinned time; the second store has one that is
+        late = DocumentStore()
+        for _ in range(5):
+            late.clock.tick()
+        late.put(from_relational_row("q", "t", {"x": "late"}))   # ingest_ts 6
+        early = DocumentStore()
+        early.put(from_relational_row("q", "t", {"x": "early"}))  # ingest_ts 1
+
+        snapshot = SnapshotRepository(self._source(late, early), ts=3)
+        doc = snapshot.lookup("q")
+        assert doc is not None
+        assert doc.first(("t", "x")) == "early"
+
+    def test_absent_everywhere_is_none(self):
+        store = DocumentStore()
+        store.put(from_relational_row("a", "t", {"x": 1}))
+        snapshot = SnapshotRepository(self._source(store, DocumentStore()),
+                                      ts=store.clock.now)
+        assert snapshot.lookup("ghost") is None

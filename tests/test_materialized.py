@@ -139,3 +139,82 @@ class TestManager:
         refreshed = manager.refresh_all()
         assert refreshed == 1  # only the orders-dependent one
         assert manager.names() == ["a", "b"]
+
+
+class TestLostInvalidation:
+    """Regression: ``refresh`` used to clear ``_dirty`` *after* the
+    recompute, erasing any invalidation that fired while the refresh SQL
+    ran — the cache then served stale rows as fresh forever."""
+
+    def test_invalidation_during_refresh_survives(self, setup):
+        store, engine, manager = setup
+        mv = manager.define("by_region", SQL)
+
+        class PutDuringSql:
+            """Engine wrapper whose sql() ingests mid-flight, standing in
+            for a concurrent writer or a piggybacked discovery put."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.fired = False
+
+            def sql(self, sql):
+                result = self.inner.sql(sql)
+                if not self.fired:
+                    self.fired = True
+                    store.put(from_relational_row(
+                        "o-mid", "orders",
+                        {"oid": 500, "region": "east", "amount": 42.0}))
+                return result
+
+        mv.engine = PutDuringSql(engine)
+        mv.refresh()
+        # the mid-refresh write must leave the cache marked stale ...
+        assert not mv.is_fresh
+        # ... so the next read recomputes and sees the new row
+        mv.engine = engine
+        east = next(r["total"] for r in mv.rows() if r["region"] == "east")
+        assert east == sum(float(i) for i in range(20) if i % 2) + 42.0
+        assert mv.is_fresh
+
+    def test_persisting_own_state_does_not_self_invalidate(self, setup):
+        store, engine, manager = setup
+        # a materialization whose own persisted table is (pathologically)
+        # in its dependency set: the materialization-metadata exemption is
+        # what keeps it from staying dirty forever
+        mv = manager.define("by_region", SQL)
+        mv._dependencies = mv._dependencies | {"mv_by_region"}
+        mv.rows()
+        assert mv.is_fresh
+        store.put(mv.to_document("mv-doc-1"))
+        assert mv.is_fresh  # own persist exempt
+        # a put to the same table from anything else still invalidates
+        store.put(from_relational_row(
+            "foreign", "mv_by_region", {"region": "east", "total": 1.0}))
+        assert not mv.is_fresh
+
+
+class TestManagerBus:
+    def test_node_event_invalidates_all(self, setup):
+        _, _, manager = setup
+        mv = manager.define("by_region", SQL)
+        mv.rows()
+        assert mv.is_fresh
+        manager.on_node_event("data-0", "crash")
+        assert not mv.is_fresh
+
+    def test_attach_to_shared_bus(self, setup):
+        store, engine, _ = setup
+        from repro.cache.bus import InvalidationBus
+
+        bus = InvalidationBus()
+        manager = MaterializationManager(engine)
+        manager.attach_to_bus(bus)
+        mv = manager.define("shared", SQL)
+        mv.rows()
+        bus.publish_put(from_relational_row(
+            "o-x", "orders", {"oid": 900, "region": "west", "amount": 2.0}))
+        assert not mv.is_fresh
+        mv.rows()
+        bus.publish_node_event("data-1", "partition")
+        assert not mv.is_fresh

@@ -170,3 +170,43 @@ class TestDocumentStore:
     def test_update_missing_raises(self, store):
         with pytest.raises(LookupError):
             store.update("ghost", {"x": 1})
+
+
+class TestEagerScanAccounting:
+    """Regression: scan() and scan_batches() are generator *wrappers* —
+    validation and the ``stats.scans`` bump happen at the call site, not
+    lazily at first iteration."""
+
+    def test_scan_counted_at_call_time(self, store):
+        store.put(from_text("a", "hello"))
+        iterator = store.scan()  # never iterated
+        assert store.stats.scans == 1
+        next(iterator)  # still consumable
+        assert store.stats.scans == 1
+
+    def test_scan_batches_counted_at_call_time(self, store):
+        store.put(from_text("a", "hello"))
+        store.scan_batches(batch_size=4)  # never iterated
+        assert store.stats.scans == 1
+
+    def test_bad_batch_size_raises_eagerly(self, store):
+        store.put(from_text("a", "hello"))
+        with pytest.raises(ValueError):
+            store.scan_batches(batch_size=0)  # no next() needed
+        with pytest.raises(ValueError):
+            store.scan_batches(batch_size=-3)
+        # the failed calls must not have touched the scan counter
+        assert store.stats.scans == 0
+
+    def test_batches_match_scan(self, small_store):
+        for i in range(9):
+            small_store.put(from_text(f"d{i}", f"doc number {i}"))
+        flat = [d.doc_id for d in small_store.scan()]
+        batched = [
+            d.doc_id
+            for batch in small_store.scan_batches(batch_size=4)
+            for d in batch
+        ]
+        assert batched == flat
+        sizes = [len(b) for b in small_store.scan_batches(batch_size=4)]
+        assert sizes == [4, 4, 1]
