@@ -1,10 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify smoke chaos-smoke exec-smoke cache-smoke bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Correctness lint (config in pyproject.toml).  Falls back to a syntax
+# gate when ruff is not installed, so verify works in minimal containers.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; running syntax gate (compileall)"; \
+		$(PYTHON) -m compileall -q src tests benchmarks; \
+	fi
 
 smoke:
 	$(PYTHON) benchmarks/bench_fig1_pipeline.py --quick
@@ -18,11 +30,15 @@ exec-smoke:
 cache-smoke:
 	$(PYTHON) benchmarks/bench_cache.py --quick
 
-# Tier-1 gate: the full unit suite plus an end-to-end pipeline smoke,
+ingest-smoke:
+	$(PYTHON) benchmarks/bench_ingest.py --quick
+
+# Tier-1 gate: lint, the full unit suite, an end-to-end pipeline smoke,
 # a fast fault-injection/availability smoke, the vectorized-engine
-# speedup smoke (writes BENCH_exec.json), and the cache-hierarchy
-# speedup smoke (writes BENCH_cache.json).
-verify: test smoke chaos-smoke exec-smoke cache-smoke
+# speedup smoke (writes BENCH_exec.json), the cache-hierarchy speedup
+# smoke (writes BENCH_cache.json), and the batched-ingest speedup smoke
+# (writes BENCH_ingest.json).
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -14,10 +14,8 @@ Three design decisions get quantified:
 
 from __future__ import annotations
 
-import pytest
 
-from repro.model.converters import from_relational_row
-from repro.model.document import Document, DocumentKind
+from repro.model.document import DocumentKind
 from repro.storage.compression import Compressor, DictionaryCompressor, XorStreamCipher
 from repro.storage.replication import ReliabilityClass, ReplicaManager, class_for_kind
 from repro.workloads.relational import RelationalWorkload

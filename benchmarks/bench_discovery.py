@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import statistics as pystats
 
-import pytest
 
 from repro.cluster.node import NodeKind, SimNode
 from repro.core.appliance import Impliance

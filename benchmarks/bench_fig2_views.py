@@ -9,7 +9,6 @@ application rewrite.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig

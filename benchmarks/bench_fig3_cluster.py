@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import NodeKind
 from repro.cluster.topology import ImplianceCluster
 from repro.exec.operators import AggSpec
 from repro.exec.parallel import ExecReport, ParallelExecutor

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.battery import comparison_table, run_battery, standard_corpus
+from repro.baselines.battery import comparison_table, run_battery
 from repro.baselines.contentmgr import ContentManager
 from repro.baselines.filestore import FileStore
 from repro.baselines.impliance_adapter import ImplianceSystem

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.index.text import InvertedIndex
 from repro.workloads.callcenter import CallCenterWorkload

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig

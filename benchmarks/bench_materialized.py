@@ -8,7 +8,6 @@ storage manager replicates minimally because it can always be recomputed.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.model.converters import from_relational_row
 from repro.model.views import base_table_view

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import statistics as pystats
 
-import pytest
 
 from repro.model.converters import from_relational_row
 from repro.model.views import base_table_view

@@ -13,9 +13,7 @@ Claims reproduced:
 
 from __future__ import annotations
 
-import zlib
 
-import pytest
 
 from repro.cluster.network import Network
 from repro.cluster.topology import ImplianceCluster

@@ -12,7 +12,6 @@ after consolidation.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig

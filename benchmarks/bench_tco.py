@@ -14,7 +14,6 @@ Claims reproduced:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.base import AdminActionKind, Item
 from repro.baselines.battery import run_battery, standard_corpus

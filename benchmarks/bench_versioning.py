@@ -14,7 +14,6 @@ Claims reproduced:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster.topology import ImplianceCluster
 from repro.exec.parallel import ParallelExecutor

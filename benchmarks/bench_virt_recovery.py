@@ -13,7 +13,6 @@ Claims reproduced:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cluster.node import NodeKind, SimNode
 from repro.model.converters import from_text

@@ -17,8 +17,8 @@ happened — measured, not asserted.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Optional
 
 
 class CapabilityNotSupported(Exception):

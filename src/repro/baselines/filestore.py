@@ -12,14 +12,9 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Dict, List
 
-from repro.baselines.base import (
-    AdminActionKind,
-    CapabilityNotSupported,
-    InformationSystem,
-    Item,
-)
+from repro.baselines.base import AdminActionKind, InformationSystem, Item
 
 
 class FileStore(InformationSystem):

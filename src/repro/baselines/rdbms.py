@@ -10,7 +10,7 @@ another administrator action on the ledger.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.baselines.base import (
     AdminActionKind,

@@ -8,15 +8,9 @@ predicates, no discovered relationships.
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Dict, List
 
-from repro.baselines.base import (
-    AdminActionKind,
-    CapabilityNotSupported,
-    InformationSystem,
-    Item,
-)
+from repro.baselines.base import AdminActionKind, InformationSystem, Item
 from repro.index.text import InvertedIndex
 
 

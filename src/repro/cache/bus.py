@@ -9,9 +9,11 @@ sees the same ordered stream.
 
 Two event families flow through:
 
-* **put events** — a document persisted anywhere in the appliance.
-  Subscribers receive the document and invalidate by dependency (its
-  ``table`` metadata, its paths).
+* **put events** — documents persisted anywhere in the appliance.  The
+  unit of publication is the *batch*: a group commit arrives as one
+  event (a plain put is a batch of one), bumps the epoch once, and
+  batch subscribers invalidate by the union of its dependencies.
+  Per-document subscribers still receive every document individually.
 * **node events** — chaos faults and topology changes (crash, recover,
   corrupt, partition, heal).  These change *which* data is visible, not
   just its content, so subscribers are expected to flush wholesale:
@@ -22,23 +24,34 @@ Every event bumps ``epoch``; caches that cannot invalidate precisely
 (the physical-plan tier, whose validity depends on index/view state)
 stamp entries with the epoch at fill time and treat any mismatch as a
 miss.
+
+When the staged ingest pipeline commits one logical batch across several
+data nodes, each node's store fires its own batch event; the pipeline
+wraps the storage stage in :meth:`InvalidationBus.coalescing` so those
+per-node events merge into a single publication — one epoch bump per
+ingest batch, however many nodes it sharded across.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from contextlib import contextmanager
+from typing import Callable, List, Optional, Sequence
 
 from repro.model.document import Document
 
 PutListener = Callable[[Document], None]
+BatchPutListener = Callable[[Sequence[Document]], None]
 NodeListener = Callable[[str, str], None]  # (node_id, event kind)
 
 
 class BusStats:
-    __slots__ = ("put_events", "node_events")
+    __slots__ = ("put_events", "put_documents", "node_events")
 
     def __init__(self) -> None:
+        #: Publications (epoch bumps caused by puts) — one per batch.
         self.put_events = 0
+        #: Documents carried by those publications.
+        self.put_documents = 0
         self.node_events = 0
 
 
@@ -46,17 +59,25 @@ class InvalidationBus:
     """Fan-out of put and node events to every subscribed cache."""
 
     def __init__(self) -> None:
-        #: Monotone event counter; bumped by every put and node event.
+        #: Monotone event counter; bumped by every put batch and node event.
         self.epoch = 0
         self.stats = BusStats()
         self._put_subscribers: List[PutListener] = []
+        self._batch_subscribers: List[BatchPutListener] = []
         self._node_subscribers: List[NodeListener] = []
+        self._held: Optional[List[Document]] = None
 
     # ------------------------------------------------------------------
     # subscriptions
     # ------------------------------------------------------------------
     def subscribe_puts(self, listener: PutListener) -> None:
+        """Per-document subscription (one call per document in a batch)."""
         self._put_subscribers.append(listener)
+
+    def subscribe_put_batches(self, listener: BatchPutListener) -> None:
+        """Batch subscription: one call per publication with every
+        document it carries — the shape coalescing caches want."""
+        self._batch_subscribers.append(listener)
 
     def subscribe_node_events(self, listener: NodeListener) -> None:
         self._node_subscribers.append(listener)
@@ -65,20 +86,55 @@ class InvalidationBus:
     # sources
     # ------------------------------------------------------------------
     def attach_store(self, store) -> None:
-        """Subscribe this bus to a document store's put stream."""
-        store.put_listeners.append(self._on_store_put)
+        """Subscribe this bus to a document store's put stream.  Group
+        commits arrive batch-at-a-time, so one ``put_many`` is one event."""
+        store.batch_put_listeners.append(self._on_store_put_batch)
 
-    def _on_store_put(self, document: Document, address=None) -> None:
-        self.publish_put(document)
+    def _on_store_put_batch(self, pairs) -> None:
+        self.publish_put_batch([document for document, _ in pairs])
 
     # ------------------------------------------------------------------
     # publication
     # ------------------------------------------------------------------
     def publish_put(self, document: Document) -> None:
+        self.publish_put_batch((document,))
+
+    def publish_put_batch(self, documents: Sequence[Document]) -> None:
+        """Publish one batch of persisted documents as a single event."""
+        if not documents:
+            return
+        if self._held is not None:
+            # Inside a coalescing window: merge into the one pending event.
+            self._held.extend(documents)
+            return
         self.epoch += 1
         self.stats.put_events += 1
+        self.stats.put_documents += len(documents)
+        for batch_listener in self._batch_subscribers:
+            batch_listener(documents)
         for listener in self._put_subscribers:
-            listener(document)
+            for document in documents:
+                listener(document)
+
+    @contextmanager
+    def coalescing(self):
+        """Merge every put published inside the window into one event.
+
+        The ingest pipeline uses this around a multi-node storage stage:
+        N per-node group commits become one publication — one epoch bump,
+        one union invalidation — emitted when the window closes.
+        Windows nest; only the outermost emits.
+        """
+        if self._held is not None:
+            yield  # already inside a window — the outer one will emit
+            return
+        self._held = []
+        try:
+            yield
+        finally:
+            held, self._held = self._held, None
+            if held:
+                self.publish_put_batch(held)
 
     def publish_node_event(self, node_id: str, kind: str) -> None:
         """A chaos/topology event: crash, recover, corrupt, partition,

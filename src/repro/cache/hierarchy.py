@@ -26,7 +26,6 @@ from repro.cache.config import CacheConfig
 from repro.cache.plancache import PlanCache
 from repro.cache.probememo import IndexProbeMemo
 from repro.cache.resultcache import ResultCache
-from repro.model.document import Document
 
 
 class CacheHierarchy:
@@ -54,7 +53,7 @@ class CacheHierarchy:
         #: ``missing_segments() == 0`` so degraded answers are never
         #: cached.  None admits everything (standalone engines).
         self.admit_results: Optional[Callable[[], bool]] = None
-        self.bus.subscribe_puts(self._on_put)
+        self.bus.subscribe_put_batches(self._on_put_batch)
         self.bus.subscribe_node_events(self._on_node_event)
 
     # ------------------------------------------------------------------
@@ -76,10 +75,16 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # bus reactions
     # ------------------------------------------------------------------
-    def _on_put(self, document: Document) -> None:
+    def _on_put_batch(self, documents) -> None:
+        """One publication per group commit: invalidate by the *union* of
+        the batch's table dependencies, flush the probe memo once.  A
+        batch of one is exactly the old per-put behavior."""
         if self.telemetry is not None:
-            self.telemetry.inc("cache.invalidation.puts")
-        self.results.invalidate_table(document.metadata.get("table"))
+            self.telemetry.inc("cache.invalidation.puts", len(documents))
+            self.telemetry.inc("cache.invalidation.put_batches")
+        tables = {document.metadata.get("table") for document in documents}
+        for table in tables:
+            self.results.invalidate_table(table)
         self.probes.flush()
 
     def _on_node_event(self, node_id: str, kind: str) -> None:
@@ -130,6 +135,7 @@ class CacheHierarchy:
             },
             "bus": {
                 "put_events": self.bus.stats.put_events,
+                "put_documents": self.bus.stats.put_documents,
                 "node_events": self.bus.stats.node_events,
             },
         }

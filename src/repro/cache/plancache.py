@@ -21,7 +21,7 @@ one entry while ``WHERE name = 'Ab'`` keeps its literal intact.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Tuple
 
 from repro.query.sql import parse_sql
 

@@ -17,7 +17,7 @@ reports missing segments — see :class:`repro.cache.CacheHierarchy`).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional
 
 from repro.exec.costs import estimate_rows_bytes

@@ -14,8 +14,8 @@ every lock acquisition is serialized through the key's owner node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.cluster.network import Network, PartitionError
 from repro.cluster.node import SimNode

@@ -9,7 +9,7 @@ quantities the paper's pushdown and scale-out arguments are about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Set, Tuple
 
 #: Commodity low-latency network defaults (paper Section 1: "commodity

@@ -14,8 +14,8 @@ group state; grid nodes are stateless compute.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.index.manager import IndexManager
 from repro.storage.store import DocumentStore

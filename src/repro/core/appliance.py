@@ -15,7 +15,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from repro.cache import CacheHierarchy
 from repro.cluster.network import Network
-from repro.cluster.node import NodeKind, SimNode
+from repro.cluster.node import NodeKind
 from repro.cluster.topology import ImplianceCluster
 from repro.core.config import ApplianceConfig
 from repro.core.upgrades import UpgradeEngine, UpgradePolicy, UpgradeReport
@@ -26,6 +26,7 @@ from repro.discovery.relationships import RelationshipRule
 from repro.exec.parallel import ParallelExecutor
 from repro.index.facets import FacetDefinition, metadata_facet, source_format_facet
 from repro.index.manager import IndexManager
+from repro.ingest import IngestPipeline, IngestReport
 from repro.model.converters import (
     from_csv,
     from_email,
@@ -35,7 +36,8 @@ from repro.model.converters import (
     from_xml,
     sniff_format,
 )
-from repro.model.document import Document, DocumentKind
+from repro.model.document import Document
+from repro.model.projection import projection_of
 from repro.model.views import RelationalView, ViewCatalog, base_table_view
 from repro.obs.telemetry import Telemetry
 from repro.query.engine import QueryEngine
@@ -68,6 +70,10 @@ class Impliance:
         self.config = config if config is not None else ApplianceConfig()
         # Observability first: every other subsystem threads through it.
         self.telemetry = Telemetry(enabled=self.config.telemetry)
+        # True while the staged pipeline is committing a batch — the
+        # reactive store listeners stand down so each maintenance stage
+        # runs exactly once per document (see repro.ingest.pipeline).
+        self._pipeline_active = False
         self.cluster = ImplianceCluster(
             n_data=self.config.n_data_nodes,
             n_grid=self.config.n_grid_nodes,
@@ -126,6 +132,9 @@ class Impliance:
             background_share=self.config.background_share,
         )
         self.upgrades = UpgradeEngine()
+        # The staged write path every public ingest entry point funnels
+        # through (a single document is a batch of one).
+        self.ingest_pipeline = IngestPipeline(self, self.config.ingest)
 
         # Per-data-node storage managers + a miner on each buffer pool.
         self._storage_managers: List[StorageManager] = []
@@ -141,7 +150,7 @@ class Impliance:
                 )
             )
             self.miner.attach(node.store.buffer_pool)
-            node.store.put_listeners.append(self._on_any_put)
+            node.store.batch_put_listeners.append(self._on_any_put_batch)
             self.caches.attach_to_store(node.store)
 
         self._ids: Dict[str, IdGenerator] = {}
@@ -164,35 +173,55 @@ class Impliance:
     # ------------------------------------------------------------------
     # internal wiring
     # ------------------------------------------------------------------
-    def _on_any_put(self, document: Document, address) -> None:
+    def _on_any_put_batch(self, pairs) -> None:
         """Every persisted document updates the global catalog and joins
-        the discovery queue (annotations excluded there)."""
-        self.indexes.index_document(document)
-        self.discovery.enqueue(document)
-        if document.metadata.get("table"):
-            self._ensure_auto_view(document)
+        the discovery queue (annotations excluded there).
 
-    def _ensure_auto_view(self, document: Document) -> None:
-        """Auto-define/extend the identity view of a tabular document —
+        This is the *reactive* maintenance path — direct ``store.put``
+        calls (replication repair, chaos re-homing, annotation persistence)
+        land here.  While the staged pipeline commits a batch it performs
+        each stage itself, exactly once per batch, so the listener stands
+        down.
+        """
+        if self._pipeline_active:
+            return
+        for document, _address in pairs:
+            self.indexes.index_document(document)
+            self.discovery.enqueue(document)
+            if document.metadata.get("table"):
+                self._maintain_auto_views((document,))
+
+    def _maintain_auto_views(self, documents: Sequence[Document]) -> None:
+        """Auto-define/extend the identity views of tabular documents —
         rows are SQL-queryable immediately, with no schema declaration,
         whatever channel they arrived by (relational, CSV, consolidated).
+
+        Batched: columns are unioned per table first, so one ingest batch
+        replaces each grown view at most once.  The resulting catalog
+        state is identical to per-document maintenance over the same
+        sequence.
         """
-        table = document.metadata.get("table")
-        if not table:
-            return
-        columns = {
-            path[-1] for path, _ in document.paths() if len(path) == 2 and path[0] == table
-        }
-        if not columns:
-            return  # content is not shaped like rows of this table
-        known = self._auto_views.get(table)
-        if known is None:
-            self._auto_views[table] = set(columns)
-            if table not in self.views:
-                self.views.define(base_table_view(table, table, sorted(columns)))
-        elif not columns <= known:
-            known |= columns
-            self.views.replace(base_table_view(table, table, sorted(known)))
+        per_table: Dict[str, Set[str]] = {}
+        for document in documents:
+            table = document.metadata.get("table")
+            if not table:
+                continue
+            columns = {
+                path[-1]
+                for path in projection_of(document).leaf_paths
+                if len(path) == 2 and path[0] == table
+            }
+            if columns:  # content shaped like rows of this table
+                per_table.setdefault(table, set()).update(columns)
+        for table, columns in per_table.items():
+            known = self._auto_views.get(table)
+            if known is None:
+                self._auto_views[table] = set(columns)
+                if table not in self.views:
+                    self.views.define(base_table_view(table, table, sorted(columns)))
+            elif not columns <= known:
+                known |= columns
+                self.views.replace(base_table_view(table, table, sorted(known)))
 
     def _persist_annotation(self, document: Document) -> Document:
         home, _ = self.cluster.ingest(document)
@@ -213,11 +242,49 @@ class Impliance:
     # ------------------------------------------------------------------
     def ingest_document(self, document: Document) -> Document:
         """Persist an already-converted document (routes to its home
-        data node, indexes it, queues discovery)."""
-        home, _ = self.cluster.ingest(document)
-        assert home.store is not None
-        self.telemetry.inc("ingest.docs")
-        return home.store.versions.head(document.doc_id)
+        data node, indexes it, queues discovery) — a staged batch of
+        one."""
+        return self.ingest_pipeline.run_documents((document,))[0]
+
+    def _convert(
+        self,
+        payload: Any,
+        fmt: str,
+        *,
+        table: Optional[str] = None,
+        doc_id: Optional[str] = None,
+        title: str = "",
+        primary_key: Optional[Sequence[str]] = None,
+        metadata: Optional[Mapping[str, Any]] = None,
+        delimiter: str = ",",
+    ) -> List[Document]:
+        """Parse/convert stage: normalize one payload of *fmt* into model
+        documents (CSV fans out to one per record)."""
+        if fmt == "document":
+            return [payload]
+        if fmt == "relational":
+            if table is None:
+                raise ValueError("relational ingest requires table=")
+            the_id = doc_id or self._next_id(f"row-{table}")
+            return [from_relational_row(the_id, table, payload, primary_key)]
+        if fmt == "json":
+            the_id = doc_id or self._next_id("doc")
+            return [from_json_object(the_id, payload, metadata)]
+        if fmt == "xml":
+            the_id = doc_id or self._next_id("xml")
+            return [from_xml(the_id, payload)]
+        if fmt == "email":
+            the_id = doc_id or self._next_id("eml")
+            return [from_email(the_id, payload)]
+        if fmt == "csv":
+            if table is None:
+                raise ValueError("CSV ingest requires table=")
+            prefix = doc_id or self._next_id(f"csv-{table}")
+            return list(from_csv(prefix, table, payload, delimiter=delimiter))
+        if fmt == "text":
+            the_id = doc_id or self._next_id("txt")
+            return [from_text(the_id, payload, title)]
+        raise ValueError(f"unknown ingest format {fmt!r}")
 
     def ingest(
         self,
@@ -245,47 +312,99 @@ class Impliance:
         """
         fmt = format or sniff_format(payload, table=table)
         with self.telemetry.span("ingest", format=fmt) as span:
-            if fmt == "document":
-                result: Union[Document, List[Document]] = self.ingest_document(payload)
-            elif fmt == "relational":
-                if table is None:
-                    raise ValueError("relational ingest requires table=")
-                the_id = doc_id or self._next_id(f"row-{table}")
-                result = self.ingest_document(
-                    from_relational_row(the_id, table, payload, primary_key)
-                )
-            elif fmt == "json":
-                the_id = doc_id or self._next_id("doc")
-                result = self.ingest_document(from_json_object(the_id, payload, metadata))
-            elif fmt == "xml":
-                the_id = doc_id or self._next_id("xml")
-                result = self.ingest_document(from_xml(the_id, payload))
-            elif fmt == "email":
-                the_id = doc_id or self._next_id("eml")
-                result = self.ingest_document(from_email(the_id, payload))
-            elif fmt == "csv":
-                if table is None:
-                    raise ValueError("CSV ingest requires table=")
-                prefix = doc_id or self._next_id(f"csv-{table}")
-                result = [
-                    self.ingest_document(d)
-                    for d in from_csv(prefix, table, payload, delimiter=delimiter)
-                ]
-            elif fmt == "text":
-                the_id = doc_id or self._next_id("txt")
-                result = self.ingest_document(from_text(the_id, payload, title))
-            else:
-                raise ValueError(f"unknown ingest format {fmt!r}")
-            span.tag("docs", len(result) if isinstance(result, list) else 1)
+            documents = self._convert(
+                payload,
+                fmt,
+                table=table,
+                doc_id=doc_id,
+                title=title,
+                primary_key=primary_key,
+                metadata=metadata,
+                delimiter=delimiter,
+            )
+            stored = self.ingest_pipeline.run_documents(documents)
+            result: Union[Document, List[Document]] = (
+                stored if fmt == "csv" else stored[0]
+            )
+            span.tag("docs", len(stored))
         self.telemetry.inc(f"ingest.format.{fmt}")
         return result
 
-    def _deprecated_shim(self, old: str, new: str) -> None:
+    def ingest_many(
+        self,
+        payloads: Iterable[Any],
+        format: Optional[str] = None,
+        *,
+        table: Optional[str] = None,
+        delimiter: str = ",",
+    ) -> List[Document]:
+        """Bulk ingest through the staged pipeline (the fast path).
+
+        Each payload is converted exactly as :meth:`ingest` would convert
+        it (per-payload sniffing when *format* is omitted); the resulting
+        documents then flow through the batched write path — group-commit
+        storage writes sharded across the data nodes, one index
+        maintenance round and one cache invalidation epoch per batch.
+        Returns every stored document in arrival order (CSV payloads fan
+        out in place).
+        """
+        documents: List[Document] = []
+        formats: Dict[str, int] = {}
+        for payload in payloads:
+            fmt = format or sniff_format(payload, table=table)
+            documents.extend(
+                self._convert(payload, fmt, table=table, delimiter=delimiter)
+            )
+            formats[fmt] = formats.get(fmt, 0) + 1
+        with self.telemetry.span("ingest.many", payloads=len(documents)) as span:
+            stored = self.ingest_pipeline.run_documents(documents)
+            span.tag("docs", len(stored))
+        for fmt, count in formats.items():
+            self.telemetry.inc(f"ingest.format.{fmt}", count)
+        return stored
+
+    def ingest_stream(
+        self,
+        payloads: Iterable[Any],
+        format: Optional[str] = None,
+        *,
+        table: Optional[str] = None,
+        delimiter: str = ",",
+    ) -> "IngestReport":
+        """Streaming ingest under the configured admission policy.
+
+        Like :meth:`ingest_many` but honors the staging queue's admission
+        control: a ``"shed"``-configured appliance may drop documents
+        when the queue is full rather than stalling the producer.  The
+        returned :class:`repro.ingest.IngestReport` accounts for every
+        offered, stored, and shed document.
+        """
+        def documents() -> Iterator[Document]:
+            for payload in payloads:
+                fmt = format or sniff_format(payload, table=table)
+                self.telemetry.inc(f"ingest.format.{fmt}")
+                yield from self._convert(
+                    payload, fmt, table=table, delimiter=delimiter
+                )
+
+        with self.telemetry.span("ingest.stream") as span:
+            report = self.ingest_pipeline.run_stream(documents())
+            span.tag("docs", report.stored)
+        return report
+
+    def _shim_ingest(
+        self, old: str, hint: str, payload: Any, fmt: str, **kwargs: Any
+    ) -> Union[Document, List[Document]]:
+        """The one internal entry every deprecated ``ingest_*`` shim goes
+        through: warn once per call (attributed to the caller's caller),
+        then delegate to :meth:`ingest` — results are byte-identical to a
+        direct ``ingest(payload, fmt, ...)`` call."""
         warnings.warn(
-            f"Impliance.{old}() is deprecated; use {new}",
+            f"Impliance.{old}() is deprecated; use {hint}",
             DeprecationWarning,
             stacklevel=3,
         )
+        return self.ingest(payload, fmt, **kwargs)
 
     def ingest_row(
         self,
@@ -295,36 +414,37 @@ class Impliance:
         doc_id: Optional[str] = None,
     ) -> Document:
         """Deprecated: use :meth:`ingest` with ``table=``."""
-        self._deprecated_shim("ingest_row", "ingest(row, table=...)")
-        return self.ingest(
-            row, "relational", table=table, primary_key=primary_key, doc_id=doc_id
+        return self._shim_ingest(
+            "ingest_row", "ingest(row, table=...)", row, "relational",
+            table=table, primary_key=primary_key, doc_id=doc_id,
         )
 
     def ingest_text(self, text: str, title: str = "", doc_id: Optional[str] = None) -> Document:
         """Deprecated: use :meth:`ingest`."""
-        self._deprecated_shim("ingest_text", "ingest(text)")
-        return self.ingest(text, "text", title=title, doc_id=doc_id)
+        return self._shim_ingest(
+            "ingest_text", "ingest(text)", text, "text", title=title, doc_id=doc_id
+        )
 
     def ingest_email(self, raw: str, doc_id: Optional[str] = None) -> Document:
         """Deprecated: use :meth:`ingest`."""
-        self._deprecated_shim("ingest_email", "ingest(raw)")
-        return self.ingest(raw, "email", doc_id=doc_id)
+        return self._shim_ingest("ingest_email", "ingest(raw)", raw, "email", doc_id=doc_id)
 
     def ingest_xml(self, payload: str, doc_id: Optional[str] = None) -> Document:
         """Deprecated: use :meth:`ingest`."""
-        self._deprecated_shim("ingest_xml", "ingest(payload)")
-        return self.ingest(payload, "xml", doc_id=doc_id)
+        return self._shim_ingest("ingest_xml", "ingest(payload)", payload, "xml", doc_id=doc_id)
 
     def ingest_csv(self, table: str, payload: str) -> List[Document]:
         """Deprecated: use :meth:`ingest` with ``table=``."""
-        self._deprecated_shim("ingest_csv", "ingest(payload, table=...)")
-        return self.ingest(payload, "csv", table=table)
+        return self._shim_ingest(
+            "ingest_csv", "ingest(payload, table=...)", payload, "csv", table=table
+        )
 
     def ingest_json(self, obj: Any, doc_id: Optional[str] = None,
                     metadata: Optional[Mapping[str, Any]] = None) -> Document:
         """Deprecated: use :meth:`ingest`."""
-        self._deprecated_shim("ingest_json", "ingest(obj)")
-        return self.ingest(obj, "json", doc_id=doc_id, metadata=metadata)
+        return self._shim_ingest(
+            "ingest_json", "ingest(obj)", obj, "json", doc_id=doc_id, metadata=metadata
+        )
 
     def update_document(self, doc_id: str, content: Any) -> Document:
         """Versioned update through the consistency group (never in

@@ -9,10 +9,11 @@ configure the simulation's scale, not the system's behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from repro.cache.config import CacheConfig
 from repro.cluster.network import DEFAULT_BANDWIDTH_BYTES_PER_MS, DEFAULT_LATENCY_MS
+from repro.ingest.config import IngestConfig
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,9 @@ class ApplianceConfig:
     #: Cache hierarchy: per-tier size caps and the off switch
     #: (``CacheConfig(enabled=False)`` makes every tier a no-op).
     cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Batched write path: group-commit batch size, staging-queue bound,
+    #: and the admission policy when the queue is full (docs/INGEST.md).
+    ingest: IngestConfig = field(default_factory=IngestConfig)
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()

@@ -16,8 +16,7 @@ identical.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Pattern, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Pattern, Set, Tuple
 
 from repro.model.annotations import Annotation, Span
 from repro.model.document import Document, DocumentKind

@@ -17,7 +17,7 @@ Two discovery mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from repro.index.joins import JoinEdge, JoinIndex
 from repro.index.structural import ValueIndex

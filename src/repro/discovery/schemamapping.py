@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.document import Document, DocumentKind
 from repro.model.schema import DocumentSchema, infer_schema
-from repro.model.values import Path, ValueType, classify_value
+from repro.model.values import Path, ValueType
 
 #: Built-in synonym groups for common business-field abbreviations.
 DEFAULT_SYNONYMS: Tuple[Tuple[str, ...], ...] = (

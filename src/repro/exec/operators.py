@@ -23,8 +23,8 @@ producing "averaged phone numbers".
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.batch import ColumnBatch
 from repro.model.values import classify_value, coerce_numeric

@@ -14,10 +14,9 @@ costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.chaos.retry import RetryError, RetryPolicy
-from repro.cluster.groups import LockConflictError
 from repro.cluster.network import PartitionError
 from repro.cluster.node import NodeKind, SimNode
 from repro.cluster.topology import ImplianceCluster
@@ -31,13 +30,11 @@ from repro.exec.batch import (
 from repro.exec.operators import (
     AggSpec,
     Row,
-    filter_rows,
     group_aggregate,
     hash_join,
     indexed_nl_join,
     merge_partial_aggregates,
     partial_aggregate,
-    project_rows,
     sort_rows,
     top_k,
 )
@@ -216,6 +213,92 @@ class ParallelExecutor:
                 return None
         candidates = self._failover_candidates(tried)
         return candidates[0] if candidates else None
+
+    # ------------------------------------------------------------------
+    # stage 0: batched ingest routing
+    # ------------------------------------------------------------------
+    def ingest_batch(
+        self,
+        documents: Sequence[Document],
+        after: float = 0.0,
+        report: Optional[ExecReport] = None,
+    ) -> Tuple[List[Document], float]:
+        """Commit one ingest batch across the data nodes, with failover.
+
+        Wraps :meth:`ImplianceCluster.ingest_batch` — one scheduling round
+        sharding the batch by home node — under the executor's retry
+        policy: when a home node dies mid-round (chaos), topology is
+        re-detected, the attempt pays the policy's timeout + seeded
+        backoff in simulated time, and the documents that did not land are
+        re-routed over the survivors.  Raises :class:`RetryError` only
+        when the policy exhausts with documents still unplaced.
+
+        Returns ``(stored documents, finish time)``; on the clean path the
+        stored list is in arrival order.
+        """
+        if not documents:
+            return [], after
+        policy = self.retry_policy
+        with self.telemetry.span("exec.ingest_batch", docs=len(documents)) as span:
+            remaining = list(documents)
+            stored: List[Document] = []
+            finish = after
+            nodes: Set[str] = set()
+            delay = 0.0
+            for attempt in range(policy.max_attempts):
+                try:
+                    ordered, shares, finish = self.cluster.ingest_batch(
+                        remaining, after + delay
+                    )
+                    stored.extend(ordered)
+                    nodes.update(shares)
+                    remaining = []
+                    break
+                except RuntimeError:
+                    # A home died between routing and its share's commit.
+                    # Re-detect, keep what already landed, retry the rest.
+                    self.cluster.detect_topology()
+                    delay += policy.penalty_ms(attempt)
+                    self.telemetry.inc("exec.retries")
+                    still: List[Document] = []
+                    for document in remaining:
+                        landed = self._landed_version(document)
+                        if landed is not None:
+                            stored.append(landed)
+                        else:
+                            still.append(document)
+                    remaining = still
+                    if not remaining:
+                        break
+            if remaining:
+                raise RetryError(
+                    f"bulk ingest exhausted {policy.max_attempts} attempts"
+                    f" with {len(remaining)} documents unplaced",
+                    policy.max_attempts,
+                )
+            self._note_stage("ingest-batch", len(stored))
+            span.tag("nodes", len(nodes))
+            if report is not None:
+                report.record(
+                    StageTiming(
+                        "ingest-batch",
+                        finish,
+                        len(stored),
+                        nodes=tuple(sorted(nodes)),
+                    )
+                )
+        return stored, finish
+
+    def _landed_version(self, document: Document) -> Optional[Document]:
+        """The stored copy of *document* if some live node committed it
+        before the round failed, else ``None``."""
+        for node in self.cluster.data_nodes:
+            store = node.store
+            if store is not None and store.contains(document.doc_id):
+                chain = store.versions.chain(document.doc_id)
+                if chain.head_version >= document.version:
+                    return chain.get(document.version)
+        return None
 
     # ------------------------------------------------------------------
     # stage 1: data-node row production

@@ -14,12 +14,12 @@ of faceted search "beyond just counting entities in one dimension".
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.document import Document
-from repro.model.values import Path, coerce_numeric
+from repro.model.values import Path
 
 
 @dataclass(frozen=True)

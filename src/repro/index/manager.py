@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.index.facets import FacetDefinition, FacetIndex
 from repro.index.joins import JoinIndex
 from repro.index.structural import StructuralIndex, ValueIndex
 from repro.index.text import InvertedIndex
 from repro.model.document import Document
+from repro.model.projection import projection_of
 from repro.storage.pages import PageAddress
 from repro.storage.store import DocumentStore
 
@@ -66,7 +67,7 @@ class IndexManager:
         self._pending: Deque[Document] = deque()
         self._store = store
         if store is not None:
-            store.put_listeners.append(self._on_put)
+            store.batch_put_listeners.append(self._on_put_batch)
 
     # ------------------------------------------------------------------
     def _on_put(self, document: Document, address: PageAddress) -> None:
@@ -75,6 +76,22 @@ class IndexManager:
             self.stats.deferred += 1
         else:
             self.index_document(document)
+
+    def _on_put_batch(self, pairs: List[Tuple[Document, PageAddress]]) -> None:
+        """Store hook: one call per group commit.
+
+        A batch of one is the reactive document-at-a-time path and is
+        indexed exactly as before; a real batch takes the bulk path,
+        where every index reuses the shared model projection.
+        """
+        if self.deferred:
+            for document, _ in pairs:
+                self._pending.append(document)
+            self.stats.deferred += len(pairs)
+        elif len(pairs) == 1:
+            self.index_document(pairs[0][0])
+        else:
+            self.index_batch([document for document, _ in pairs])
 
     def index_document(self, document: Document) -> None:
         """(Re-)index one document version across all indexes.
@@ -90,7 +107,58 @@ class IndexManager:
         if self.telemetry is not None:
             self.telemetry.inc("index.documents_indexed")
 
+    def index_batch(self, documents: List[Document]) -> int:
+        """Group index maintenance: one bulk pass over every index.
+
+        Each document's projection (one content walk: text, postings,
+        structure, value entries — see ``repro.model.projection``) feeds
+        all four indexes, and documents sharing a structural signature are
+        loaded into the structural index as one group.  Final index state
+        and probe answers are identical to calling :meth:`index_document`
+        per document in the same order.
+
+        A batch that mentions the same doc_id twice (two versions in one
+        group commit) falls back to the sequential path — replacement
+        semantics depend on arrival order, which grouping would lose.
+        """
+        if not documents:
+            return 0
+        doc_ids = [document.doc_id for document in documents]
+        if len(set(doc_ids)) != len(doc_ids):
+            for document in documents:
+                self.index_document(document)
+            return len(documents)
+
+        projections = [projection_of(document) for document in documents]
+        for document, projection in zip(documents, projections):
+            self.text.add_projected(
+                document.doc_id, projection.term_positions, projection.token_count
+            )
+        groups: Dict[frozenset, List[str]] = {}
+        group_order: List[frozenset] = []
+        for document, projection in zip(documents, projections):
+            members = groups.get(projection.structure)
+            if members is None:
+                groups[projection.structure] = members = []
+                group_order.append(projection.structure)
+            members.append(document.doc_id)
+        for signature in group_order:
+            self.structure.add_group(signature, groups[signature])
+        for document, projection in zip(documents, projections):
+            self.values.add_entries(document.doc_id, projection.value_entries)
+            self.facets.add(document)
+        self.stats.indexed += len(documents)
+        if self.telemetry is not None:
+            self.telemetry.inc("index.documents_indexed", len(documents))
+        return len(documents)
+
     def unindex(self, doc_id: str) -> None:
+        # Purge queued copies too: in deferred mode an unindexed document
+        # must not be resurrected by a later apply_pending pass.
+        if self._pending:
+            self._pending = deque(
+                document for document in self._pending if document.doc_id != doc_id
+            )
         self.text.remove(doc_id)
         self.structure.remove(doc_id)
         self.values.remove(doc_id)
@@ -102,16 +170,20 @@ class IndexManager:
         """Index up to *budget* queued documents (all, when ``None``).
 
         Returns how many were applied.  Called from the execution
-        manager's background-task slots.
+        manager's background-task slots.  The drained chunk is applied as
+        one :meth:`index_batch`, so deferred maintenance gets the same
+        projection sharing the pipeline's group stage does.
         """
-        applied = 0
-        while self._pending and (budget is None or applied < budget):
-            self.index_document(self._pending.popleft())
-            applied += 1
-        if applied:
-            self.stats.batches_applied += 1
-            if self.telemetry is not None:
-                self.telemetry.inc("index.batches_applied")
+        if not self._pending:
+            return 0
+        take = len(self._pending) if budget is None else min(budget, len(self._pending))
+        if take <= 0:
+            return 0
+        batch = [self._pending.popleft() for _ in range(take)]
+        applied = self.index_batch(batch)
+        self.stats.batches_applied += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("index.batches_applied")
         return applied
 
     @property

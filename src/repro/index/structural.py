@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.document import Document
-from repro.model.values import Path, classify_value, coerce_numeric, ValueType
+from repro.model.values import Path, classify_value, coerce_numeric
 
 
 class StructuralIndex:
@@ -38,6 +38,29 @@ class StructuralIndex:
         self._doc_paths[document.doc_id] = paths
         for path in paths:
             self._exact[path].add(document.doc_id)
+            if path:
+                self._by_leaf[path[-1]].add(path)
+
+    def add_group(self, paths: Iterable[Path], doc_ids: Sequence[str]) -> None:
+        """Bulk-load *doc_ids* that all share one structural signature.
+
+        Schema-chaotic data still arrives in structurally repetitive runs
+        (every row of a table, every event of a sensor), so a batch
+        usually collapses to a handful of signatures — one bucket
+        ``update`` per path replaces one set-add per (document, path).
+
+        The shared signature is stored as a single frozenset for every
+        document in the group; that is safe because the index never
+        mutates a stored path set (``remove`` only iterates it).
+        """
+        stale = [doc_id for doc_id in doc_ids if doc_id in self._doc_paths]
+        for doc_id in stale:
+            self.remove(doc_id)
+        signature = frozenset(paths)
+        for doc_id in doc_ids:
+            self._doc_paths[doc_id] = signature
+        for path in signature:
+            self._exact[path].update(doc_ids)
             if path:
                 self._by_leaf[path[-1]].add(path)
 
@@ -117,7 +140,7 @@ class ValueIndex:
         self._equality: Dict[Tuple[Path, Any], Set[str]] = defaultdict(set)
         self._numeric: Dict[Path, List[Tuple[float, str]]] = defaultdict(list)
         self._numeric_sorted: Dict[Path, bool] = defaultdict(lambda: True)
-        self._doc_entries: Dict[str, List[Tuple[Path, Any, Optional[float]]]] = {}
+        self._doc_entries: Dict[str, Sequence[Tuple[Path, Any, Optional[float]]]] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -146,6 +169,29 @@ class ValueIndex:
                 self._numeric_sorted[path] = False
             entries.append((path, normalized, numeric))
         self._doc_entries[document.doc_id] = entries
+
+    def add_entries(
+        self, doc_id: str, entries: Sequence[Tuple[Path, Any, Optional[float]]]
+    ) -> None:
+        """Index pre-computed value entries (the batch path).
+
+        *entries* is the projection's ``(path, normalized, numeric)``
+        list, in document order — exactly what :meth:`add` derives by
+        re-walking and re-classifying the content tree.  Final state and
+        probe answers are identical to :meth:`add`.
+        """
+        if doc_id in self._doc_entries:
+            self.remove(doc_id)
+        equality = self._equality
+        numeric_rows = self._numeric
+        for path, normalized, numeric in entries:
+            equality[(path, normalized)].add(doc_id)
+            if numeric is not None:
+                numeric_rows[path].append((numeric, doc_id))
+                self._numeric_sorted[path] = False
+        # The projection's entry tuple is immutable and remove() only
+        # iterates it — no defensive copy needed on the batch path.
+        self._doc_entries[doc_id] = entries
 
     def remove(self, doc_id: str) -> None:
         entries = self._doc_entries.pop(doc_id, None)

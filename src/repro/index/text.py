@@ -11,8 +11,8 @@ from __future__ import annotations
 import math
 import re
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -95,6 +95,28 @@ class InvertedIndex:
             posting.append(position)
         self.stats.adds += 1
         self.stats.postings_touched += len({t for t, _ in tokens})
+
+    def add_projected(
+        self, doc_id: str, term_positions: Dict[str, List[int]], length: int
+    ) -> None:
+        """Index pre-tokenized postings (the batch path).
+
+        The model projection already grouped positions per term, so this
+        inserts one posting list per term instead of appending position by
+        position.  Produces exactly the state and stats :meth:`add` would:
+        *term_positions* must come from ``tokenize_with_positions`` of the
+        document text (terms in first-occurrence order) and *length* is
+        the total token count.
+        """
+        if doc_id in self._doc_lengths:
+            self.remove(doc_id)
+        self._doc_lengths[doc_id] = length
+        self._total_length += length
+        postings = self._postings
+        for term, positions in term_positions.items():
+            postings[term][doc_id] = list(positions)
+        self.stats.adds += 1
+        self.stats.postings_touched += len(term_positions)
 
     def remove(self, doc_id: str) -> None:
         """Un-index *doc_id* (no-op when absent)."""

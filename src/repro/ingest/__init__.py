@@ -1,0 +1,23 @@
+"""The staged ingest pipeline (see docs/INGEST.md).
+
+Kept import-light: :mod:`repro.core.config` pulls :class:`IngestConfig`
+from here, so this package must not import the appliance at module
+scope.
+"""
+
+from repro.ingest.config import ADMISSION_BLOCK, ADMISSION_SHED, IngestConfig
+from repro.ingest.pipeline import IngestPipeline, IngestReport
+from repro.ingest.queue import ADMITTED, SHED, STALLED, BackpressureQueue, QueueStats
+
+__all__ = [
+    "ADMISSION_BLOCK",
+    "ADMISSION_SHED",
+    "ADMITTED",
+    "STALLED",
+    "SHED",
+    "BackpressureQueue",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestReport",
+    "QueueStats",
+]

@@ -1,0 +1,44 @@
+"""Knobs of the staged ingest pipeline (see docs/INGEST.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Admission policies when the staging queue is full.
+ADMISSION_BLOCK = "block"
+ADMISSION_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Configuration of the batched write path.
+
+    Parameters
+    ----------
+    batch_size:
+        Documents per group commit — one storage write, one index
+        maintenance round, one invalidation epoch per this many documents.
+    queue_capacity:
+        Staging slots between the validate and storage-write stages.  When
+        full, *admission* decides what happens to the producer.
+    admission:
+        ``"block"`` (default): the producer stalls until a batch drains —
+        backpressure propagates upstream, every document is eventually
+        ingested, and each stall is counted.  ``"shed"``: the document is
+        rejected immediately and counted as shed — load shedding for
+        streams where staleness beats queueing collapse.
+    """
+
+    batch_size: int = 256
+    queue_capacity: int = 2048
+    admission: str = ADMISSION_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.queue_capacity < self.batch_size:
+            raise ValueError("queue_capacity must hold at least one batch")
+        if self.admission not in (ADMISSION_BLOCK, ADMISSION_SHED):
+            raise ValueError(
+                f"admission must be {ADMISSION_BLOCK!r} or {ADMISSION_SHED!r}"
+            )

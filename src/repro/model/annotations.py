@@ -15,7 +15,7 @@ base data — the query engine does not "understand" them (Section 2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from repro.model.document import Document, DocumentKind
 

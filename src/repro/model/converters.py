@@ -12,9 +12,9 @@ from __future__ import annotations
 import csv
 import io
 import xml.etree.ElementTree as ElementTree
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.model.document import Document, DocumentKind
+from repro.model.document import Document
 
 
 def from_relational_row(

@@ -174,8 +174,38 @@ class Document:
 
     def size_bytes(self) -> int:
         """Approximate serialized size; the storage and network simulators
-        charge costs proportional to this."""
-        return len(self.to_json())
+        charge costs proportional to this.  Memoized: documents are frozen,
+        so the serialization never changes, yet page packing, cost
+        accounting, and shipping all ask repeatedly."""
+        cached = self.__dict__.get("_size_bytes")
+        if cached is None:
+            cached = len(self.to_json())
+            object.__setattr__(self, "_size_bytes", cached)
+        return cached
+
+    def stamped(self, ingest_ts: int) -> "Document":
+        """This document with ``ingest_ts`` assigned by the store clock.
+
+        The write path stamps every document at persist time; going
+        through ``Document(...)`` again would deep-copy the whole content
+        tree a second time for no reason — both objects are frozen and the
+        tree is never mutated, so the copy can share it.  A cached
+        projection carries over (it depends only on content); the size
+        memo does not (the timestamp is part of the serialization).
+        """
+        clone = object.__new__(Document)
+        object.__setattr__(clone, "doc_id", self.doc_id)
+        object.__setattr__(clone, "content", self.content)
+        object.__setattr__(clone, "version", self.version)
+        object.__setattr__(clone, "kind", self.kind)
+        object.__setattr__(clone, "source_format", self.source_format)
+        object.__setattr__(clone, "metadata", self.metadata)
+        object.__setattr__(clone, "refs", self.refs)
+        object.__setattr__(clone, "ingest_ts", ingest_ts)
+        projection = self.__dict__.get("_projection")
+        if projection is not None:
+            object.__setattr__(clone, "_projection", projection)
+        return clone
 
     def to_json(self) -> str:
         return json.dumps(

@@ -15,7 +15,7 @@ or extracted entities as just another table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.model.annotations import is_annotation_document, subject_of

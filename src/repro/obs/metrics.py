@@ -13,7 +13,7 @@ is a snapshot of the whole appliance.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Default histogram bucket upper bounds (milliseconds-flavored, but the
 #: unit is whatever the caller observes).  Exponential, like most metric

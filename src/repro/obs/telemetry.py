@@ -20,7 +20,7 @@ from typing import Any, ContextManager, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sink import TelemetrySink
-from repro.obs.tracing import NULL_SPAN, Span, Tracer, _NullSpan
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 
 class Telemetry:

@@ -21,7 +21,7 @@ estimate at all), the operator self-corrects at a bounded cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.exec import costs
 from repro.exec.operators import Row

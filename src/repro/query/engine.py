@@ -49,7 +49,6 @@ from repro.exec.batch import (
     rows_from_batches,
 )
 from repro.exec.operators import (
-    AggSpec,
     OperatorStats,
     Row,
     filter_batches,
@@ -75,7 +74,6 @@ from repro.query.planner import (
 )
 from repro.query.plans import (
     Aggregate,
-    Conjunction,
     Filter,
     Join,
     Limit,
@@ -84,7 +82,6 @@ from repro.query.plans import (
     ScanView,
     Sort,
     base_views,
-    describe,
 )
 from repro.query.result import QueryResult
 from repro.query.sql import parse_sql

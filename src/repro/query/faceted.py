@@ -14,8 +14,8 @@ without exposing schema.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.model.values import Path, coerce_numeric
 from repro.obs.telemetry import DISABLED

@@ -13,7 +13,7 @@ with relation filters — the latter powering the legal-discovery use case
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.model.document import Document
 from repro.obs.telemetry import DISABLED

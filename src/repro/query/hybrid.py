@@ -19,12 +19,11 @@ procedure AND *structure* has /claims/amount AND *value* amount > 2000.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from repro.index.structural import RangeQuery
 from repro.model.annotations import subject_of
-from repro.model.document import Document
 from repro.model.values import Path
 from repro.query.keyword import KeywordHit
 

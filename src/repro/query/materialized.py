@@ -15,13 +15,13 @@ itself searchable, versioned, and replicated like everything else.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.cache.bus import InvalidationBus
 from repro.exec.operators import Row
 from repro.model.document import Document, DocumentKind
-from repro.query.engine import QueryEngine, QueryResult
+from repro.query.engine import QueryEngine
 from repro.query.plans import base_views
 from repro.query.sql import parse_sql
 

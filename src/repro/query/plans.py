@@ -9,8 +9,8 @@ argument depends on a small operator vocabulary.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.operators import AggSpec, Row
 

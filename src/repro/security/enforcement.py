@@ -10,7 +10,7 @@ instead of being woven through each interface.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Iterator, List, Optional
 
 from repro.model.document import Document
 from repro.query.engine import QueryResult

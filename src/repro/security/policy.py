@@ -17,8 +17,8 @@ hold material".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Optional
 
 from repro.model.document import Document, DocumentKind
 

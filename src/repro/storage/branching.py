@@ -17,8 +17,8 @@ is precisely the paper's "built on top of it" hypothesis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.model.document import Document
 from repro.storage.store import DocumentStore

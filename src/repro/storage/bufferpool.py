@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.storage.pages import Page
 

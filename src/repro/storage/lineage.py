@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.model.document import Document, DocumentKind
+from repro.model.document import Document
 
 
 @dataclass

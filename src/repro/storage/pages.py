@@ -10,7 +10,7 @@ prefetching measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.model.document import Document
 

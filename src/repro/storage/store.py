@@ -20,7 +20,7 @@ from repro.storage.pages import (
     PageAddress,
     Segment,
 )
-from repro.storage.versions import VersionChain, VersionIndex
+from repro.storage.versions import VersionChain, VersionConflictError, VersionIndex
 from repro.util import LogicalClock
 
 
@@ -76,7 +76,17 @@ class DocumentStore:
         )
         #: Hooks called after every successful put; indexes subscribe here
         #: so maintenance is incremental (Section 3.3 last paragraph).
+        #: Fired once per document, and only after the whole commit — a
+        #: listener never observes a document whose page address is not
+        #: durable yet.
         self.put_listeners: List[Callable[[Document, PageAddress], None]] = []
+        #: Batch-granular hooks: one call per group commit with the whole
+        #: ``[(document, address), ...]`` batch (a plain :meth:`put` is a
+        #: batch of one).  Index maintenance and cache invalidation
+        #: subscribe here so their work amortizes across the batch.
+        self.batch_put_listeners: List[
+            Callable[[List[Tuple[Document, PageAddress]]], None]
+        ] = []
         #: Hooks called when a segment seals; the replica manager places
         #: sealed segments.
         self.seal_listeners: List[Callable[[int], None]] = []
@@ -119,20 +129,81 @@ class DocumentStore:
         A zero ``ingest_ts`` is replaced by the next clock tick.  Version
         numbering is validated against the chain — callers create new
         versions with :meth:`Document.new_version`, never by mutating.
+
+        Ordering matters: validate → append to a page → record the
+        version → notify.  Validation happens *before* the physical
+        append, and the version is recorded *after* it, so a crash (or
+        injected fault) at any point leaves no phantom version whose
+        address was never written — listeners only ever see durable
+        documents.
         """
         if document.ingest_ts == 0:
-            document = Document(
-                doc_id=document.doc_id,
-                content=document.content,
-                version=document.version,
-                kind=document.kind,
-                source_format=document.source_format,
-                metadata=document.metadata,
-                refs=document.refs,
-                ingest_ts=self.clock.tick(),
-            )
+            document = document.stamped(self.clock.tick())
+        self.versions.validate(document)
+        address = self._append_physical(document)
         self.versions.record(document)
+        self._addresses[document.vid] = address
+        self.stats.puts += 1
+        self.stats.bytes_stored += document.size_bytes()
+        self._notify_put([(document, address)])
+        return document
 
+    def put_many(self, documents) -> List[Document]:
+        """Group commit: persist *documents* as one batch, in order.
+
+        Store state afterwards is exactly what sequential :meth:`put`
+        calls would produce — same timestamps, same page layout, same
+        version chains.  What changes is the announcement protocol: every
+        document in the batch is physically durable (page address written,
+        version recorded) before *any* listener fires, and the batch
+        listeners fire exactly once for the whole group.
+
+        The batch is admitted as a unit: every document is validated
+        against the version chains (and against earlier documents in the
+        same batch) before the first page is touched, so a conflicting
+        batch is rejected wholesale rather than half-applied.
+        """
+        staged: List[Document] = []
+        batch_next: Dict[str, int] = {}
+        batch_last_ts: Dict[str, int] = {}
+        for document in documents:
+            if document.ingest_ts == 0:
+                document = document.stamped(self.clock.tick())
+            expected = batch_next.get(document.doc_id)
+            if expected is None:
+                self.versions.validate(document)
+            else:
+                if document.version != expected:
+                    raise VersionConflictError(
+                        f"{document.doc_id}: expected version {expected},"
+                        f" got {document.version}"
+                    )
+                if document.ingest_ts < batch_last_ts[document.doc_id]:
+                    raise VersionConflictError(
+                        f"{document.doc_id}: version {document.version} has"
+                        " ingest_ts earlier than its in-batch predecessor"
+                    )
+            batch_next[document.doc_id] = document.version + 1
+            batch_last_ts[document.doc_id] = document.ingest_ts
+            staged.append(document)
+        if not staged:
+            return []
+
+        pairs: List[Tuple[Document, PageAddress]] = []
+        total_bytes = 0
+        for document in staged:
+            address = self._append_physical(document)
+            self.versions.record(document)
+            self._addresses[document.vid] = address
+            total_bytes += document.size_bytes()
+            pairs.append((document, address))
+        self.stats.puts += len(staged)
+        self.stats.bytes_stored += total_bytes
+        self._notify_put(pairs)
+        return staged
+
+    def _append_physical(self, document: Document) -> PageAddress:
+        """Append *document* into the open segment, sealing as needed."""
         segment = self._open_segment()
         address = segment.append(document)
         if address is None:
@@ -141,12 +212,16 @@ class DocumentStore:
             address = segment.append(document)
             if address is None:
                 raise RuntimeError("fresh segment refused an append")
-        self._addresses[document.vid] = address
-        self.stats.puts += 1
-        self.stats.bytes_stored += document.size_bytes()
-        for listener in self.put_listeners:
-            listener(document, address)
-        return document
+        return address
+
+    def _notify_put(self, pairs: List[Tuple[Document, PageAddress]]) -> None:
+        """Announce a committed batch: batch listeners once, then the
+        per-document compat hooks in batch order."""
+        for listener in self.batch_put_listeners:
+            listener(pairs)
+        for document, address in pairs:
+            for listener in self.put_listeners:
+                listener(document, address)
 
     def update(self, doc_id: str, content, metadata: Optional[dict] = None) -> Document:
         """Convenience: derive and persist the next version of *doc_id*."""

@@ -10,7 +10,7 @@ paper proposes as the base on which richer schemes can be layered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.model.document import Document
 
@@ -36,13 +36,12 @@ class VersionChain:
         self._versions: List[Document] = []
 
     # ------------------------------------------------------------------
-    def append(self, document: Document) -> None:
-        """Append the next version.
+    def validate(self, document: Document) -> None:
+        """Check that *document* may extend this chain — without mutating it.
 
-        The version number must be exactly ``head + 1`` — concurrent
-        writers that both derive from the same head conflict, and the
-        loser must re-derive (optimistic concurrency; there is no in-place
-        update to lock).
+        The store validates *before* touching a page so a rejected write
+        leaves no trace anywhere: no phantom version record, no orphaned
+        page bytes.
         """
         if document.doc_id != self.doc_id:
             raise ValueError(
@@ -58,6 +57,16 @@ class VersionChain:
                 f"{self.doc_id}: version {document.version} has ingest_ts "
                 f"{document.ingest_ts} earlier than its predecessor"
             )
+
+    def append(self, document: Document) -> None:
+        """Append the next version.
+
+        The version number must be exactly ``head + 1`` — concurrent
+        writers that both derive from the same head conflict, and the
+        loser must re-derive (optimistic concurrency; there is no in-place
+        update to lock).
+        """
+        self.validate(document)
         self._versions.append(document)
 
     # ------------------------------------------------------------------
@@ -108,6 +117,20 @@ class VersionIndex:
 
     def __init__(self) -> None:
         self._chains: Dict[str, VersionChain] = {}
+
+    def validate(self, document: Document) -> None:
+        """Check *document* against its chain without recording anything.
+
+        A document with no chain yet must be version 1; an existing chain
+        applies its usual head+1 / timestamp-monotonicity rules.
+        """
+        chain = self._chains.get(document.doc_id)
+        if chain is not None:
+            chain.validate(document)
+        elif document.version != 1:
+            raise VersionConflictError(
+                f"{document.doc_id}: expected version 1, got {document.version}"
+            )
 
     def record(self, document: Document) -> VersionChain:
         chain = self._chains.get(document.doc_id)

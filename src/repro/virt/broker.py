@@ -15,7 +15,7 @@ experiment counts broker messages per recovery as the system scales).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import NodeKind, SimNode

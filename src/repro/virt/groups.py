@@ -13,8 +13,8 @@ takes so the TCO experiments can compare "machine cycles" against the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.cluster.node import NodeKind, SimNode
 

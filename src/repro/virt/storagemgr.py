@@ -14,10 +14,9 @@ knob-turning a manual stack requires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, List
 
-from repro.model.document import DocumentKind
 from repro.storage.replication import (
     ReliabilityClass,
     RepairAction,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
 from repro.model.converters import from_relational_row, from_text, from_xml
 from repro.model.document import Document

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.model.converters import from_email, from_relational_row, from_text
+from repro.model.converters import from_email, from_relational_row
 from repro.model.document import Document
 
 COMPANY_STEMS = (

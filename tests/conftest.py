@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
-from repro.model.converters import from_relational_row, from_text
+from repro.model.converters import from_relational_row
 from repro.model.views import base_table_view
 from repro.query.engine import LocalRepository, QueryEngine
 from repro.storage.store import DocumentStore

@@ -6,11 +6,7 @@ import pytest
 
 from repro.model.converters import from_relational_row
 from repro.model.views import base_table_view
-from repro.query.adaptive import (
-    AdaptiveJoinReport,
-    DEFAULT_PROBE_BUDGET,
-    adaptive_indexed_join,
-)
+from repro.query.adaptive import adaptive_indexed_join
 from repro.query.engine import LocalRepository, QueryEngine
 from repro.storage.store import DocumentStore
 

@@ -5,7 +5,6 @@ import pytest
 from repro.discovery.annotators import (
     LexiconAnnotator,
     PersonAnnotator,
-    RegexAnnotator,
     SentimentAnnotator,
     date_annotator,
     default_annotators,

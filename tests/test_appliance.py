@@ -7,7 +7,6 @@ from repro.core.config import ApplianceConfig
 from repro.core.upgrades import UpgradePolicy
 from repro.discovery.relationships import RelationshipRule
 from repro.index.facets import metadata_facet
-from repro.model.document import DocumentKind
 from repro.model.views import annotation_view
 
 

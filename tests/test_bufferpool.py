@@ -6,8 +6,6 @@ from repro.storage.bufferpool import (
     AccessHint,
     BufferPool,
     HintedPrefetcher,
-    MINING_RUN_THRESHOLD,
-    NoPrefetcher,
     PatternMiningPrefetcher,
 )
 from repro.storage.pages import Page

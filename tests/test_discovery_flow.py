@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster.node import NodeKind
 from repro.cluster.topology import ImplianceCluster
 from repro.discovery.annotators import default_annotators
 from repro.exec.discovery_flow import run_distributed_discovery

@@ -6,8 +6,7 @@ from repro.cluster.topology import ImplianceCluster
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
 from repro.exec.parallel import ExecReport, ParallelExecutor, StageTiming
-from repro.model.converters import from_relational_row, from_text
-from repro.query.engine import QueryEngine
+from repro.model.converters import from_text
 from repro.query.planner import PhysHashJoin, PhysIndexedJoin
 from repro.query.plans import ScanView
 from repro.query.sql import parse_sql

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.model.converters import from_relational_row
-from repro.query.engine import LocalRepository, QueryEngine
+from repro.query.engine import QueryEngine
 from repro.query.planner import (
     PhysHashJoin,
     PhysIndexedJoin,

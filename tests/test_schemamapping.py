@@ -4,11 +4,7 @@ import pytest
 
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
-from repro.discovery.schemamapping import (
-    PathCorrespondence,
-    SchemaMapper,
-    SchemaMapping,
-)
+from repro.discovery.schemamapping import PathCorrespondence, SchemaMapper
 from repro.model.converters import from_csv, from_relational_row
 from repro.model.document import DocumentKind
 from repro.model.values import ValueType

@@ -5,7 +5,6 @@ import pytest
 from repro.core.appliance import Impliance
 from repro.core.config import ApplianceConfig
 from repro.model.converters import from_relational_row, from_text
-from repro.model.document import Document, DocumentKind
 from repro.security import (
     AccessDenied,
     AccessPolicy,
@@ -15,7 +14,6 @@ from repro.security import (
     Principal,
     Rule,
     Scope,
-    SecureSession,
     SYSTEM_ROLE,
     open_policy,
 )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.exec.operators import AggSpec
 from repro.query.plans import (
     Aggregate,
     CompareOp,

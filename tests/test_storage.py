@@ -5,7 +5,6 @@ import pytest
 from repro.model.converters import from_text
 from repro.model.document import Document
 from repro.storage.pages import Page, PageAddress, Segment
-from repro.storage.store import DocumentStore
 from repro.storage.versions import VersionConflictError
 
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.index.text import (
-    InvertedIndex,
-    STOPWORDS,
-    tokenize,
-    tokenize_with_positions,
-)
+from repro.index.text import InvertedIndex, tokenize, tokenize_with_positions
 
 
 class TestTokenize:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.model.annotations import Annotation, make_annotation_document
 from repro.model.converters import from_relational_row, from_text
-from repro.model.document import DocumentKind
 from repro.model.views import (
     RelationalView,
     ViewCatalog,
