@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,12 +33,16 @@ cache-smoke:
 ingest-smoke:
 	$(PYTHON) benchmarks/bench_ingest.py --quick
 
+serving-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --quick
+
 # Tier-1 gate: lint, the full unit suite, an end-to-end pipeline smoke,
 # a fast fault-injection/availability smoke, the vectorized-engine
 # speedup smoke (writes BENCH_exec.json), the cache-hierarchy speedup
-# smoke (writes BENCH_cache.json), and the batched-ingest speedup smoke
-# (writes BENCH_ingest.json).
-verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke
+# smoke (writes BENCH_cache.json), the batched-ingest speedup smoke
+# (writes BENCH_ingest.json), and the multi-tenant serving smoke
+# (writes BENCH_serving.json; also runs under `pytest -m serving`).
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

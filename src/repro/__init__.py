@@ -24,12 +24,19 @@ from repro.core.config import ApplianceConfig
 from repro.model.document import Document, DocumentKind
 from repro.obs import Telemetry, format_snapshot
 from repro.query.result import QueryResult
+from repro.security.policy import Principal
+from repro.serving import ServingConfig, Session, TenantSpec, WorkloadDriver
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Impliance",
     "ApplianceConfig",
+    "ServingConfig",
+    "Session",
+    "Principal",
+    "TenantSpec",
+    "WorkloadDriver",
     "ChaosController",
     "Document",
     "DocumentKind",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util import validate_positive
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -29,11 +31,10 @@ class CacheConfig:
     probe_entries: int = 4096
 
     def __post_init__(self) -> None:
-        if self.plan_entries < 1:
-            raise ValueError("plan_entries must be >= 1")
-        if self.result_entries < 1:
-            raise ValueError("result_entries must be >= 1")
-        if self.result_bytes < 1:
-            raise ValueError("result_bytes must be >= 1")
-        if self.probe_entries < 1:
-            raise ValueError("probe_entries must be >= 1")
+        validate_positive(
+            "CacheConfig",
+            plan_entries=self.plan_entries,
+            result_entries=self.result_entries,
+            result_bytes=self.result_bytes,
+            probe_entries=self.probe_entries,
+        )

@@ -44,8 +44,9 @@ from repro.query.engine import QueryEngine
 from repro.query.faceted import FacetedSession
 from repro.query.materialized import MaterializationManager, MaterializedQuery
 from repro.query.graph import GraphQuery
-from repro.query.keyword import KeywordSearch
 from repro.query.result import QueryResult
+from repro.security.policy import Principal
+from repro.serving import RequestScheduler, Session
 from repro.storage.replication import ReplicaManager
 from repro.util import IdGenerator
 from repro.virt.execmgr import ExecutionManager, Task, TaskClass
@@ -135,6 +136,15 @@ class Impliance:
         # The staged write path every public ingest entry point funnels
         # through (a single document is a batch of one).
         self.ingest_pipeline = IngestPipeline(self, self.config.ingest)
+        # The serving layer: every session request passes this
+        # scheduler's per-tenant admission control and fair-share
+        # dispatch (docs/SERVING.md).
+        self.serving = RequestScheduler(
+            self.config.serving,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
+        )
+        self._default_session: Optional[Session] = None
+        self._session_count = 0
 
         # Per-data-node storage managers + a miner on each buffer pool.
         self._storage_managers: List[StorageManager] = []
@@ -536,7 +546,53 @@ class Impliance:
         return consolidated
 
     # ------------------------------------------------------------------
-    # query interfaces — every entry point returns a QueryResult
+    # sessions — the serving layer's client API (docs/SERVING.md)
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        principal: Optional[Principal] = None,
+        *,
+        qos: Optional[str] = None,
+        policy=None,
+        audit=None,
+        tenant: Optional[str] = None,
+    ) -> Session:
+        """Open a tenant-bound :class:`~repro.serving.Session`.
+
+        Every request issued on the session is attributed to the
+        principal's tenant, admitted under the serving layer's quotas
+        and QoS fair share, and — when *policy* is given — enforced on
+        the hot path at the repository boundary.  *qos* is one of
+        ``"interactive"``, ``"batch"``, ``"discovery"`` (default from
+        :class:`~repro.serving.ServingConfig`).
+        """
+        if principal is None:
+            principal = Principal("default", ("system",))
+        self._session_count += 1
+        return Session(
+            self,
+            principal,
+            qos if qos is not None else self.config.serving.default_qos,
+            policy=policy,
+            audit=audit,
+            tenant=tenant,
+            session_id=self._session_count,
+        )
+
+    def default_session(self) -> Session:
+        """The implicit session the bare query entry points delegate to:
+        principal ``default``, the default QoS tier, no policy — results
+        are byte-identical to the pre-session entry points."""
+        if self._default_session is None or self._default_session.closed:
+            self._default_session = self.connect()
+        return self._default_session
+
+    # ------------------------------------------------------------------
+    # query interfaces — thin shims over the implicit default session.
+    # Deprecation path (like the PR 5 ingest_* shims): prefer
+    # ``app.connect(...).search(...)``; these remain for existing
+    # callers and delegate verbatim — see docs/SERVING.md for the
+    # migration guide.
     # ------------------------------------------------------------------
     def _flag_degradation(self, result: QueryResult) -> QueryResult:
         """Graceful degradation: a query issued while replicas are
@@ -551,31 +607,34 @@ class Impliance:
     def search(self, query: str, top_k: int = 10) -> QueryResult:
         """Keyword search — works out of the box (Section 3.2.1).
 
-        Returns a :class:`QueryResult` whose payload is the ranked
-        :class:`KeywordHit` list (iterable/indexable exactly like the
-        list it used to return).
+        Deprecated in favor of ``connect().search()``; delegates to the
+        implicit default session (byte-identical results).
         """
-        with self.telemetry.span("query.search", query=query) as span:
-            hits = KeywordSearch(self).search(query, top_k=top_k)
-            span.tag("hits", len(hits))
-        self.telemetry.inc("query.search")
-        return self._flag_degradation(
-            QueryResult.from_hits(hits, trace=span.record())
-        )
+        return self.default_session().search(query, top_k=top_k)
 
     def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
-        """SQL over views (Figure 2's legacy-application path)."""
-        return self._flag_degradation(
-            self.engine.sql(query, planner=planner, statistics=statistics)
-        )
+        """SQL over views (Figure 2's legacy-application path).
+
+        Deprecated in favor of ``connect().sql()``; delegates to the
+        implicit default session (byte-identical results).
+        """
+        return self.default_session().sql(query, planner=planner, statistics=statistics)
 
     def faceted(self, query: Optional[str] = None) -> FacetedSession:
-        """Start a guided-search session."""
-        return FacetedSession(self, query, telemetry=self.telemetry)
+        """Start a guided-search session.
+
+        Deprecated in favor of ``connect().faceted()``; delegates to the
+        implicit default session.
+        """
+        return self.default_session().faceted(query)
 
     def graph(self) -> GraphQuery:
-        """The graph/connection query interface."""
-        return GraphQuery(self, telemetry=self.telemetry)
+        """The graph/connection query interface.
+
+        Deprecated in favor of ``connect().graph()``; delegates to the
+        implicit default session.
+        """
+        return self.default_session().graph()
 
     def connections(
         self,
@@ -589,10 +648,8 @@ class Impliance:
         path exists; otherwise ``result.connection`` holds the
         :class:`ConnectionResult` and ``result.rows`` the edge list.
         """
-        return self._flag_degradation(
-            self.graph().connected(
-                source, target, max_hops=max_hops, relations=relations
-            )
+        return self.default_session().connections(
+            source, target, max_hops=max_hops, relations=relations
         )
 
     def as_of(self, ts: int):
@@ -610,17 +667,10 @@ class Impliance:
         """Hybrid search: one conjunctive query over content, structure,
         values, facets, and annotations (Section 3.2's unified search).
 
-        *query* is a :class:`repro.query.hybrid.HybridQuery`.
+        *query* is a :class:`repro.query.hybrid.HybridQuery`.  Delegates
+        to the implicit default session like the other entry points.
         """
-        from repro.query.hybrid import HybridSearch
-
-        with self.telemetry.span("query.hybrid") as span:
-            hits = HybridSearch(self).search(query, top_k=top_k)
-            span.tag("hits", len(hits))
-        self.telemetry.inc("query.hybrid")
-        return self._flag_degradation(
-            QueryResult.from_hits(hits, trace=span.record())
-        )
+        return self.default_session().find(query, top_k=top_k)
 
     def define_view(self, view: RelationalView) -> None:
         self.views.define(view)
@@ -636,7 +686,11 @@ class Impliance:
     def secure_session(self, principal, policy, audit=None):
         """A policy-scoped, audited view of the appliance for one
         principal (Section 4 security extension).  All query interfaces
-        work on the returned session exactly as on the appliance."""
+        work on the returned session exactly as on the appliance.
+
+        Prefer :meth:`connect` with ``policy=`` — it layers the same
+        enforcement under the serving scheduler's admission control.
+        """
         from repro.security.enforcement import SecureSession
 
         return SecureSession(self, principal, policy, audit)
@@ -762,6 +816,7 @@ class Impliance:
             "join_edges": self.indexes.joins.edge_count,
         }
         snapshot["cache"] = self.caches.stats()
+        snapshot["serving"] = self.serving.stats()
         return snapshot
 
     @property

@@ -14,6 +14,8 @@ from typing import Tuple
 from repro.cache.config import CacheConfig
 from repro.cluster.network import DEFAULT_BANDWIDTH_BYTES_PER_MS, DEFAULT_LATENCY_MS
 from repro.ingest.config import IngestConfig
+from repro.serving.config import ServingConfig
+from repro.util import validate_positive
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,10 @@ class ApplianceConfig:
     #: Batched write path: group-commit batch size, staging-queue bound,
     #: and the admission policy when the queue is full (docs/INGEST.md).
     ingest: IngestConfig = field(default_factory=IngestConfig)
+    #: Multi-tenant serving layer: tenant quotas, QoS fair-share weights,
+    #: and scheduler knobs (docs/SERVING.md).  Validated through the same
+    #: shared helpers as ``cache`` and ``ingest``.
+    serving: ServingConfig = field(default_factory=ServingConfig)
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()
@@ -58,10 +64,11 @@ class ApplianceConfig:
             raise ValueError("need at least one data node")
         if self.n_cluster_nodes < 1:
             raise ValueError("need at least one cluster node")
-        if self.buffer_capacity < 1:
-            raise ValueError("buffer capacity must be positive")
-        if self.batch_size < 1:
-            raise ValueError("batch size must be positive")
+        validate_positive(
+            "ApplianceConfig",
+            buffer_capacity=self.buffer_capacity,
+            batch_size=self.batch_size,
+        )
         object.__setattr__(self, "product_lexicon", tuple(self.product_lexicon))
         object.__setattr__(self, "location_lexicon", tuple(self.location_lexicon))
         object.__setattr__(self, "procedure_lexicon", tuple(self.procedure_lexicon))

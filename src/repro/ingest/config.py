@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util import validate_choice, validate_positive, validate_that
+
 #: Admission policies when the staging queue is full.
 ADMISSION_BLOCK = "block"
 ADMISSION_SHED = "shed"
@@ -34,11 +36,13 @@ class IngestConfig:
     admission: str = ADMISSION_BLOCK
 
     def __post_init__(self) -> None:
-        if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        if self.queue_capacity < self.batch_size:
-            raise ValueError("queue_capacity must hold at least one batch")
-        if self.admission not in (ADMISSION_BLOCK, ADMISSION_SHED):
-            raise ValueError(
-                f"admission must be {ADMISSION_BLOCK!r} or {ADMISSION_SHED!r}"
-            )
+        validate_positive("IngestConfig", batch_size=self.batch_size)
+        validate_that(
+            "IngestConfig",
+            self.queue_capacity >= self.batch_size,
+            "queue_capacity must hold at least one batch",
+        )
+        validate_choice(
+            "IngestConfig", "admission", self.admission,
+            (ADMISSION_BLOCK, ADMISSION_SHED),
+        )

@@ -1,0 +1,43 @@
+"""The concurrent multi-tenant serving layer (docs/SERVING.md).
+
+Everything a shared appliance needs between "a request arrived" and "the
+engine ran it": per-tenant admission control reusing the ingest
+:class:`~repro.ingest.queue.BackpressureQueue` block/shed machinery, a
+weighted fair-share scheduler over tenant×QoS lanes, sessions that bind
+every request to a :class:`~repro.security.policy.Principal`, and a
+workload driver that replays closed- and open-loop arrival processes
+over the :mod:`repro.workloads` corpora in deterministic virtual time.
+"""
+
+from repro.serving.config import (
+    QOS_BATCH,
+    QOS_DISCOVERY,
+    QOS_INTERACTIVE,
+    QOS_TIERS,
+    ServingConfig,
+)
+from repro.serving.scheduler import Request, RequestScheduler
+from repro.serving.session import Session
+from repro.serving.driver import (
+    ArrivalSpec,
+    ServingReport,
+    TenantSpec,
+    WorkloadDriver,
+    percentile,
+)
+
+__all__ = [
+    "QOS_BATCH",
+    "QOS_DISCOVERY",
+    "QOS_INTERACTIVE",
+    "QOS_TIERS",
+    "ServingConfig",
+    "Request",
+    "RequestScheduler",
+    "Session",
+    "ArrivalSpec",
+    "ServingReport",
+    "TenantSpec",
+    "WorkloadDriver",
+    "percentile",
+]

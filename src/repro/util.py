@@ -1,4 +1,5 @@
-"""Small shared utilities: logical time, stable hashing, id generation.
+"""Small shared utilities: logical time, stable hashing, id generation,
+and config validation.
 
 The appliance avoids wall-clock time internally; every ordering decision
 uses a :class:`LogicalClock` so simulations are deterministic and
@@ -9,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from typing import Iterator
+from typing import Iterator, Sequence
 
 
 class LogicalClock:
@@ -67,3 +68,31 @@ def stable_hash(text: str, buckets: int) -> int:
         raise ValueError("buckets must be positive")
     digest = hashlib.md5(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % buckets
+
+
+# ----------------------------------------------------------------------
+# config validation — the one helper every ApplianceConfig sub-config
+# (CacheConfig, IngestConfig, ServingConfig) validates through, so bad
+# values are rejected the same way with the same message shape.
+# ----------------------------------------------------------------------
+def validate_positive(config: str, **fields: float) -> None:
+    """Reject any field below 1: ``validate_positive("IngestConfig",
+    batch_size=batch_size)`` raises ``ValueError("IngestConfig.batch_size
+    must be >= 1")``."""
+    for name, value in fields.items():
+        if value < 1:
+            raise ValueError(f"{config}.{name} must be >= 1")
+
+
+def validate_choice(config: str, field: str, value: object, choices: Sequence) -> None:
+    """Reject a value outside the allowed set, naming the alternatives."""
+    if value not in choices:
+        allowed = ", ".join(repr(c) for c in choices)
+        raise ValueError(f"{config}.{field} must be one of {allowed}; got {value!r}")
+
+
+def validate_that(config: str, condition: bool, message: str) -> None:
+    """Reject on a cross-field constraint (``queue_capacity must hold at
+    least one batch``) with the owning config named in the error."""
+    if not condition:
+        raise ValueError(f"{config}: {message}")
