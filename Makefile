@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test coverage bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,13 +36,29 @@ ingest-smoke:
 serving-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --quick
 
+ivm-smoke:
+	$(PYTHON) benchmarks/bench_ivm.py --quick
+
+# The ivm-marked tests on their own (the differential IVM harness and
+# the continuous-query unit tier).
+ivm-test:
+	$(PYTHON) -m pytest -m ivm -q
+
+# Line-coverage floor on the invalidation/IVM core (repro.cache,
+# repro.query.materialized, repro.query.ivm).  Uses pytest-cov when
+# installed; stdlib trace fallback otherwise.
+coverage:
+	$(PYTHON) tools/coverage_gate.py
+
 # Tier-1 gate: lint, the full unit suite, an end-to-end pipeline smoke,
 # a fast fault-injection/availability smoke, the vectorized-engine
 # speedup smoke (writes BENCH_exec.json), the cache-hierarchy speedup
 # smoke (writes BENCH_cache.json), the batched-ingest speedup smoke
-# (writes BENCH_ingest.json), and the multi-tenant serving smoke
-# (writes BENCH_serving.json; also runs under `pytest -m serving`).
-verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke
+# (writes BENCH_ingest.json), the multi-tenant serving smoke (writes
+# BENCH_serving.json; also runs under `pytest -m serving`), the
+# ivm-marked differential tests, and the incremental-maintenance smoke
+# (writes BENCH_ivm.json).
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

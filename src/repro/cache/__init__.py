@@ -20,7 +20,7 @@ concrete for query-side derived state:
 owns; :class:`CacheConfig` is the ``ApplianceConfig(cache=...)`` knob.
 """
 
-from repro.cache.bus import InvalidationBus
+from repro.cache.bus import ChangeSet, DocumentChange, InvalidationBus
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.plancache import PlanCache, normalize_sql
@@ -31,6 +31,8 @@ __all__ = [
     "CacheConfig",
     "CacheHierarchy",
     "CachedResult",
+    "ChangeSet",
+    "DocumentChange",
     "IndexProbeMemo",
     "InvalidationBus",
     "PlanCache",

@@ -4,21 +4,27 @@ Before this existed, each cache wired its own private hook into
 ``DocumentStore.put_listeners`` (the :class:`MaterializationManager`
 fan-out being the only instance).  The bus centralizes that: stores are
 attached once, chaos/topology events are published once, and every
-subscriber — result cache, probe memo, plan epoch, materializations —
-sees the same ordered stream.
+subscriber — result cache, probe memo, plan epoch, materializations,
+continuous-query subscriptions — sees the same ordered stream.
 
 Two event families flow through:
 
-* **put events** — documents persisted anywhere in the appliance.  The
+* **change sets** — documents persisted anywhere in the appliance.  The
   unit of publication is the *batch*: a group commit arrives as one
-  event (a plain put is a batch of one), bumps the epoch once, and
-  batch subscribers invalidate by the union of its dependencies.
-  Per-document subscribers still receive every document individually.
+  :class:`ChangeSet` (a plain put is a change set of one), bumps the
+  epoch once, and carries a :class:`DocumentChange` per document — the
+  doc id, the stored document (whose fused
+  :class:`~repro.model.projection.DocumentProjection` the ingest
+  pipeline already computed once), the dependency table, and whether the
+  change is an upsert or a tombstone delete.  Delta subscribers apply
+  these incrementally; the legacy batch/per-document subscriptions
+  still see the same documents for epoch-style invalidation.
 * **node events** — chaos faults and topology changes (crash, recover,
   corrupt, partition, heal).  These change *which* data is visible, not
   just its content, so subscribers are expected to flush wholesale:
   a result derived from a now-unreachable node's segments must never be
-  served as fresh.
+  served as fresh, and an incrementally maintained view must fall back
+  to a full refresh.
 
 Every event bumps ``epoch``; caches that cannot invalidate precisely
 (the physical-plan tier, whose validity depends on index/view state)
@@ -28,14 +34,15 @@ miss.
 When the staged ingest pipeline commits one logical batch across several
 data nodes, each node's store fires its own batch event; the pipeline
 wraps the storage stage in :meth:`InvalidationBus.coalescing` so those
-per-node events merge into a single publication — one epoch bump per
-ingest batch, however many nodes it sharded across.
+per-node events merge into a single publication — one epoch bump, one
+change set per ingest batch, however many nodes it sharded across.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.model.document import Document
 
@@ -44,19 +51,79 @@ BatchPutListener = Callable[[Sequence[Document]], None]
 NodeListener = Callable[[str, str], None]  # (node_id, event kind)
 
 
+@dataclass(frozen=True)
+class DocumentChange:
+    """One document's contribution to a change set.
+
+    ``op`` is ``"upsert"`` (a new document or a new version of one) or
+    ``"delete"`` (a tombstone version was appended — the carried
+    ``document`` *is* the tombstone, so its metadata, and therefore the
+    dependency ``table``, survive for precise invalidation).
+    """
+
+    op: str
+    doc_id: str
+    document: Document
+    table: Optional[str]
+
+    @property
+    def is_delete(self) -> bool:
+        return self.op == "delete"
+
+
+@dataclass(frozen=True)
+class ChangeSet:
+    """One publication: every document change of one invalidation epoch."""
+
+    epoch: int
+    changes: Tuple[DocumentChange, ...]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self) -> Iterator[DocumentChange]:
+        return iter(self.changes)
+
+    @property
+    def documents(self) -> List[Document]:
+        return [change.document for change in self.changes]
+
+    @property
+    def tables(self) -> Set[Optional[str]]:
+        """The dependency tables this change set touches (None for
+        documents without table metadata)."""
+        return {change.table for change in self.changes}
+
+
+DeltaListener = Callable[[ChangeSet], None]
+
+
+def change_of(document: Document) -> DocumentChange:
+    """Classify one stored document as an upsert or a tombstone delete."""
+    op = "delete" if document.is_tombstone else "upsert"
+    return DocumentChange(
+        op=op,
+        doc_id=document.doc_id,
+        document=document,
+        table=document.metadata.get("table"),
+    )
+
+
 class BusStats:
-    __slots__ = ("put_events", "put_documents", "node_events")
+    __slots__ = ("put_events", "put_documents", "delete_documents", "node_events")
 
     def __init__(self) -> None:
         #: Publications (epoch bumps caused by puts) — one per batch.
         self.put_events = 0
         #: Documents carried by those publications.
         self.put_documents = 0
+        #: Tombstone deletes among those documents.
+        self.delete_documents = 0
         self.node_events = 0
 
 
 class InvalidationBus:
-    """Fan-out of put and node events to every subscribed cache."""
+    """Fan-out of change sets and node events to every subscribed cache."""
 
     def __init__(self) -> None:
         #: Monotone event counter; bumped by every put batch and node event.
@@ -64,6 +131,7 @@ class InvalidationBus:
         self.stats = BusStats()
         self._put_subscribers: List[PutListener] = []
         self._batch_subscribers: List[BatchPutListener] = []
+        self._delta_subscribers: List[DeltaListener] = []
         self._node_subscribers: List[NodeListener] = []
         self._held: Optional[List[Document]] = None
 
@@ -78,6 +146,11 @@ class InvalidationBus:
         """Batch subscription: one call per publication with every
         document it carries — the shape coalescing caches want."""
         self._batch_subscribers.append(listener)
+
+    def subscribe_deltas(self, listener: DeltaListener) -> None:
+        """Change-set subscription: one epoch-stamped :class:`ChangeSet`
+        per publication — the shape incremental maintainers want."""
+        self._delta_subscribers.append(listener)
 
     def subscribe_node_events(self, listener: NodeListener) -> None:
         self._node_subscribers.append(listener)
@@ -108,10 +181,23 @@ class InvalidationBus:
             self._held.extend(documents)
             return
         self.epoch += 1
+        changeset = ChangeSet(
+            epoch=self.epoch,
+            changes=tuple(change_of(document) for document in documents),
+        )
         self.stats.put_events += 1
         self.stats.put_documents += len(documents)
+        self.stats.delete_documents += sum(
+            1 for change in changeset.changes if change.is_delete
+        )
+        # Coarse invalidators (result cache, probe memo) run before the
+        # incremental consumers: a maintainer or standing query that
+        # recomputes through the engine during this publication must not
+        # be served a result cached against the previous epoch.
         for batch_listener in self._batch_subscribers:
             batch_listener(documents)
+        for delta_listener in self._delta_subscribers:
+            delta_listener(changeset)
         for listener in self._put_subscribers:
             for document in documents:
                 listener(document)
@@ -122,8 +208,13 @@ class InvalidationBus:
 
         The ingest pipeline uses this around a multi-node storage stage:
         N per-node group commits become one publication — one epoch bump,
-        one union invalidation — emitted when the window closes.
-        Windows nest; only the outermost emits.
+        one union invalidation, one change set — emitted when the window
+        closes.  Windows nest; only the outermost emits.  The emission
+        sits in a ``finally``: an exception inside the window still
+        publishes what was committed before the failure (those documents
+        are durable — their invalidation must not be lost), as exactly
+        one epoch.  A subscriber registered mid-window is visible by
+        emission time, so it sees the coalesced change set too.
         """
         if self._held is not None:
             yield  # already inside a window — the outer one will emit

@@ -53,7 +53,7 @@ class CacheHierarchy:
         #: ``missing_segments() == 0`` so degraded answers are never
         #: cached.  None admits everything (standalone engines).
         self.admit_results: Optional[Callable[[], bool]] = None
-        self.bus.subscribe_put_batches(self._on_put_batch)
+        self.bus.subscribe_deltas(self._on_changes)
         self.bus.subscribe_node_events(self._on_node_event)
 
     # ------------------------------------------------------------------
@@ -75,15 +75,20 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # bus reactions
     # ------------------------------------------------------------------
-    def _on_put_batch(self, documents) -> None:
+    def _on_changes(self, changeset) -> None:
         """One publication per group commit: invalidate by the *union* of
-        the batch's table dependencies, flush the probe memo once.  A
-        batch of one is exactly the old per-put behavior."""
+        the change set's table dependencies, flush the probe memo once.
+        A change set of one is exactly the old per-put behavior; deletes
+        (tombstones keep their chain's ``table`` metadata) invalidate the
+        same way — a cached aggregate must not keep counting a deleted
+        row."""
         if self.telemetry is not None:
-            self.telemetry.inc("cache.invalidation.puts", len(documents))
+            self.telemetry.inc("cache.invalidation.puts", len(changeset))
             self.telemetry.inc("cache.invalidation.put_batches")
-        tables = {document.metadata.get("table") for document in documents}
-        for table in tables:
+            deletes = sum(1 for change in changeset if change.is_delete)
+            if deletes:
+                self.telemetry.inc("cache.invalidation.deletes", deletes)
+        for table in changeset.tables:
             self.results.invalidate_table(table)
         self.probes.flush()
 
@@ -136,6 +141,7 @@ class CacheHierarchy:
             "bus": {
                 "put_events": self.bus.stats.put_events,
                 "put_documents": self.bus.stats.put_documents,
+                "delete_documents": self.bus.stats.delete_documents,
                 "node_events": self.bus.stats.node_events,
             },
         }

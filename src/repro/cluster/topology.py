@@ -280,11 +280,12 @@ class ImplianceCluster:
         return stamped, shares, finish
 
     def lookup(self, doc_id: str) -> Optional[Document]:
-        """Cluster-wide point lookup of the latest version."""
+        """Cluster-wide point lookup of the latest *live* version (a
+        tombstoned document answers None, like one never stored)."""
         for node in self.data_nodes:
             assert node.store is not None
             if node.store.contains(doc_id):
-                return node.store.get(doc_id)
+                return node.store.lookup(doc_id)
         return None
 
     def scan_all(self) -> Iterator[Document]:

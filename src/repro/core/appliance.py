@@ -40,6 +40,7 @@ from repro.model.document import Document
 from repro.model.projection import projection_of
 from repro.model.views import RelationalView, ViewCatalog, base_table_view
 from repro.obs.telemetry import Telemetry
+from repro.query.continuous import SubscriptionManager
 from repro.query.engine import QueryEngine
 from repro.query.faceted import FacetedSession
 from repro.query.materialized import MaterializationManager, MaterializedQuery
@@ -143,6 +144,10 @@ class Impliance:
             self.config.serving,
             telemetry=self.telemetry if self.telemetry.enabled else None,
         )
+        # Standing queries: result deltas pushed per invalidation epoch,
+        # delivered through the scheduler as discovery-tier work.
+        self.subscriptions = SubscriptionManager(self)
+        self.subscriptions.attach_to_bus(self.caches.bus)
         self._default_session: Optional[Session] = None
         self._session_count = 0
 
@@ -196,6 +201,11 @@ class Impliance:
         if self._pipeline_active:
             return
         for document, _address in pairs:
+            if document.is_tombstone:
+                # A delete: drop the document from every index; discovery
+                # and view growth have nothing to learn from a tombstone.
+                self.indexes.unindex(document.doc_id)
+                continue
             self.indexes.index_document(document)
             self.discovery.enqueue(document)
             if document.metadata.get("table"):
@@ -465,6 +475,23 @@ class Impliance:
         updated = self.lookup(doc_id)
         assert updated is not None
         return updated
+
+    def delete_document(self, doc_id: str) -> Document:
+        """Delete *doc_id* by appending a tombstone version (Section 4:
+        never in place — history and snapshots survive).
+
+        The tombstone flows down the invalidation bus as a delete change:
+        indexes drop the document, materialized views subtract its rows
+        incrementally, subscriptions see it leave their results, and
+        ``lookup``/scans answer as if it were never stored.  Returns the
+        tombstone; raises LookupError for an unknown document.
+        """
+        for node in self.cluster.data_nodes:
+            if node.store is not None and node.store.contains(doc_id):
+                tombstone = node.store.delete(doc_id)
+                self.telemetry.inc("ingest.deletes")
+                return tombstone
+        raise LookupError(f"no document {doc_id!r} to delete")
 
     # ------------------------------------------------------------------
     # discovery control

@@ -97,8 +97,13 @@ class IndexManager:
         """(Re-)index one document version across all indexes.
 
         Indexing the same doc_id again replaces the previous version's
-        entries — superseded versions never pollute search results.
+        entries — superseded versions never pollute search results.  A
+        tombstone version removes the document from every index: deleted
+        documents must stop matching immediately.
         """
+        if document.is_tombstone:
+            self.unindex(document.doc_id)
+            return
         self.text.add(document.doc_id, document.text)
         self.structure.add(document)
         self.values.add(document)
@@ -123,6 +128,12 @@ class IndexManager:
         """
         if not documents:
             return 0
+        if any(document.is_tombstone for document in documents):
+            # Deletes take the sequential path: arrival order decides
+            # whether a doc_id ends the batch indexed or removed.
+            for document in documents:
+                self.index_document(document)
+            return len(documents)
         doc_ids = [document.doc_id for document in documents]
         if len(set(doc_ids)) != len(doc_ids):
             for document in documents:

@@ -175,8 +175,18 @@ class IngestPipeline:
         The appliance's reactive store listeners are suppressed for the
         duration — the pipeline calls each maintenance stage explicitly,
         once per batch — and every per-store put event lands in a single
-        coalesced invalidation publication (one cache epoch per batch,
-        however many nodes the batch sharded across).
+        coalesced invalidation publication (one cache epoch, one change
+        set per batch, however many nodes the batch sharded across).
+
+        Index and auto-view maintenance run *inside* the coalescing
+        window: the change set is published when the window closes, so
+        delta consumers — incremental materializations, standing-query
+        notifications that may re-evaluate through the engine — always
+        observe the batch fully committed (stores, indexes, and catalog
+        views consistent), exactly like the reactive path, where store
+        listeners index before the bus publishes.  Tombstones in the
+        batch (batched deletes) are unindexed instead of indexed and
+        skip discovery/view growth.
         """
         app = self.appliance
         telemetry = app.telemetry
@@ -185,11 +195,15 @@ class IngestPipeline:
             try:
                 with app.caches.bus.coalescing():
                     stored, finish = app.executor.ingest_batch(batch)
+                    live = [d for d in stored if not d.is_tombstone]
+                    app.indexes.index_batch(live)
+                    for tombstone in stored:
+                        if tombstone.is_tombstone:
+                            app.indexes.unindex(tombstone.doc_id)
+                    app._maintain_auto_views(live)
+                    app.discovery.enqueue_many(live)
             finally:
                 app._pipeline_active = False
-            app.indexes.index_batch(stored)
-            app._maintain_auto_views(stored)
-            app.discovery.enqueue_many(stored)
         self._last_finish = finish
         telemetry.inc("ingest.docs", len(stored))
         telemetry.inc("ingest.batches")

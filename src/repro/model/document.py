@@ -121,6 +121,11 @@ class Document:
     def is_annotation(self) -> bool:
         return self.kind is DocumentKind.ANNOTATION
 
+    @property
+    def is_tombstone(self) -> bool:
+        """True when this version marks the document as deleted."""
+        return bool(self.metadata.get("tombstone"))
+
     # ------------------------------------------------------------------
     # versioning
     # ------------------------------------------------------------------
@@ -132,6 +137,9 @@ class Document:
         chain.
         """
         merged = dict(self.metadata)
+        # A new version is live unless explicitly tombstoned again — a
+        # put after a delete resurrects the document.
+        merged.pop("tombstone", None)
         if metadata:
             merged.update(metadata)
         return Document(
@@ -144,6 +152,17 @@ class Document:
             refs=self.refs,
             ingest_ts=0,  # the store stamps the new version at persist time
         )
+
+    def tombstone(self) -> "Document":
+        """Return the successor version that marks this document deleted.
+
+        Deletion is expressed the only way the appliance expresses change:
+        a new version.  The tombstone keeps the chain's metadata (so the
+        dependency ``table`` still drives precise cache invalidation) and
+        carries empty content; earlier versions stay readable through
+        ``as_of``/``history`` — the append-only store forgets nothing.
+        """
+        return self.new_version({}, {"tombstone": True})
 
     def with_refs(self, refs: Sequence[str]) -> "Document":
         """Return a copy of this version with *refs* replacing the ref list."""

@@ -6,22 +6,30 @@ transformed states that are easier to process."  Section 3.4 lists
 "materialized views, indexes, and replicas" as the re-creatable derived
 data the storage manager may replicate cheaply (BRONZE class).
 
-A :class:`MaterializedQuery` caches the result of one SQL query.  Puts
-against the repository invalidate it (listeners mark it dirty); reads
-either serve the cache, refresh on demand, or — the Impliance twist —
-persist the cached rows as a DERIVED document so the transformed state is
-itself searchable, versioned, and replicated like everything else.
+A :class:`MaterializedQuery` caches the result of one SQL query.  Change
+sets from the invalidation bus maintain it **incrementally** when the
+query's shape allows (see :mod:`repro.query.ivm`): an upsert or delete
+touches only the changed documents' contribution, and reads re-derive the
+result from the maintained base instead of rescanning the cluster.  When
+a delta is not maintainable — joins, LIMIT, subject-widened views, a
+change arriving mid-refresh, chaos corruption announced as a node event —
+the view **falls back to a full refresh**, which is exactly the PR 4
+behavior.  Reads either serve the cache, fold pending deltas, refresh on
+demand, or — the Impliance twist — persist the rows as a DERIVED document
+so the transformed state is itself searchable, versioned, and replicated
+like everything else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.cache.bus import InvalidationBus
+from repro.cache.bus import ChangeSet, InvalidationBus
 from repro.exec.operators import Row
 from repro.model.document import Document, DocumentKind
 from repro.query.engine import QueryEngine
+from repro.query.ivm import NonMaintainable, ViewMaintainer, analyze
 from repro.query.plans import base_views
 from repro.query.sql import parse_sql
 
@@ -31,10 +39,19 @@ class MaterializationStats:
     refreshes: int = 0
     cache_hits: int = 0
     invalidations: int = 0
+    #: Change sets applied incrementally (each O(changed documents)).
+    deltas_applied: int = 0
+    #: Documents those change sets carried for this view.
+    delta_documents: int = 0
+    #: Reads served by folding pending deltas instead of a full refresh.
+    incremental_serves: int = 0
+    #: Full refreshes forced on an incrementally maintained view
+    #: (non-maintainable delta, node event, mid-refresh change).
+    fallbacks: int = 0
 
 
 class MaterializedQuery:
-    """One cached SQL result with dependency-based invalidation.
+    """One cached SQL result with delta-driven maintenance.
 
     Parameters
     ----------
@@ -44,19 +61,44 @@ class MaterializedQuery:
         The SELECT this caches.
     engine:
         Engine to (re)compute through.
+    incremental:
+        When True (default) and the query's plan is maintainable, bus
+        change sets are applied incrementally; False pins the PR 4
+        refresh-only behavior (used by the differential harness as its
+        from-scratch oracle, and by benchmarks as the baseline).
+    epoch_source:
+        Callable returning the current bus epoch; the refresh race guard
+        compares it before/after a recompute.  The manager wires this to
+        its bus; standalone views default to a constant.
     """
 
-    def __init__(self, name: str, sql: str, engine: QueryEngine) -> None:
+    def __init__(
+        self,
+        name: str,
+        sql: str,
+        engine: QueryEngine,
+        *,
+        incremental: bool = True,
+        epoch_source: Optional[Callable[[], int]] = None,
+    ) -> None:
         if not name:
             raise ValueError("materialization needs a name")
         self.name = name
         self.sql = sql
         self.engine = engine
-        self._dependencies = frozenset(base_views(parse_sql(sql)))
+        self.incremental = incremental
+        self.epoch_source = epoch_source if epoch_source is not None else (lambda: 0)
+        self._logical = parse_sql(sql)
+        self._dependencies = frozenset(base_views(self._logical))
         self._cache: Optional[List[Row]] = None
         self._dirty = True
+        self._refreshing = False
+        self._maintainer: Optional[ViewMaintainer] = None
+        self._maintainer_resolved = False
         self.stats = MaterializationStats()
+        self._telemetry = getattr(engine, "telemetry", None)
 
+    # ------------------------------------------------------------------
     @property
     def dependencies(self) -> frozenset:
         """The views whose base tables invalidate this cache."""
@@ -64,15 +106,30 @@ class MaterializedQuery:
 
     @property
     def is_fresh(self) -> bool:
+        """True when :meth:`rows` serves without any recomputation —
+        neither a full refresh nor folding pending deltas."""
         return self._cache is not None and not self._dirty
 
+    @property
+    def is_maintainable(self) -> bool:
+        """True when change sets are applied incrementally (resolved at
+        first refresh, when the catalog knows the scanned view)."""
+        return self._maintainer is not None
+
+    def _inc(self, counter: str, value: int = 1) -> None:
+        if self._telemetry is not None:
+            self._telemetry.inc(counter, value)
+
+    # ------------------------------------------------------------------
+    # invalidation
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         self._dirty = True
         self.stats.invalidations += 1
 
     def on_put(self, document: Document, address=None) -> None:
-        """Put-listener: a write to a dependency table marks us dirty.
+        """Legacy per-document listener: a write to a dependency table
+        marks us dirty (no incremental application).
 
         Writes to unrelated tables leave the cache valid — dependency
         tracking is what makes materialization cheap under mixed load.
@@ -86,22 +143,120 @@ class MaterializedQuery:
         if table in self._dependencies:
             self.invalidate()
 
+    def on_node_event(self, node_id: str, kind: str) -> None:
+        """Chaos/topology/catalog change: the maintained base may no
+        longer reflect what a scan would see (corruption, re-homing, a
+        redefined view) — fall back to a full refresh on next read."""
+        if self._maintainer is not None and self._maintainer.built:
+            self.stats.fallbacks += 1
+            self._inc(f"mv.fallback.{kind}")
+        self.invalidate()
+
+    def apply_changes(self, changeset: ChangeSet) -> None:
+        """Bus delta: apply incrementally when possible, else invalidate.
+
+        The non-incremental paths reproduce :meth:`on_put`'s dependency
+        semantics exactly; the incremental path narrows further (a
+        dependency-table write that cannot change this result — filtered
+        out, wrong view — leaves the cache untouched entirely).
+        """
+        changes = [
+            change
+            for change in changeset.changes
+            if change.document.metadata.get("materialization") != self.name
+        ]
+        if not changes:
+            return
+        maintainer = self._maintainer if self.incremental else None
+        if maintainer is None:
+            if any(change.table in self._dependencies for change in changes):
+                self.invalidate()
+            return
+        relevant = maintainer.relevant(changes)
+        if not relevant:
+            return
+        if self._refreshing or self._dirty or not maintainer.built:
+            # Mid-refresh or already stale: the pending full refresh (or
+            # its epoch guard) covers these documents.
+            self.invalidate()
+            return
+        try:
+            touched = maintainer.apply(relevant)
+        except NonMaintainable:
+            self.stats.fallbacks += 1
+            self._inc("mv.fallback.delta")
+            self.invalidate()
+            return
+        if touched:
+            self._cache = None  # pending: next read folds the delta
+            self.stats.deltas_applied += 1
+            self.stats.delta_documents += touched
+            self._inc("mv.delta.applied")
+            self._inc("mv.delta.docs", touched)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _ensure_maintainer(self) -> Optional[ViewMaintainer]:
+        """Resolve the incremental maintainer lazily, at first refresh —
+        the scanned view may be auto-defined by ingest after the MV."""
+        if not self.incremental:
+            return None
+        if self._maintainer is None and not self._maintainer_resolved:
+            plan = analyze(self._logical)
+            repository = getattr(self.engine, "repository", None)
+            if plan is not None and repository is not None:
+                maintainer = ViewMaintainer(plan, repository)
+                try:
+                    maintainer._resolve_view()
+                except NonMaintainable:
+                    maintainer = None
+                self._maintainer = maintainer
+            if self._maintainer is not None or plan is None:
+                # A missing view may appear later; retry until it does.
+                self._maintainer_resolved = True
+        return self._maintainer
+
     def refresh(self) -> List[Row]:
-        # Clear the dirty flag *before* recomputing: an invalidation that
-        # fires mid-refresh (a discovery put piggybacked on the refresh
-        # scan, a concurrent ingest) must re-mark the cache dirty rather
-        # than be erased by a post-recompute clear — the classic lost
-        # invalidation.  If the flag is set again by the time the SQL
-        # returns, the fresh rows are served but stay flagged stale.
+        # Clear the dirty flag *before* recomputing, and snapshot the bus
+        # epoch: an invalidation or delta that fires mid-refresh (a
+        # discovery put piggybacked on the refresh scan, a concurrent
+        # ingest) must re-mark the cache dirty rather than be erased by a
+        # post-recompute clear — the classic lost invalidation.  The
+        # epoch comparison mirrors the result cache's admission guard in
+        # ``QueryEngine._sql_cached``.
         self._dirty = False
-        result = self.engine.sql(self.sql)
-        self._cache = list(result.rows)
+        epoch_before = self.epoch_source()
+        self._refreshing = True
+        try:
+            maintainer = self._ensure_maintainer()
+            if maintainer is not None:
+                maintainer.rebuild()
+                self._cache = maintainer.evaluate()
+            else:
+                result = self.engine.sql(self.sql)
+                self._cache = list(result.rows)
+        finally:
+            self._refreshing = False
+        if self.epoch_source() != epoch_before:
+            # Something changed while we recomputed: serve these rows but
+            # leave the view flagged stale.
+            self._dirty = True
         self.stats.refreshes += 1
+        self._inc("mv.refresh.full")
         return list(self._cache)
 
     def rows(self) -> List[Row]:
-        """Serve from cache; refresh first when dirty."""
-        if self._cache is None or self._dirty:
+        """Serve from cache; fold pending deltas or refresh when needed."""
+        if self._dirty:
+            return self.refresh()
+        if self._cache is None:
+            maintainer = self._maintainer
+            if maintainer is not None and maintainer.built:
+                self._cache = maintainer.evaluate()
+                self.stats.incremental_serves += 1
+                self._inc("mv.serve.incremental")
+                return list(self._cache)
             return self.refresh()
         self.stats.cache_hits += 1
         return list(self._cache)
@@ -130,19 +285,36 @@ class MaterializationManager:
     into ``DocumentStore.put_listeners``; it now subscribes to the shared
     :class:`~repro.cache.bus.InvalidationBus` like every other cache tier
     (:meth:`attach_to_store` remains as a shim that builds a private bus
-    for standalone use).  Node events — chaos crash/corrupt/partition —
-    dirty every materialization, because a refresh may now read different
-    replicas than the cached rows did.
+    for standalone use), consuming the bus's delta stream so maintainable
+    views update in O(changed documents).  Node events — chaos
+    crash/corrupt/partition — dirty every materialization, because a
+    refresh may now read different replicas than the cached rows did.
     """
 
-    def __init__(self, engine: QueryEngine) -> None:
+    def __init__(self, engine: QueryEngine, *, incremental: bool = True) -> None:
         self.engine = engine
+        #: Default for newly defined views; flip off to pin the PR 4
+        #: refresh-only behavior appliance-wide (benchmark baseline).
+        self.incremental = incremental
         self._materializations: Dict[str, MaterializedQuery] = {}
+        self._bus: Optional[InvalidationBus] = None
 
-    def define(self, name: str, sql: str) -> MaterializedQuery:
+    @property
+    def epoch(self) -> int:
+        return self._bus.epoch if self._bus is not None else 0
+
+    def define(
+        self, name: str, sql: str, *, incremental: Optional[bool] = None
+    ) -> MaterializedQuery:
         if name in self._materializations:
             raise ValueError(f"materialization {name!r} already defined")
-        materialized = MaterializedQuery(name, sql, self.engine)
+        materialized = MaterializedQuery(
+            name,
+            sql,
+            self.engine,
+            incremental=self.incremental if incremental is None else incremental,
+            epoch_source=lambda: self.epoch,
+        )
         self._materializations[name] = materialized
         return materialized
 
@@ -155,14 +327,20 @@ class MaterializationManager:
     def names(self) -> List[str]:
         return sorted(self._materializations)
 
+    def on_changes(self, changeset: ChangeSet) -> None:
+        """Fan one bus change set out to every materialization."""
+        for materialized in self._materializations.values():
+            materialized.apply_changes(changeset)
+
     def on_put(self, document: Document, address=None) -> None:
-        """Fan a put event out to every materialization's tracker."""
+        """Legacy fan-out of a single put (dependency invalidation only)."""
         for materialized in self._materializations.values():
             materialized.on_put(document, address)
 
     def on_node_event(self, node_id: str, kind: str) -> None:
         """Chaos/topology change: all cached rows are suspect."""
-        self.invalidate_all()
+        for materialized in self._materializations.values():
+            materialized.on_node_event(node_id, kind)
 
     def invalidate_all(self) -> None:
         for materialized in self._materializations.values():
@@ -170,7 +348,8 @@ class MaterializationManager:
 
     def attach_to_bus(self, bus: InvalidationBus) -> None:
         """Subscribe to the shared invalidation bus (the appliance way)."""
-        bus.subscribe_puts(self.on_put)
+        self._bus = bus
+        bus.subscribe_deltas(self.on_changes)
         bus.subscribe_node_events(self.on_node_event)
 
     def attach_to_store(self, store) -> None:
@@ -180,9 +359,11 @@ class MaterializationManager:
         self.attach_to_bus(bus)
 
     def refresh_all(self) -> int:
+        """Bring every stale view current (full refresh or delta fold);
+        returns how many were stale."""
         refreshed = 0
         for materialized in self._materializations.values():
             if not materialized.is_fresh:
-                materialized.refresh()
+                materialized.rows()
                 refreshed += 1
         return refreshed

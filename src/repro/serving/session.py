@@ -42,6 +42,9 @@ DEFAULT_COSTS: Mapping[str, float] = {
     "ingest_many": 4.0,
     "ingest_stream": 4.0,
     "update": 1.0,
+    "delete": 0.5,
+    "subscribe": 2.0,
+    "notify": 0.5,
 }
 
 
@@ -83,6 +86,8 @@ class Session:
         #: The repository queries run over: the appliance itself for an
         #: unrestricted session, the policy-scoped view otherwise.
         self._repo = self._secure if self._secure is not None else app
+        #: Standing queries opened on this session (closed with it).
+        self._subscriptions: List[Any] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -98,6 +103,9 @@ class Session:
         self.close()
 
     def close(self) -> None:
+        for subscription in self._subscriptions:
+            subscription.close()
+        self._subscriptions = []
         self.closed = True
 
     def request(self, kind: str, fn=None, cost_ms: Optional[float] = None) -> Request:
@@ -274,6 +282,35 @@ class Session:
                 payloads, format, table=table, delimiter=delimiter
             ),
         )
+
+    def delete_document(self, doc_id: str) -> Document:
+        """Tombstone a document (append-only delete), tenant-attributed.
+        History and time travel survive; reads, scans, indexes, and
+        incrementally maintained views see the document as gone."""
+        self._check_may_write()
+        return self._run("delete", lambda: self._app.delete_document(doc_id))
+
+    # ------------------------------------------------------------------
+    # standing queries — continuous results over the invalidation bus
+    # ------------------------------------------------------------------
+    def subscribe(self, query: str, on_delta=None):
+        """Open a standing query (SQL or keyword search) on this tenant.
+
+        Returns a :class:`~repro.query.continuous.Subscription` whose
+        result deltas are pushed once per invalidation epoch as ingest
+        batches commit; notifications run through the scheduler as this
+        tenant's ``discovery``-tier work, so standing queries never
+        starve interactive traffic.  Poll with ``subscription.poll()``
+        or pass ``on_delta``.  Closed automatically with the session.
+        """
+        subscription = self._run(
+            "subscribe",
+            lambda: self._app.subscriptions.subscribe(
+                query, tenant=self.tenant, on_delta=on_delta
+            ),
+        )
+        self._subscriptions.append(subscription)
+        return subscription
 
     def update_document(self, doc_id: str, content: Any) -> Document:
         """Versioned update; per-document UPDATE enforcement when the

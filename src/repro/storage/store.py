@@ -228,6 +228,22 @@ class DocumentStore:
         head = self.versions.head(doc_id)
         return self.put(head.new_version(content, metadata))
 
+    def delete(self, doc_id: str) -> Document:
+        """Delete *doc_id* by appending a tombstone version.
+
+        The appliance never removes bytes: the tombstone supersedes the
+        head, so ``lookup`` answers None and scans skip the chain, while
+        ``history``/``as_of`` still see every earlier version.  Listeners
+        are notified like any put — the tombstone flows down the
+        invalidation bus as a delete change.  Idempotent: deleting a
+        deleted document returns the existing tombstone without a new
+        version.  Raises LookupError for an unknown doc_id.
+        """
+        head = self.versions.head(doc_id)
+        if head.is_tombstone:
+            return head
+        return self.put(head.tombstone())
+
     def import_chain(self, versions) -> int:
         """Adopt a full version chain from another store (re-homing after
         a node failure: the bytes arrive from a surviving replica).
@@ -271,8 +287,12 @@ class DocumentStore:
         return self._read_at(self._addresses[doc.vid], AccessHint.RANDOM)
 
     def lookup(self, doc_id: str) -> Optional[Document]:
-        """Latest version or ``None`` — the non-throwing form views use."""
+        """Latest *live* version or ``None`` — the non-throwing form views
+        use.  A tombstoned document answers None, like one never stored;
+        ``get``/``history``/``as_of`` still reach the physical chain."""
         if doc_id not in self.versions:
+            return None
+        if self.versions.head(doc_id).is_tombstone:
             return None
         return self.get(doc_id)
 
@@ -309,6 +329,8 @@ class DocumentStore:
                         head = self.versions.head(document.doc_id)
                         if head.version != document.version:
                             continue
+                        if document.is_tombstone:
+                            continue  # deleted: live scans skip the chain
                     yield document
 
     def scan_batches(
