@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test coverage bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test storage-smoke storage-test coverage bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,16 @@ serving-smoke:
 ivm-smoke:
 	$(PYTHON) benchmarks/bench_ivm.py --quick
 
+# Native columnar page format (docs/STORAGE.md): stored-bytes reduction
+# smoke (writes BENCH_storage.json).
+storage-smoke:
+	$(PYTHON) benchmarks/bench_ablation_storage.py --quick
+
+# The storage-marked tests on their own (encoding round-trip properties
+# and columnar-scan identity).
+storage-test:
+	$(PYTHON) -m pytest -m storage -q
+
 # The ivm-marked tests on their own (the differential IVM harness and
 # the continuous-query unit tier).
 ivm-test:
@@ -56,9 +66,10 @@ coverage:
 # smoke (writes BENCH_cache.json), the batched-ingest speedup smoke
 # (writes BENCH_ingest.json), the multi-tenant serving smoke (writes
 # BENCH_serving.json; also runs under `pytest -m serving`), the
-# ivm-marked differential tests, and the incremental-maintenance smoke
-# (writes BENCH_ivm.json).
-verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke
+# ivm-marked differential tests, the incremental-maintenance smoke
+# (writes BENCH_ivm.json), and the columnar stored-bytes smoke (writes
+# BENCH_storage.json).
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke storage-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -301,9 +301,35 @@ class ImplianceCluster:
             assert node.store is not None
             yield from node.store.scan_batches(batch_size)
 
+    def scan_all_view_batches(self, view, batch_size: int = 256):
+        """Cluster-wide native columnar scan of *view*: still-encoded
+        :class:`~repro.exec.batch.ColumnBatch`\\ es off every data node's
+        column pages, in :attr:`data_nodes` order (so row order matches
+        :meth:`scan_all` filtered through the view).  Returns ``None``
+        when the view cannot be answered columnar."""
+        produced = []
+        for node in self.data_nodes:
+            assert node.store is not None
+            batches = node.store.scan_view_batches(view, batch_size)
+            if batches is None:
+                return None
+            produced.append(batches)
+
+        def chained() -> Iterator:
+            for batches in produced:
+                yield from batches
+
+        return chained()
+
     @property
     def doc_count(self) -> int:
         return sum(n.store.doc_count for n in self.data_nodes if n.store)
+
+    @property
+    def live_doc_count(self) -> int:
+        """Documents whose head version is live, across live data nodes —
+        exactly the population :meth:`scan_all` yields."""
+        return sum(n.store.live_doc_count for n in self.data_nodes if n.store)
 
     # ------------------------------------------------------------------
     # timing

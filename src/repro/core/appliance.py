@@ -48,6 +48,7 @@ from repro.query.graph import GraphQuery
 from repro.query.result import QueryResult
 from repro.security.policy import Principal
 from repro.serving import RequestScheduler, Session
+from repro.storage.compression import DictionaryCompressor
 from repro.storage.replication import ReplicaManager
 from repro.util import IdGenerator
 from repro.virt.execmgr import ExecutionManager, Task, TaskClass
@@ -152,8 +153,12 @@ class Impliance:
         self._session_count = 0
 
         # Per-data-node storage managers + a miner on each buffer pool.
+        # One shared cold-path compressor: the key dictionary is learned
+        # across every node's sealed segments, and its byte counters flow
+        # onto the shared metrics (storage.compress.*).
         self._storage_managers: List[StorageManager] = []
         storage_telemetry = self.telemetry if self.telemetry.enabled else None
+        self.compressor = DictionaryCompressor(telemetry=storage_telemetry)
         data_ids = [n.node_id for n in self.cluster.data_nodes]
         for node in self.cluster.data_nodes:
             assert node.store is not None
@@ -162,6 +167,7 @@ class Impliance:
                     node.store,
                     ReplicaManager(data_ids, telemetry=storage_telemetry),
                     telemetry=storage_telemetry,
+                    compressor=self.compressor,
                 )
             )
             self.miner.attach(node.store.buffer_pool)
@@ -181,6 +187,17 @@ class Impliance:
         """Batched scan feeding the vectorized engine (same order as
         :meth:`documents`)."""
         return self.cluster.scan_all_batches(batch_size)
+
+    def view_column_batches(self, view, batch_size: int = 256):
+        """Native columnar scan across the cluster (docs/STORAGE.md):
+        still-encoded batches straight off the data nodes' column pages,
+        or ``None`` when *view* cannot be answered columnar.  The charged
+        document count is the cluster-wide live population — the same
+        documents :meth:`documents` would have walked."""
+        batches = self.cluster.scan_all_view_batches(view, batch_size)
+        if batches is None:
+            return None
+        return batches, self.cluster.live_doc_count
 
     def lookup(self, doc_id: str) -> Optional[Document]:
         return self.cluster.lookup(doc_id)
@@ -844,7 +861,70 @@ class Impliance:
         }
         snapshot["cache"] = self.caches.stats()
         snapshot["serving"] = self.serving.stats()
+        snapshot["storage"] = self.storage_stats()
         return snapshot
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Aggregate storage-layer report across the data nodes: row
+        bytes vs columnar raw/encoded bytes (the native page format's
+        compression ratio, docs/STORAGE.md), buffer-pool byte traffic
+        split encoded/decoded, and the cold-path compressor's stage
+        counters."""
+        live_docs = 0
+        row_bytes = 0
+        columnar_rows = 0
+        columnar_dead = 0
+        columnar_irregular = 0
+        columnar_raw = 0
+        columnar_encoded = 0
+        pool_encoded = 0
+        pool_decoded = 0
+        pool_resident = 0
+        for node in self.cluster.data_nodes:
+            store = node.store
+            assert store is not None
+            live_docs += store.live_doc_count
+            row_bytes += store.stats.bytes_stored
+            for table in store.column_store.tables():
+                group = store.column_store.group(table)
+                assert group is not None
+                columnar_rows += group.rows_appended
+                columnar_dead += group.dead_rows
+                columnar_irregular += group.irregular_rows
+                columnar_raw += group.raw_bytes
+                columnar_encoded += group.encoded_bytes()
+            pool_encoded += store.buffer_pool.stats.bytes_read_encoded
+            pool_decoded += store.buffer_pool.stats.bytes_read_decoded
+            pool_resident += store.buffer_pool.resident_bytes
+        ratio = columnar_encoded / columnar_raw if columnar_raw else 1.0
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge("storage.columnar.bytes_raw", columnar_raw)
+            self.telemetry.set_gauge("storage.columnar.bytes_encoded", columnar_encoded)
+            self.telemetry.set_gauge("storage.columnar.ratio", ratio)
+        compress = self.compressor.stats
+        return {
+            "live_documents": live_docs,
+            "row_bytes_stored": row_bytes,
+            "columnar": {
+                "rows": columnar_rows,
+                "dead_rows": columnar_dead,
+                "irregular_rows": columnar_irregular,
+                "bytes_raw": columnar_raw,
+                "bytes_encoded": columnar_encoded,
+                "ratio": ratio,
+            },
+            "buffer_pool": {
+                "bytes_read_encoded": pool_encoded,
+                "bytes_read_decoded": pool_decoded,
+                "resident_bytes": pool_resident,
+            },
+            "compress": {
+                "calls": compress.calls,
+                "bytes_in": compress.bytes_in,
+                "bytes_out": compress.bytes_out,
+                "ratio": compress.ratio,
+            },
+        }
 
     @property
     def doc_count(self) -> int:

@@ -26,23 +26,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.model.values import MISSING, _Missing  # noqa: F401  (re-export home)
+from repro.storage.encoding import EncodedColumn
+
 Row = Dict[str, Any]
 
 #: Default rows per batch.  Large enough to amortize per-batch dispatch,
 #: small enough that intermediate columns stay cache- and memory-friendly.
 DEFAULT_BATCH_SIZE = 1024
-
-
-class _Missing:
-    """Sentinel for 'key absent from the source row' (vs. None = SQL NULL)."""
-
-    __slots__ = ()
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<MISSING>"
-
-
-MISSING = _Missing()
 
 
 class ColumnBatch:
@@ -132,6 +123,8 @@ class ColumnBatch:
         values = self.columns.get(name)
         if values is None:
             return [None] * self.length
+        if isinstance(values, EncodedColumn):
+            values = values.decoded()
         for v in values:
             if v is MISSING:
                 return [None if u is MISSING else u for u in values]
@@ -145,9 +138,19 @@ class ColumnBatch:
     # transforms
     # ------------------------------------------------------------------
     def take(self, indices: Sequence[int]) -> "ColumnBatch":
-        """New batch with the rows at *indices* (in the given order)."""
+        """New batch with the rows at *indices* (in the given order).
+
+        Encoded columns stay encoded: the gather happens on integer
+        codes, so a filter over a compressed scan never decodes the
+        columns the query doesn't touch.
+        """
         columns = {
-            name: [values[i] for i in indices] for name, values in self.columns.items()
+            name: (
+                values.take(indices)
+                if isinstance(values, EncodedColumn)
+                else [values[i] for i in indices]
+            )
+            for name, values in self.columns.items()
         }
         return ColumnBatch(columns, len(indices))
 

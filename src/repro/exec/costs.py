@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict
 
+from repro.storage.encoding import EncodedColumn
+
 # Per-document / per-row CPU costs (nominal ms).
 SCAN_CPU_MS_PER_DOC = 0.002        # read + deserialize one document
 FILTER_CPU_MS_PER_ROW = 0.0005
@@ -64,10 +66,18 @@ def estimate_batch_bytes(batch) -> int:
     (the row format repeats keys and pays :data:`ROW_OVERHEAD_BYTES` per
     row), so shipping the same rows as batches amortizes the per-row
     overhead down to one marker byte per value.
+
+    Dictionary/run-length-encoded columns ship *still encoded* and are
+    charged their on-page size (:meth:`EncodedColumn.encoded_bytes`) —
+    compressing at the data node is exactly the pushdown the appliance
+    owns the storage stack for, and the wire sees the encoded bytes.
     """
     total = BATCH_OVERHEAD_BYTES
     for name, values in batch.columns.items():
         total += len(name)
+        if isinstance(values, EncodedColumn):
+            total += values.encoded_bytes()
+            continue
         for value in values:
             total += len(str(value)) + 1
     return total

@@ -18,6 +18,25 @@ from typing import Any, Iterator, Sequence, Tuple
 
 Path = Tuple[str, ...]
 
+
+class _Missing:
+    """Sentinel for 'key absent from the source row' (vs. None = SQL NULL).
+
+    Lives here — the dependency-free bottom of the import graph — because
+    both the exec layer (ragged ``ColumnBatch`` rows) and the storage
+    layer (encoded column vectors) must agree on the same singleton
+    without importing each other.  ``repro.exec.batch`` re-exports it as
+    its public home.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
 _NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}([ T]\d{2}:\d{2}(:\d{2})?)?$")
 _PHONE_RE = re.compile(r"^\+?[\d\-\s().]{7,20}$")

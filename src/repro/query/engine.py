@@ -120,6 +120,16 @@ class LocalRepository:
     def document_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Document]]:
         return self.store.scan_batches(batch_size)
 
+    def view_column_batches(self, view: RelationalView, batch_size: int = DEFAULT_BATCH_SIZE):
+        """Native columnar scan of *view*, or ``None`` when the store
+        cannot answer it off column pages.  Returns ``(batches, n_docs)``
+        where *n_docs* is the live-document count the scan is charged
+        for — the same population a row scan would walk."""
+        batches = self.store.scan_view_batches(view, batch_size)
+        if batches is None:
+            return None
+        return batches, self.store.live_doc_count
+
     def lookup(self, doc_id: str) -> Optional[Document]:
         return self.store.lookup(doc_id)
 
@@ -370,8 +380,33 @@ class QueryEngine:
             yield pending
 
     def _view_batches(self, view_name: str, meter: _CostMeter) -> List[ColumnBatch]:
-        """Vectorized scan: project matching documents column-wise."""
+        """Vectorized scan: project matching documents column-wise.
+
+        Repositories backed by the native column pages expose
+        ``view_column_batches`` — batches come straight off the encoded
+        pages with zero row materialization (columns are still-encoded
+        :class:`~repro.storage.encoding.EncodedColumn` vectors the filter
+        path evaluates on integer codes).  The simulated charge is
+        identical to the transpose path by construction — the physical
+        shortcut must not perturb the cost model the PLAN experiments
+        compare — and repositories without the native path (snapshots,
+        non-columnar views) fall through to transposing documents.
+        """
         view = self.repository.views.get(view_name)
+        native = getattr(self.repository, "view_column_batches", None)
+        if native is not None:
+            produced = native(view, self.batch_size)
+            if produced is not None:
+                batch_iter, n_docs = produced
+                batches = [b for b in batch_iter if b.length]
+                n_rows = sum(b.length for b in batches)
+                meter.charge(n_docs * costs.SCAN_CPU_MS_PER_DOC)
+                meter.charge(n_rows * costs.PROJECT_CPU_MS_PER_ROW)
+                stats = meter.stats("scan")
+                stats.rows_in += n_docs
+                stats.rows_out += n_rows
+                stats.batches_out += len(batches)
+                return batches
         projector = ColumnProjector(view, self.repository.lookup)
         matches = view.matches
         n_docs = 0

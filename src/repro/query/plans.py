@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.operators import AggSpec, Row
+from repro.storage.encoding import EncodedColumn
 
 
 class CompareOp(enum.Enum):
@@ -142,11 +143,27 @@ class Conjunction:
         leading term makes the remaining terms nearly free.  *batch* is a
         :class:`repro.exec.batch.ColumnBatch` (typed as Any to keep this
         module free of an exec-layer import).
+
+        Dictionary-coded columns take a code fast path: the compiled
+        predicate runs once per *distinct* value (memoized on the shared
+        :class:`~repro.storage.encoding.ColumnDictionary`, keyed by this
+        frozen term), and the per-row work collapses to an integer set
+        membership test on still-encoded codes.  Semantics are identical
+        by construction — the same ``value_predicate`` closure decides
+        both paths, just at different granularity.
         """
         indices: Sequence[int] = range(batch.length)
         for term in self.terms:
             if not indices:
                 break
+            raw = batch.columns.get(term.column)
+            if isinstance(raw, EncodedColumn):
+                codes = raw.codes()
+                matching = raw.dictionary.matching_codes(
+                    term, term.value_predicate()
+                )
+                indices = [i for i in indices if codes[i] in matching]
+                continue
             values = batch.column(term.column)
             predicate = term.value_predicate()
             indices = [i for i in indices if predicate(values[i])]

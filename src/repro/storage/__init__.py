@@ -38,6 +38,20 @@ from repro.storage.replication import (
     ReplicaSet,
     class_for_kind,
 )
+from repro.storage.encoding import (
+    ColumnDictionary,
+    EncodedColumn,
+    encode_values,
+    rle_decode,
+    rle_encode,
+)
+from repro.storage.columnstore import (
+    ColumnPage,
+    ColumnSegment,
+    ColumnStore,
+    DEFAULT_COLUMN_PAGE_ROWS,
+    is_columnar_view,
+)
 from repro.storage.store import DocumentStore, StoreStats
 from repro.storage.branching import (
     BranchManager,
@@ -73,6 +87,16 @@ __all__ = [
     "ReplicaManager",
     "ReplicaSet",
     "class_for_kind",
+    "ColumnDictionary",
+    "EncodedColumn",
+    "encode_values",
+    "rle_decode",
+    "rle_encode",
+    "ColumnPage",
+    "ColumnSegment",
+    "ColumnStore",
+    "DEFAULT_COLUMN_PAGE_ROWS",
+    "is_columnar_view",
     "DocumentStore",
     "StoreStats",
     "BranchManager",

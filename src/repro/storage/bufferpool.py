@@ -55,10 +55,20 @@ class BufferPoolStats:
     prefetch_used: int = 0
     prefetch_wasted: int = 0
     evictions: int = 0
+    #: Bytes brought in by disk reads, split by page representation:
+    #: encoded (compressed column pages) vs decoded (row pages caching
+    #: whole documents).  The split is what the columnar refactor is
+    #: measured by — the same logical rows cost fewer pool bytes encoded.
+    bytes_read_encoded: int = 0
+    bytes_read_decoded: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def bytes_read(self) -> int:
+        return self.bytes_read_encoded + self.bytes_read_decoded
 
     @property
     def prefetch_accuracy(self) -> float:
@@ -144,6 +154,12 @@ class BufferPool:
         Callable returning the page count of a segment (bounds prefetch).
     prefetcher:
         The read-ahead policy.
+    capacity_bytes:
+        Optional byte budget on top of the frame budget.  Frames are
+        charged what the page actually holds — ``page.cached_bytes()``:
+        decoded document bytes for row pages, *encoded* vector bytes for
+        column pages — so a pool full of compressed column pages fits
+        many more logical rows than one full of row pages.
     """
 
     def __init__(
@@ -152,15 +168,22 @@ class BufferPool:
         fetch: Callable[[int, int], Page],
         segment_pages: Callable[[int], int],
         prefetcher: Optional[Prefetcher] = None,
+        *,
+        capacity_bytes: Optional[int] = None,
     ) -> None:
         if capacity_pages < 1:
             raise ValueError("buffer pool needs at least one frame")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be positive when set")
         self.capacity_pages = capacity_pages
+        self.capacity_bytes = capacity_bytes
         self._fetch = fetch
         self._segment_pages = segment_pages
         self.prefetcher: Prefetcher = prefetcher if prefetcher is not None else NoPrefetcher()
         self.stats = BufferPoolStats()
         self._frames: "OrderedDict[PageKey, Page]" = OrderedDict()
+        self._frame_bytes: dict = {}
+        self._resident_bytes = 0
         self._prefetched_pending: set = set()
         #: Observers invoked on every demand read (page, key); the
         #: discovery engine piggybacks mining passes here (Section 3.2:
@@ -182,7 +205,7 @@ class BufferPool:
         "oldest pending" exactly the prefetch most likely to have been
         speculative waste.  Frames installed by the in-flight request are
         never victims."""
-        while len(self._frames) > self.capacity_pages:
+        while self._over_budget():
             victim = next(
                 (
                     k
@@ -198,10 +221,30 @@ class BufferPool:
             if victim is None:  # capacity smaller than one request's frames
                 victim = next(iter(self._frames))
             del self._frames[victim]
+            self._resident_bytes -= self._frame_bytes.pop(victim, 0)
             self.stats.evictions += 1
             if victim in self._prefetched_pending:
                 self._prefetched_pending.discard(victim)
                 self.stats.prefetch_wasted += 1
+
+    def _over_budget(self) -> bool:
+        if len(self._frames) > self.capacity_pages:
+            return True
+        # The byte budget never evicts the last frame: the in-flight page
+        # must stay resident even when it alone exceeds the budget (the
+        # same concession the frame budget makes for oversized requests).
+        return (
+            self.capacity_bytes is not None
+            and self._resident_bytes > self.capacity_bytes
+            and len(self._frames) > 1
+        )
+
+    @staticmethod
+    def _page_cost(page: Page) -> int:
+        cached = getattr(page, "cached_bytes", None)
+        if cached is not None:
+            return cached()
+        return getattr(page, "used_bytes", 0)
 
     def _install(
         self,
@@ -215,13 +258,24 @@ class BufferPool:
         what keeps read-ahead honest: a prefetched page that is never
         referenced is the first victim, instead of evicting demand-read
         pages that are still hot.  A demand hit promotes it to MRU."""
+        if key in self._frames:
+            self._resident_bytes -= self._frame_bytes.pop(key, 0)
         self._frames[key] = page
+        cost = self._page_cost(page)
+        self._frame_bytes[key] = cost
+        self._resident_bytes += cost
         self._frames.move_to_end(key, last=mru)
         self._evict_if_needed(protected)
 
     def _read_from_disk(self, key: PageKey) -> Page:
         self.stats.io_reads += 1
-        return self._fetch(key[0], key[1])
+        page = self._fetch(key[0], key[1])
+        cost = self._page_cost(page)
+        if getattr(page, "is_columnar", False):
+            self.stats.bytes_read_encoded += cost
+        else:
+            self.stats.bytes_read_decoded += cost
+        return page
 
     # ------------------------------------------------------------------
     def get(self, segment_id: int, page_id: int, hint: AccessHint = AccessHint.NONE) -> Page:
@@ -260,10 +314,18 @@ class BufferPool:
         self.stats.prefetch_wasted += len(self._prefetched_pending)
         self._prefetched_pending.clear()
         self._frames.clear()
+        self._frame_bytes.clear()
+        self._resident_bytes = 0
 
     @property
     def resident_pages(self) -> int:
         return len(self._frames)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held across frames, at each page's cached
+        (encoded for column pages, decoded for row pages) size."""
+        return self._resident_bytes
 
     def __contains__(self, key: PageKey) -> bool:
         return key in self._frames

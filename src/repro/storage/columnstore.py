@@ -1,0 +1,570 @@
+"""Native columnar pages: auto-view columns stored encoded (Section 3.1).
+
+The appliance owns its storage stack end-to-end, so data-aware logic —
+compression, projection, predicate evaluation — lives *in* the storage
+unit instead of above it.  This module is that pushdown for the scan
+path: every table-shaped document appended to a :class:`~repro.storage.
+store.DocumentStore` also lands, at commit time, in a per-table
+:class:`ColumnGroup` whose :class:`ColumnPage`\\ s hold the row's column
+values as dictionary codes (:mod:`repro.storage.encoding`).  Scans of the
+auto views then read :class:`~repro.exec.batch.ColumnBatch`\\ es straight
+off the compressed pages — zero row materialization — while the row pages
+remain the home of full documents for ``get``/BLOB reads and for the rare
+*irregular* rows the columnar layout cannot express.
+
+Layout invariants the query layers rely on:
+
+* **Order.**  Rows append in commit order and dead rows are masked, so a
+  columnar scan yields exactly the rows — in exactly the order — the row
+  path's ``matches → project`` scan would.
+* **Liveness.**  A new version, tombstone, or table change marks the
+  superseded row dead in place; the vectors themselves are immutable.
+* **Regular vs irregular.**  A row is stored columnar ("regular") only
+  when its content is ``{table: {col: scalar, ...}}`` — the same shape
+  ``ColumnProjector``'s fast path accepts — so decoding a code is
+  guaranteed byte-identical to ``view.project``.  Anything else stores a
+  reference to its row page and is projected through the general
+  machinery at scan time, interleaved in order.
+* **Shared dictionaries.**  One append-only :class:`ColumnDictionary`
+  per (table, column), shared by every page and segment: codes are
+  stable, predicate caches survive across pages, and later rows compress
+  better than early ones — the same incremental trick
+  :class:`~repro.storage.compression.DictionaryCompressor` plays for keys.
+
+Column segments draw ids from the same counter as row segments, so
+``(segment_id, page_id)`` buffer-pool keys never collide and the pool
+caches *compressed* pages (see ``BufferPool`` byte accounting).  They do
+not fire seal listeners: encoded vectors are derivable from the row
+pages, so they ride the row segments' replication (reliability classes
+place re-creatable data thinner, Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.document import Document
+from repro.storage.encoding import ColumnDictionary, EncodedColumn, _code_width
+from repro.storage.pages import PageAddress
+
+#: Default rows per column page — matches the exec layer's default batch
+#: size, so one page feeds one batch.
+DEFAULT_COLUMN_PAGE_ROWS = 1024
+
+
+def is_columnar_view(view) -> bool:
+    """Can *view* be answered straight off column pages?
+
+    True for the auto-view shape (``base_table_view``): a table filter
+    and nothing else — no kind/label narrowing, no view predicate, and
+    every column a self-sourced two-segment ``(table, name)`` path.  For
+    such views, group membership (``metadata['table'] == table``) is
+    *exactly* ``view.matches``, and column decode is exactly
+    ``view.project`` — the two preconditions of result identity.
+    """
+    if view.table is None:
+        return False
+    if view.kind is not None or view.annotation_label is not None:
+        return False
+    if view.predicate is not None:
+        return False
+    for column in view.columns:
+        if column.source != "self":
+            return False
+        if len(column.path) != 2 or column.path[0] != view.table:
+            return False
+    return True
+
+
+def regular_row_values(document: Document, table: str) -> Optional[Dict[str, Any]]:
+    """The flat ``{column: scalar}`` mapping of a regular row, or None.
+
+    Mirrors ``ColumnProjector._fast_values``'s conditions, tightened to
+    *every* inner value (not just the current view's columns) so the row
+    stays decodable for columns future auto-view growth adds.  For a
+    regular row, ``document.first((table, c))`` equals ``inner.get(c)``
+    for every column ``c`` — which is what lets the scan skip
+    ``view.project`` entirely.
+    """
+    content = document.content
+    if type(content) is not dict:
+        return None
+    inner = content.get(table)
+    if type(inner) is not dict:
+        return None
+    for value in inner.values():
+        if isinstance(value, (dict, list, tuple)):
+            return None
+    return inner
+
+
+class ColumnPage:
+    """One page of a column segment: a row-slice stored column-wise.
+
+    Columns are flat code lists aligned to ``row_count`` (a column that
+    first appears mid-page is back-filled with the null code).  The
+    encoded form handed to scans is built lazily per column — flat codes
+    or run-length pairs, whichever is smaller — and cached until the next
+    append.  Dead rows are a position mask; irregular rows store the
+    address of their document on the row pages.
+    """
+
+    __slots__ = (
+        "page_id",
+        "segment_id",
+        "capacity_rows",
+        "row_count",
+        "_codes",
+        "_irregular",
+        "_dead",
+        "_built",
+        "_null_codes",
+    )
+
+    #: Buffer-pool frames holding this page account *encoded* bytes.
+    is_columnar = True
+
+    def __init__(self, page_id: int, segment_id: int, capacity_rows: int) -> None:
+        self.page_id = page_id
+        self.segment_id = segment_id
+        self.capacity_rows = capacity_rows
+        self.row_count = 0
+        self._codes: Dict[str, List[int]] = {}
+        self._irregular: Dict[int, PageAddress] = {}
+        self._dead: set = set()
+        self._built: Dict[str, EncodedColumn] = {}
+        self._null_codes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # writes (called by the owning group only)
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return self.row_count >= self.capacity_rows
+
+    def append_regular(
+        self, values: Dict[str, Any], dictionaries: Dict[str, ColumnDictionary]
+    ) -> Tuple[int, int]:
+        """Append one regular row; returns (position, raw value bytes)."""
+        position = self._start_row(values, dictionaries)
+        raw = 0
+        for name, codes in self._codes.items():
+            if name in values:
+                dictionary = dictionaries[name]
+                code = dictionary.encode_one(values[name])
+                codes.append(code)
+                raw += dictionary.raw_size(code)
+            else:
+                codes.append(self._null_codes[name])
+        return position, raw
+
+    def append_irregular(
+        self, address: PageAddress, dictionaries: Dict[str, ColumnDictionary]
+    ) -> int:
+        """Store a reference row: null-padded columns + the doc's address."""
+        position = self._start_row({}, dictionaries)
+        for name, codes in self._codes.items():
+            codes.append(self._null_codes[name])
+        self._irregular[position] = address
+        return position
+
+    def _start_row(
+        self, values: Dict[str, Any], dictionaries: Dict[str, ColumnDictionary]
+    ) -> int:
+        self._built.clear()
+        for name in values:
+            if name not in self._codes:
+                # Column newly observed on this page: back-fill the rows
+                # already here with nulls so every column stays aligned.
+                dictionary = dictionaries.setdefault(name, ColumnDictionary())
+                null_code = dictionary.encode_one(None)
+                self._null_codes[name] = null_code
+                self._codes[name] = [null_code] * self.row_count
+        position = self.row_count
+        self.row_count += 1
+        return position
+
+    def mark_dead(self, position: int) -> None:
+        self._dead.add(position)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def live_positions(self) -> List[int]:
+        if not self._dead:
+            return list(range(self.row_count))
+        dead = self._dead
+        return [i for i in range(self.row_count) if i not in dead]
+
+    def live_irregular(self) -> Dict[int, PageAddress]:
+        """position → row-page address for live irregular rows."""
+        if not self._irregular:
+            return {}
+        dead = self._dead
+        return {p: a for p, a in self._irregular.items() if p not in dead}
+
+    def has_column(self, name: str) -> bool:
+        return name in self._codes
+
+    def encoded_column(
+        self, name: str, dictionary: ColumnDictionary
+    ) -> EncodedColumn:
+        built = self._built.get(name)
+        if built is None:
+            built = EncodedColumn.from_codes(list(self._codes[name]), dictionary)
+            self._built[name] = built
+        return built
+
+    def raw_codes(self, name: str) -> List[int]:
+        return self._codes[name]
+
+    def column_names(self) -> List[str]:
+        return list(self._codes)
+
+    # ------------------------------------------------------------------
+    # buffer-pool protocol (duck-typed against the row Page)
+    # ------------------------------------------------------------------
+    def documents(self) -> Iterator[Document]:
+        """Column pages hold no whole documents — page observers (the
+        piggyback miner) see an empty page and move on."""
+        return iter(())
+
+    def cached_bytes(self) -> int:
+        """Encoded on-page size — what a buffer-pool frame actually holds."""
+        total = 0
+        for name, codes in self._codes.items():
+            runs = self._built.get(name)
+            if runs is not None:
+                total += runs.encoded_bytes()
+            else:
+                total += len(codes)  # width-1 lower bound until built
+        return total
+
+    @property
+    def doc_count(self) -> int:
+        return 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self.cached_bytes()
+
+
+class ColumnSegment:
+    """A bounded run of column pages (mirrors the row ``Segment``)."""
+
+    def __init__(self, segment_id: int, page_rows: int, max_pages: int) -> None:
+        if max_pages < 1:
+            raise ValueError("segments need at least one page")
+        self.segment_id = segment_id
+        self.page_rows = page_rows
+        self.max_pages = max_pages
+        self._pages: List[ColumnPage] = []
+
+    @property
+    def is_sealed(self) -> bool:
+        return len(self._pages) >= self.max_pages and self._pages[-1].is_full
+
+    def open_page(self) -> Optional[ColumnPage]:
+        """The page accepting the next row, or None when sealed."""
+        if self._pages and not self._pages[-1].is_full:
+            return self._pages[-1]
+        if len(self._pages) >= self.max_pages:
+            return None
+        page = ColumnPage(len(self._pages), self.segment_id, self.page_rows)
+        self._pages.append(page)
+        return page
+
+    def page(self, page_id: int) -> ColumnPage:
+        return self._pages[page_id]
+
+    def pages(self) -> List[ColumnPage]:
+        return list(self._pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+
+class ColumnGroup:
+    """All columnar state of one table: segments, dictionaries, liveness."""
+
+    __slots__ = (
+        "table",
+        "page_rows",
+        "segment_pages",
+        "dictionaries",
+        "segments",
+        "_live",
+        "rows_appended",
+        "dead_rows",
+        "irregular_rows",
+        "raw_bytes",
+        "_allocate",
+        "_register",
+    )
+
+    def __init__(
+        self,
+        table: str,
+        page_rows: int,
+        segment_pages: int,
+        allocate_segment_id: Callable[[], int],
+        register_segment: Callable[["ColumnSegment"], None],
+    ) -> None:
+        self.table = table
+        self.page_rows = page_rows
+        self.segment_pages = segment_pages
+        self.dictionaries: Dict[str, ColumnDictionary] = {}
+        self.segments: List[ColumnSegment] = []
+        #: doc_id → (segment_id, page_id, position) of its live row.
+        self._live: Dict[str, Tuple[int, int, int]] = {}
+        self.rows_appended = 0
+        self.dead_rows = 0
+        self.irregular_rows = 0
+        #: Approximate decoded size of every appended value — the "what
+        #: would the row-shaped batch have weighed" side of the ratio.
+        self.raw_bytes = 0
+        self._allocate = allocate_segment_id
+        self._register = register_segment
+
+    # ------------------------------------------------------------------
+    def _open_page(self) -> ColumnPage:
+        if self.segments:
+            page = self.segments[-1].open_page()
+            if page is not None:
+                return page
+        segment = ColumnSegment(self._allocate(), self.page_rows, self.segment_pages)
+        self.segments.append(segment)
+        self._register(segment)
+        page = segment.open_page()
+        assert page is not None
+        return page
+
+    def append(self, document: Document, address: PageAddress) -> None:
+        """Add the live row for *document* (its row-page home = *address*)."""
+        page = self._open_page()
+        values = regular_row_values(document, self.table)
+        if values is None:
+            position = page.append_irregular(address, self.dictionaries)
+            self.irregular_rows += 1
+            self.raw_bytes += document.size_bytes()
+        else:
+            position, raw = page.append_regular(values, self.dictionaries)
+            self.raw_bytes += raw
+        self._live[document.doc_id] = (page.segment_id, page.page_id, position)
+        self.rows_appended += 1
+
+    def mark_dead(self, doc_id: str) -> bool:
+        ref = self._live.pop(doc_id, None)
+        if ref is None:
+            return False
+        segment_id, page_id, position = ref
+        for segment in self.segments:
+            if segment.segment_id == segment_id:
+                segment.page(page_id).mark_dead(position)
+                self.dead_rows += 1
+                return True
+        return False
+
+    @property
+    def live_rows(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    def encoded_bytes(self) -> int:
+        """Current on-page size: vectors plus the shared dictionaries."""
+        total = 0
+        for segment in self.segments:
+            for page in segment.pages():
+                for name in page.column_names():
+                    total += page.encoded_column(
+                        name, self.dictionaries[name]
+                    ).encoded_bytes()
+        for dictionary in self.dictionaries.values():
+            width = _code_width(len(dictionary))
+            total += dictionary.raw_entry_bytes + width * len(dictionary)
+        return total
+
+
+class ColumnStoreStats:
+    """Aggregate columnar counters of one store."""
+
+    __slots__ = ("scans",)
+
+    def __init__(self) -> None:
+        self.scans = 0
+
+
+class ColumnStore:
+    """Per-table column groups maintained at commit time.
+
+    The owning :class:`~repro.storage.store.DocumentStore` forwards every
+    committed document here (:meth:`on_put`) and routes page fetches for
+    column segments back (:meth:`page`/:meth:`page_count`), so columnar
+    scans flow through the same buffer pool — and the same prefetcher —
+    as row scans.
+    """
+
+    def __init__(
+        self,
+        allocate_segment_id: Callable[[], int],
+        page_rows: int = DEFAULT_COLUMN_PAGE_ROWS,
+        segment_pages: int = 64,
+    ) -> None:
+        if page_rows < 1:
+            raise ValueError("column pages need at least one row")
+        self._groups: Dict[str, ColumnGroup] = {}
+        self._segments: Dict[int, ColumnSegment] = {}
+        #: doc_id → table of its live columnar row (dead-marking needs to
+        #: find the old group even when the new version changed tables).
+        self._owner: Dict[str, str] = {}
+        self._allocate = allocate_segment_id
+        self.page_rows = page_rows
+        self.segment_pages = segment_pages
+        self.stats = ColumnStoreStats()
+
+    # ------------------------------------------------------------------
+    # physical routing (for the store's buffer-pool callbacks)
+    # ------------------------------------------------------------------
+    def owns_segment(self, segment_id: int) -> bool:
+        return segment_id in self._segments
+
+    def page(self, segment_id: int, page_id: int) -> ColumnPage:
+        return self._segments[segment_id].page(page_id)
+
+    def page_count(self, segment_id: int) -> int:
+        return self._segments[segment_id].page_count
+
+    def _register_segment(self, segment: ColumnSegment) -> None:
+        self._segments[segment.segment_id] = segment
+
+    # ------------------------------------------------------------------
+    # commit-time maintenance
+    # ------------------------------------------------------------------
+    def on_put(self, document: Document, address: PageAddress) -> None:
+        """Maintain columnar state for one committed version.
+
+        Any prior live row of this doc_id dies (supersede / tombstone /
+        table change all mark in place); a live, table-tagged version
+        appends its new row at the tail — the same position the row
+        path's insertion-order scan would see it at.
+        """
+        doc_id = document.doc_id
+        prior_table = self._owner.pop(doc_id, None)
+        if prior_table is not None:
+            group = self._groups.get(prior_table)
+            if group is not None:
+                group.mark_dead(doc_id)
+        if document.is_tombstone:
+            return
+        table = document.metadata.get("table")
+        if not table or not isinstance(table, str):
+            return
+        group = self._groups.get(table)
+        if group is None:
+            group = ColumnGroup(
+                table,
+                self.page_rows,
+                self.segment_pages,
+                self._allocate,
+                self._register_segment,
+            )
+            self._groups[table] = group
+        group.append(document, address)
+        self._owner[doc_id] = table
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def group(self, table: str) -> Optional[ColumnGroup]:
+        return self._groups.get(table)
+
+    def tables(self) -> List[str]:
+        return sorted(self._groups)
+
+    def scan_view_batches(
+        self,
+        view,
+        fetch_page: Callable[[int, int], ColumnPage],
+        read_document: Callable[[PageAddress], Document],
+        lookup,
+        batch_size: int = DEFAULT_COLUMN_PAGE_ROWS,
+    ) -> Iterator["Any"]:
+        """ColumnBatches for *view* straight off the encoded pages.
+
+        The caller guarantees :func:`is_columnar_view`.  Pages are read
+        through *fetch_page* (the store passes its buffer pool with a
+        SEQUENTIAL hint), so caching, prefetch, and page observers all
+        see this traffic.  Fully-regular pages yield batches whose
+        columns are still-encoded :class:`EncodedColumn` vectors;
+        a page holding irregular rows decodes and projects those rows
+        through ``view.project`` in place, preserving order.
+        """
+        from repro.exec.batch import ColumnBatch  # lazy: avoids import cycle
+
+        names = [c.name for c in view.columns]
+        group = self._groups.get(view.table)
+        if group is None:
+            return
+        for segment in group.segments:
+            for page_id in range(segment.page_count):
+                page = fetch_page(segment.segment_id, page_id)
+                live = page.live_positions()
+                if not live:
+                    continue
+                irregular = page.live_irregular()
+                if irregular:
+                    batch = self._decoded_batch(
+                        ColumnBatch, page, group, names, live, irregular,
+                        read_document, lookup, view,
+                    )
+                else:
+                    batch = self._encoded_batch(
+                        ColumnBatch, page, group, names, live
+                    )
+                yield from _sliced(ColumnBatch, batch, batch_size)
+
+    def _encoded_batch(self, ColumnBatch, page, group, names, live):
+        all_live = len(live) == page.row_count
+        columns: Dict[str, Any] = {}
+        for name in names:
+            if not page.has_column(name):
+                columns[name] = [None] * len(live)
+                continue
+            encoded = page.encoded_column(name, group.dictionaries[name])
+            columns[name] = encoded if all_live else encoded.take(live)
+        return ColumnBatch(columns, len(live))
+
+    def _decoded_batch(
+        self, ColumnBatch, page, group, names, live, irregular,
+        read_document, lookup, view,
+    ):
+        columns: Dict[str, List[Any]] = {}
+        for name in names:
+            if page.has_column(name):
+                table = group.dictionaries[name].values()
+                codes = page.raw_codes(name)
+                columns[name] = [table[codes[i]] for i in live]
+            else:
+                columns[name] = [None] * len(live)
+        for out_index, position in enumerate(live):
+            address = irregular.get(position)
+            if address is None:
+                continue
+            document = read_document(address)
+            row = view.project(document, lookup)
+            for name in names:
+                columns[name][out_index] = row.get(name) if row else None
+        return ColumnBatch(columns, len(live))
+
+
+def _sliced(ColumnBatch, batch, batch_size: int):
+    if batch.length <= batch_size:
+        yield batch
+        return
+    for start in range(0, batch.length, batch_size):
+        end = min(start + batch_size, batch.length)
+        yield ColumnBatch(
+            {name: values[start:end] for name, values in batch.columns.items()},
+            end - start,
+        )

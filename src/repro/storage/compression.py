@@ -25,16 +25,41 @@ from repro.model.document import Document
 
 @dataclass
 class StageStats:
-    """Byte accounting for one pipeline stage."""
+    """Byte accounting for one pipeline stage.
+
+    Standalone by default (benches build stages ad hoc); attached to a
+    :class:`repro.obs.telemetry.Telemetry` the counters also flow onto
+    the shared metrics registry, so ``Impliance.stats()`` reports every
+    stage through one vocabulary (``storage.compress.bytes_in``, ...)
+    instead of three ad-hoc counter bags.
+    """
 
     calls: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
 
+    def __post_init__(self) -> None:
+        self._telemetry = None
+        self._prefix = ""
+
+    def attach(self, telemetry, prefix: str) -> "StageStats":
+        """Mirror onto shared metrics: ``<prefix>.calls`` /
+        ``<prefix>.bytes_in`` / ``<prefix>.bytes_out`` counters plus a
+        ``<prefix>.ratio`` gauge, updated on every :meth:`record`."""
+        self._telemetry = telemetry
+        self._prefix = prefix
+        return self
+
     def record(self, bytes_in: int, bytes_out: int) -> None:
         self.calls += 1
         self.bytes_in += bytes_in
         self.bytes_out += bytes_out
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.inc(f"{self._prefix}.calls")
+            telemetry.inc(f"{self._prefix}.bytes_in", bytes_in)
+            telemetry.inc(f"{self._prefix}.bytes_out", bytes_out)
+            telemetry.set_gauge(f"{self._prefix}.ratio", self.ratio)
 
     @property
     def ratio(self) -> float:
@@ -47,11 +72,13 @@ class StageStats:
 class Compressor:
     """zlib-based page/document compressor with byte accounting."""
 
-    def __init__(self, level: int = 6) -> None:
+    def __init__(self, level: int = 6, telemetry=None) -> None:
         if not 0 <= level <= 9:
             raise ValueError("zlib level must be in [0, 9]")
         self.level = level
         self.stats = StageStats()
+        if telemetry is not None:
+            self.stats.attach(telemetry, "storage.compress")
 
     def compress(self, payload: bytes) -> bytes:
         result = zlib.compress(payload, self.level)
@@ -72,9 +99,11 @@ class DictionaryCompressor:
     documents, so later documents compress better than early ones.
     """
 
-    def __init__(self, level: int = 6) -> None:
+    def __init__(self, level: int = 6, telemetry=None) -> None:
         self.level = level
         self.stats = StageStats()
+        if telemetry is not None:
+            self.stats.attach(telemetry, "storage.compress")
         self._key_to_code: Dict[str, int] = {}
         self._code_to_key: List[str] = []
 
@@ -142,11 +171,13 @@ class XorStreamCipher:
     measure the placement's cost, per the DESIGN.md substitution table.
     """
 
-    def __init__(self, key: bytes) -> None:
+    def __init__(self, key: bytes, telemetry=None) -> None:
         if not key:
             raise ValueError("key must be non-empty")
         self._key = key
         self.stats = StageStats()
+        if telemetry is not None:
+            self.stats.attach(telemetry, "storage.encrypt")
 
     def _keystream(self, length: int, nonce: int) -> bytes:
         stream = bytearray()

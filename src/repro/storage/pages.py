@@ -31,6 +31,10 @@ class Page:
     _docs: List[Document] = field(default_factory=list)
     _used_bytes: int = 0
 
+    #: Row pages cache decoded documents; column pages
+    #: (:class:`repro.storage.columnstore.ColumnPage`) override this.
+    is_columnar = False
+
     def fits(self, document: Document) -> bool:
         size = document.size_bytes()
         if size > self.capacity_bytes:
@@ -55,6 +59,15 @@ class Page:
 
     @property
     def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def cached_bytes(self) -> int:
+        """Bytes a buffer-pool frame holding this page accounts for.
+
+        A row page caches its documents decoded, so this is simply
+        :attr:`used_bytes`; column pages report their *encoded* size —
+        the distinction the pool's byte accounting exists to show.
+        """
         return self._used_bytes
 
     @property

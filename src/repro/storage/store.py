@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.model.document import Document
 from repro.storage.bufferpool import AccessHint, BufferPool, Prefetcher
+from repro.storage.columnstore import ColumnStore, is_columnar_view
 from repro.storage.pages import (
     DEFAULT_PAGE_BYTES,
     DEFAULT_SEGMENT_PAGES,
@@ -68,6 +69,18 @@ class DocumentStore:
         self.versions = VersionIndex()
         self._addresses: Dict[Tuple[str, int], PageAddress] = {}
         self.stats = StoreStats()
+        #: Documents whose head version is live (not tombstoned).
+        #: Maintained incrementally at commit so the columnar scan path
+        #: can charge the exact per-document scan cost the row path pays
+        #: without re-walking the version index.
+        self.live_doc_count = 0
+        #: Commit-time columnar mirror of table-shaped documents; column
+        #: segments draw ids from the same counter as row segments so
+        #: buffer-pool keys never collide.
+        self.column_store = ColumnStore(
+            allocate_segment_id=self._allocate_segment_id,
+            segment_pages=segment_pages,
+        )
         self.buffer_pool = BufferPool(
             capacity_pages=buffer_capacity,
             fetch=self._fetch_page,
@@ -94,23 +107,34 @@ class DocumentStore:
     # ------------------------------------------------------------------
     # physical plumbing
     # ------------------------------------------------------------------
-    def _fetch_page(self, segment_id: int, page_id: int) -> Page:
-        return self._segments[segment_id].page(page_id)
+    def _allocate_segment_id(self) -> int:
+        """Next id from the shared row/column segment-id space."""
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        return segment_id
+
+    def _fetch_page(self, segment_id: int, page_id: int):
+        segment = self._segments.get(segment_id)
+        if segment is not None:
+            return segment.page(page_id)
+        return self.column_store.page(segment_id, page_id)
 
     def _segment_page_count(self, segment_id: int) -> int:
-        return self._segments[segment_id].page_count
+        segment = self._segments.get(segment_id)
+        if segment is not None:
+            return segment.page_count
+        return self.column_store.page_count(segment_id)
 
     def _open_segment(self) -> Segment:
         if self._open_segment_id is not None:
             return self._segments[self._open_segment_id]
         segment = Segment(
-            segment_id=self._next_segment_id,
+            segment_id=self._allocate_segment_id(),
             page_bytes=self.page_bytes,
             max_pages=self.segment_pages,
         )
         self._segments[segment.segment_id] = segment
         self._open_segment_id = segment.segment_id
-        self._next_segment_id += 1
         return segment
 
     def _seal_open_segment(self) -> None:
@@ -141,8 +165,7 @@ class DocumentStore:
             document = document.stamped(self.clock.tick())
         self.versions.validate(document)
         address = self._append_physical(document)
-        self.versions.record(document)
-        self._addresses[document.vid] = address
+        self._commit_version(document, address)
         self.stats.puts += 1
         self.stats.bytes_stored += document.size_bytes()
         self._notify_put([(document, address)])
@@ -193,14 +216,32 @@ class DocumentStore:
         total_bytes = 0
         for document in staged:
             address = self._append_physical(document)
-            self.versions.record(document)
-            self._addresses[document.vid] = address
+            self._commit_version(document, address)
             total_bytes += document.size_bytes()
             pairs.append((document, address))
         self.stats.puts += len(staged)
         self.stats.bytes_stored += total_bytes
         self._notify_put(pairs)
         return staged
+
+    def _commit_version(self, document: Document, address: PageAddress) -> None:
+        """Record one durably-appended version: version chain, address
+        map, live-document count, and the columnar mirror.
+
+        Columnar maintenance happens here — at group-commit time, after
+        the physical append — so the column pages only ever describe
+        durable rows, and a put that fails validation or the page append
+        never touches them.
+        """
+        doc_id = document.doc_id
+        was_live = (
+            doc_id in self.versions and not self.versions.head(doc_id).is_tombstone
+        )
+        self.versions.record(document)
+        self._addresses[document.vid] = address
+        now_live = not document.is_tombstone
+        self.live_doc_count += int(now_live) - int(was_live)
+        self.column_store.on_put(document, address)
 
     def _append_physical(self, document: Document) -> PageAddress:
         """Append *document* into the open segment, sealing as needed."""
@@ -364,6 +405,34 @@ class DocumentStore:
                 batch = []
         if batch:
             yield batch
+
+    def scan_view_batches(self, view, batch_size: int = 256, lookup=None):
+        """Columnar scan of *view* straight off the encoded pages, or
+        ``None`` when the view cannot be answered columnar (non-table
+        views, views with predicates — anything failing
+        :func:`~repro.storage.columnstore.is_columnar_view`).
+
+        Returns an iterator of still-encoded
+        :class:`~repro.exec.batch.ColumnBatch`\\ es whose rows/order are
+        byte-identical to projecting :meth:`scan` output through *view*.
+        Page traffic flows through the buffer pool with a SEQUENTIAL
+        hint — same caching, prefetch, and observer behavior as a row
+        scan — and the scan is counted here at the call site, like
+        :meth:`scan`.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not is_columnar_view(view):
+            return None
+        self.stats.scans += 1
+        self.column_store.stats.scans += 1
+        return self.column_store.scan_view_batches(
+            view,
+            fetch_page=lambda s, p: self.buffer_pool.get(s, p, AccessHint.SEQUENTIAL),
+            read_document=lambda address: self._read_at(address, AccessHint.RANDOM),
+            lookup=lookup if lookup is not None else self.lookup,
+            batch_size=batch_size,
+        )
 
     def scan_addresses(self) -> Iterator[Tuple[PageAddress, Document]]:
         """Scan with physical addresses, for index builders."""

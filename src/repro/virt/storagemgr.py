@@ -43,10 +43,17 @@ class StorageManager:
         store: DocumentStore,
         replica_manager: ReplicaManager,
         telemetry=None,
+        compressor=None,
     ) -> None:
         self.store = store
         self.replicas = replica_manager
         self.telemetry = telemetry
+        #: Optional cold-path compressor (storage pushdown, Section 3.1):
+        #: sealed segments are compressed before their replica copies
+        #: ship, and the stage's byte counters flow onto the shared
+        #: metrics (``storage.compress.*``) when the compressor carries a
+        #: telemetry attachment.
+        self.compressor = compressor
         self.stats = StorageManagerStats()
         self._segment_class: Dict[int, ReliabilityClass] = {}
         store.seal_listeners.append(self.on_segment_sealed)
@@ -72,6 +79,9 @@ class StorageManager:
         """Placement hook: sealed segments get replicated by class."""
         reliability = self.classify_segment(segment_id)
         self._segment_class[segment_id] = reliability
+        if self.compressor is not None:
+            for document in self.store.segment(segment_id).documents():
+                self.compressor.compress_document(document)
         self.replicas.place(segment_id, reliability)
         self.stats.segments_placed += 1
         self.stats.autonomic_actions += 1
