@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test storage-smoke storage-test coverage bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test storage-smoke storage-test recovery-smoke recovery-test coverage bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,6 +54,16 @@ storage-test:
 ivm-test:
 	$(PYTHON) -m pytest -m ivm -q
 
+# Point-in-time recovery smoke (docs/RECOVERY.md): kills a data node
+# mid-ingest and asserts RPO=0 / finite RTO (writes BENCH_recovery.json).
+recovery-smoke:
+	$(PYTHON) benchmarks/bench_recovery.py --quick
+
+# The recovery-marked tests on their own (replication units, restore
+# fidelity properties, and the repair bugfix sweep).
+recovery-test:
+	$(PYTHON) -m pytest -m recovery -q
+
 # Line-coverage floor on the invalidation/IVM core (repro.cache,
 # repro.query.materialized, repro.query.ivm).  Uses pytest-cov when
 # installed; stdlib trace fallback otherwise.
@@ -67,9 +77,10 @@ coverage:
 # (writes BENCH_ingest.json), the multi-tenant serving smoke (writes
 # BENCH_serving.json; also runs under `pytest -m serving`), the
 # ivm-marked differential tests, the incremental-maintenance smoke
-# (writes BENCH_ivm.json), and the columnar stored-bytes smoke (writes
-# BENCH_storage.json).
-verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke storage-smoke
+# (writes BENCH_ivm.json), the columnar stored-bytes smoke (writes
+# BENCH_storage.json), and the point-in-time recovery smoke asserting
+# RPO=0 under a mid-ingest crash (writes BENCH_recovery.json).
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke storage-smoke recovery-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -73,6 +73,12 @@ class ChaosController:
         self.retry_policy = retry_policy or plan.retry_policy()
         if appliance is not None:
             appliance.executor.retry_policy = self.retry_policy
+            # The continuous replicator's shipment retries draw from the
+            # same seeded policy, so a chaos run's full retry schedule —
+            # queries and replication alike — replays with the plan.
+            recovery = getattr(appliance, "recovery", None)
+            if recovery is not None:
+                recovery.retry_policy = self.retry_policy
 
         self.now_ms = 0.0
         self._cursor = 0

@@ -49,7 +49,9 @@ from repro.query.result import QueryResult
 from repro.security.policy import Principal
 from repro.serving import RequestScheduler, Session
 from repro.storage.compression import DictionaryCompressor
+from repro.storage.recovery import ContinuousReplicator, RecoveryError, RestoreReport
 from repro.storage.replication import ReplicaManager
+from repro.storage.store import DocumentStore
 from repro.util import IdGenerator
 from repro.virt.execmgr import ExecutionManager, Task, TaskClass
 from repro.virt.storagemgr import StorageManager
@@ -152,6 +154,19 @@ class Impliance:
         self._default_session: Optional[Session] = None
         self._session_count = 0
 
+        # Continuous replication: every group commit published on the
+        # bus is shipped to a per-data-node standby log on a cluster
+        # node, so a crashed node restores as snapshot + log replay
+        # (docs/RECOVERY.md).  Subscribed after the cache/view tiers:
+        # shipping is passive and must not observe half-invalidated
+        # state, and a replay never re-publishes.
+        self.recovery = ContinuousReplicator(
+            self.cluster,
+            config=self.config.recovery,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
+        )
+        self.recovery.attach_to_bus(self.caches.bus)
+
         # Per-data-node storage managers + a miner on each buffer pool.
         # One shared cold-path compressor: the key dictionary is learned
         # across every node's sealed segments, and its byte counters flow
@@ -165,9 +180,14 @@ class Impliance:
             self._storage_managers.append(
                 StorageManager(
                     node.store,
-                    ReplicaManager(data_ids, telemetry=storage_telemetry),
+                    ReplicaManager(
+                        data_ids,
+                        telemetry=storage_telemetry,
+                        network=self.cluster.network,
+                    ),
                     telemetry=storage_telemetry,
                     compressor=self.compressor,
+                    network=self.cluster.network,
                 )
             )
             self.miner.attach(node.store.buffer_pool)
@@ -807,6 +827,149 @@ class Impliance:
         self.caches.bus.publish_node_event(node_id, "recover")
         return repairs
 
+    def restore(self, node_id: str) -> RestoreReport:
+        """Point-in-time recovery of a failed data node from its standby
+        log: rebuild the store as ``snapshot + log[lsn..]`` replay,
+        catch the chains up from surviving replicas, prove digest
+        identity against them, and bring the node back into service.
+
+        The rebuilt :class:`DocumentStore` re-derives everything from
+        the replayed versions — chains, tombstones, page layout, the
+        columnar mirror — and a fresh node-local index populates during
+        replay.  Every chain is verified against a surviving replica's
+        version records (version, timestamp, content digest); any
+        divergence raises :class:`RecoveryError` *before* the node
+        serves a query.  Versions committed to the re-homed copies while
+        the node was down are appended during catch-up, so the restored
+        node returns current, not stale.
+
+        Simulated time is charged for the standby transfer and the
+        replay CPU; the returned :class:`RestoreReport` carries the
+        finish time so benchmarks can measure RTO against the crash
+        instant.  Raises LookupError when replication is disabled (there
+        is no standby to restore from), and ValueError for a live or
+        non-data node.  A node that never committed anything restores to
+        an empty store.
+        """
+        node = self.cluster.node(node_id)
+        if node.kind is not NodeKind.DATA:
+            raise ValueError(f"{node_id} is not a data node")
+        if node.alive:
+            raise ValueError(f"{node_id} is alive; restore targets a failed node")
+        started = self.cluster.makespan()
+        # Buffered shipments first: anything committed before the crash
+        # that a partition delayed must reach the standby before replay.
+        self.recovery.flush_pending()
+        standby = self.recovery.standby(node_id)
+        restore_bytes = standby.restore_bytes()
+
+        rebuilt = DocumentStore(
+            clock=self.cluster.clock, buffer_capacity=self.config.buffer_capacity
+        )
+        # The node-local index attaches before replay so it populates
+        # incrementally; global listeners (bus, catalog, caches) attach
+        # only after — a replay must not re-publish or re-ship.
+        local_indexes = IndexManager(rebuilt)
+        replayed, records, snapshot_lsn = self.recovery.replay_into(rebuilt, node_id)
+        caught_up, verified, unmatched = self._catch_up_from_survivors(rebuilt)
+
+        old_store = node.store
+        node.store = rebuilt
+        node.indexes = local_indexes
+        manager = next(
+            (m for m in self._storage_managers if m.store is old_store), None
+        )
+        storage_telemetry = self.telemetry if self.telemetry.enabled else None
+        replicas = ReplicaManager(
+            [n.node_id for n in self.cluster.nodes_of(NodeKind.DATA, alive_only=False)],
+            telemetry=storage_telemetry,
+            network=self.cluster.network,
+        )
+        for other in self.cluster.nodes_of(NodeKind.DATA, alive_only=False):
+            if not other.alive and other.node_id != node_id:
+                replicas.on_node_failure(other.node_id)
+        if manager is not None:
+            manager.adopt_store(rebuilt, replicas)
+        else:
+            manager = StorageManager(
+                rebuilt,
+                replicas,
+                telemetry=storage_telemetry,
+                compressor=self.compressor,
+                network=self.cluster.network,
+            )
+            self._storage_managers.append(manager)
+        self.miner.attach(rebuilt.buffer_pool)
+        rebuilt.batch_put_listeners.append(self._on_any_put_batch)
+        self.caches.attach_to_store(rebuilt)
+
+        transfer_ms = self.cluster.network.transfer(
+            restore_bytes, standby.standby_id, node_id
+        )
+        repairs = self.recover_node(node_id)
+        from repro.cluster.topology import INGEST_CPU_MS_PER_KB
+
+        replay_cost_ms = INGEST_CPU_MS_PER_KB * restore_bytes / 1024.0
+        finish = node.run(replay_cost_ms, after=started + transfer_ms, label="restore")
+        manager.place_open_segments()
+        # The rebuilt store restarts its LSN counter: re-base the standby
+        # on a fresh snapshot so shipping resumes with aligned cursors.
+        self.recovery.resync(node_id)
+        self.recovery.stats.restores += 1
+        self.telemetry.inc("recovery.restores")
+        return RestoreReport(
+            node_id=node_id,
+            chains=rebuilt.doc_count,
+            versions_replayed=replayed,
+            versions_caught_up=caught_up,
+            records_replayed=records,
+            snapshot_lsn=snapshot_lsn,
+            verified_chains=verified,
+            unmatched_chains=unmatched,
+            repairs=repairs,
+            transfer_ms=transfer_ms,
+            started_ms=started,
+            finish_ms=finish,
+        )
+
+    def _catch_up_from_survivors(self, rebuilt: DocumentStore):
+        """Verify every replayed chain against a surviving replica and
+        append the versions committed while the node was down.
+
+        ``fail_node`` re-homes the victim's chains onto survivors, so
+        each rebuilt chain should be a *prefix* of some surviving chain
+        (equal when nothing changed during the outage).  Divergence —
+        same version number, different timestamp or content digest — is
+        unrecoverable corruption and raises :class:`RecoveryError`.
+        Returns ``(versions caught up, chains verified, chains with no
+        surviving copy)``.
+        """
+        caught_up = verified = unmatched = 0
+        for doc_id in rebuilt.doc_ids():
+            ours = rebuilt.history(doc_id).records()
+            surviving = None
+            for other in self.cluster.data_nodes:  # the victim is dead: excluded
+                if other.store is not None and other.store.contains(doc_id):
+                    surviving = other.store.history(doc_id)
+                    break
+            if surviving is None:
+                unmatched += 1
+                continue
+            theirs = surviving.records()
+            if theirs[: len(ours)] != ours:
+                raise RecoveryError(
+                    f"restored chain {doc_id!r} diverges from the surviving "
+                    f"replica (replayed {len(ours)} versions, replica holds "
+                    f"{len(theirs)})"
+                )
+            for document in list(surviving)[len(ours):]:
+                if document.ingest_ts > 0:
+                    rebuilt.clock.observe(document.ingest_ts)
+                rebuilt.put(document)
+                caught_up += 1
+            verified += 1
+        return caught_up, verified, unmatched
+
     def missing_segments(self) -> int:
         """Storage segments with zero live replicas right now — the
         degradation signal every query entry point reports."""
@@ -862,6 +1025,7 @@ class Impliance:
         snapshot["cache"] = self.caches.stats()
         snapshot["serving"] = self.serving.stats()
         snapshot["storage"] = self.storage_stats()
+        snapshot["recovery"] = self.recovery.report()
         return snapshot
 
     def storage_stats(self) -> Dict[str, Any]:

@@ -15,6 +15,7 @@ from repro.cache.config import CacheConfig
 from repro.cluster.network import DEFAULT_BANDWIDTH_BYTES_PER_MS, DEFAULT_LATENCY_MS
 from repro.ingest.config import IngestConfig
 from repro.serving.config import ServingConfig
+from repro.storage.recovery import RecoveryConfig
 from repro.util import validate_positive
 
 
@@ -53,6 +54,9 @@ class ApplianceConfig:
     #: and scheduler knobs (docs/SERVING.md).  Validated through the same
     #: shared helpers as ``cache`` and ``ingest``.
     serving: ServingConfig = field(default_factory=ServingConfig)
+    #: Continuous replication / point-in-time recovery: snapshot cadence
+    #: and the off switch (docs/RECOVERY.md).
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()

@@ -53,6 +53,15 @@ from repro.storage.columnstore import (
     is_columnar_view,
 )
 from repro.storage.store import DocumentStore, StoreStats
+from repro.storage.recovery import (
+    ContinuousReplicator,
+    RecoveryConfig,
+    RecoveryError,
+    ReplicatorStats,
+    RestoreReport,
+    Shipment,
+    StandbyLog,
+)
 from repro.storage.branching import (
     BranchManager,
     BranchRef,
@@ -99,6 +108,13 @@ __all__ = [
     "is_columnar_view",
     "DocumentStore",
     "StoreStats",
+    "ContinuousReplicator",
+    "RecoveryConfig",
+    "RecoveryError",
+    "ReplicatorStats",
+    "RestoreReport",
+    "Shipment",
+    "StandbyLog",
     "BranchManager",
     "BranchRef",
     "MergeConflict",

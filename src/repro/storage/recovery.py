@@ -1,0 +1,446 @@
+"""Continuous replication and point-in-time recovery (Section 3.4).
+
+The paper promises autonomic reliability: replicas placed by data class
+and re-replicated after failures "with no administrator involvement".
+The placement layer (:mod:`repro.storage.replication`) decides *where*
+copies belong; this module makes the promise physical — every group
+commit a data node takes is shipped, as one :class:`Shipment`, to a
+standby log hosted on a cluster node, so a crashed node can be rebuilt
+as ``snapshot + log[lsn..]`` replay instead of a full rescan.
+
+The shipping unit is the group commit: ``DocumentStore`` stamps a
+monotone ``commit_lsn`` per batch, the invalidation bus publishes the
+batch as a :class:`~repro.cache.bus.ChangeSet`, and the
+:class:`ContinuousReplicator` subscribed to that stream attributes each
+change to the data node that committed it and ships the node's delta
+over the simulated network.  Shipments crossing a partitioned link are
+buffered in order and retried — never silently dropped — first through
+the seeded :class:`~repro.chaos.retry.RetryPolicy`, then again at every
+later publication and at explicit ``flush_pending()`` calls.
+
+Recovery metrics follow the classic definitions (docs/RECOVERY.md):
+RPO is committed documents lost (must be zero for anything the standby
+acknowledged), RTO is simulated time from the crash until queries serve
+undegraded again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.chaos.retry import RetryError, RetryPolicy, call_with_retries
+from repro.cluster.network import PartitionError
+from repro.model.document import Document
+from repro.util import stable_hash, validate_positive
+
+
+class RecoveryError(RuntimeError):
+    """A restore could not prove the rebuilt state matches the replicas."""
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs for the continuous replicator.
+
+    snapshot_every:
+        Group commits between standby snapshots per data node.  A
+        snapshot replaces the prefix of the standby log at or below its
+        LSN, bounding replay work to ``snapshot + log[lsn..]``.
+    shipment_overhead_bytes:
+        Fixed framing cost charged per shipment on the wire.
+    """
+
+    enabled: bool = True
+    snapshot_every: int = 32
+    shipment_overhead_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        validate_positive(
+            "RecoveryConfig",
+            snapshot_every=self.snapshot_every,
+            shipment_overhead_bytes=self.shipment_overhead_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class Shipment:
+    """One unit on the wire: a group commit's delta, or a full snapshot.
+
+    ``lsn`` is the shipping store's ``commit_lsn`` at publication time;
+    ``kind`` is ``"commit"`` or ``"snapshot"``.  Documents arrive in
+    commit order (snapshots: chain by chain, oldest version first).
+    """
+
+    node_id: str
+    lsn: int
+    kind: str
+    documents: Tuple[Document, ...]
+    size_bytes: int
+
+
+@dataclass
+class StandbyLog:
+    """A data node's recovery state, hosted on a cluster node.
+
+    Replay state is ``snapshot`` (full chains as of ``snapshot_lsn``)
+    followed by ``records`` in LSN order — exactly the
+    ``snapshot + log[lsn..]`` the paper-scale recovery path needs.
+    """
+
+    node_id: str
+    standby_id: str
+    snapshot_lsn: int = 0
+    snapshot: Tuple[Document, ...] = ()
+    records: List[Shipment] = field(default_factory=list)
+    applied_lsn: int = 0
+    bytes_received: int = 0
+    snapshots_applied: int = 0
+
+    def apply(self, shipment: Shipment) -> bool:
+        """Apply one delivered shipment; returns False for duplicates."""
+        if shipment.kind == "snapshot":
+            self.snapshot = shipment.documents
+            self.snapshot_lsn = shipment.lsn
+            self.records = [r for r in self.records if r.lsn > shipment.lsn]
+            self.applied_lsn = max(self.applied_lsn, shipment.lsn)
+            self.snapshots_applied += 1
+        else:
+            if shipment.lsn <= self.applied_lsn:
+                return False  # duplicate delivery (a stale buffered copy)
+            self.records.append(shipment)
+            self.applied_lsn = shipment.lsn
+        self.bytes_received += shipment.size_bytes
+        return True
+
+    def replay_documents(self) -> Iterator[Document]:
+        """Every version needed to rebuild the node, in replay order."""
+        yield from self.snapshot
+        for record in self.records:
+            yield from record.documents
+
+    def restore_bytes(self) -> int:
+        """Bytes that cross the wire when this log restores its node."""
+        total = sum(d.size_bytes() for d in self.snapshot)
+        total += sum(r.size_bytes for r in self.records)
+        return total
+
+
+@dataclass
+class ReplicatorStats:
+    shipments: int = 0
+    shipped_bytes: int = 0
+    snapshots: int = 0
+    retries: int = 0
+    buffered: int = 0
+    dropped_duplicates: int = 0
+    replays: int = 0
+    replayed_versions: int = 0
+    restores: int = 0
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """What one :meth:`Impliance.restore` rebuilt and proved."""
+
+    node_id: str
+    chains: int
+    versions_replayed: int
+    versions_caught_up: int
+    records_replayed: int
+    snapshot_lsn: int
+    verified_chains: int
+    unmatched_chains: int
+    repairs: int
+    transfer_ms: float
+    started_ms: float
+    finish_ms: float
+
+
+class ContinuousReplicator:
+    """Ships every group commit to a per-data-node standby log.
+
+    Subscribed to the invalidation bus's delta stream
+    (:meth:`attach_to_bus`), so the shipping unit is exactly the unit of
+    publication: one :class:`ChangeSet` per group commit (the ingest
+    pipeline's coalescing window merges a multi-node batch into one
+    publication, which this class splits back per owning node — each
+    node's share is that node's group commit).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        config: Optional[RecoveryConfig] = None,
+        telemetry=None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else RecoveryConfig()
+        self.telemetry = telemetry
+        #: Seeded like the chaos layer's policies; the chaos controller
+        #: swaps in the plan's own policy so runs replay exactly.
+        self.retry_policy = retry_policy or RetryPolicy(seed="recovery")
+        self.stats = ReplicatorStats()
+        self._standbys: Dict[str, StandbyLog] = {}
+        self._pending: List[Shipment] = []
+        self._since_snapshot: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_to_bus(self, bus) -> None:
+        bus.subscribe_deltas(self.on_change_set)
+
+    def standby(self, node_id: str) -> StandbyLog:
+        """The node's standby log.  While the replicator is enabled a
+        node that never committed anything still gets one (empty) on
+        demand — it restores to an empty store rather than failing;
+        with replication disabled there is nothing to restore from."""
+        standby = self._standbys.get(node_id)
+        if standby is None and self.config.enabled:
+            return self._standby_for(node_id)
+        if standby is None:
+            raise LookupError(f"no standby log for {node_id!r}")
+        return standby
+
+    def _standby_for(self, node_id: str) -> StandbyLog:
+        standby = self._standbys.get(node_id)
+        if standby is None:
+            # Deterministic host assignment: hash the data node over the
+            # (stable) cluster-node id list, dead hosts included — a
+            # standby must not migrate just because its host blinked.
+            from repro.cluster.node import NodeKind
+
+            hosts = [
+                n.node_id
+                for n in self.cluster.nodes_of(NodeKind.CLUSTER, alive_only=False)
+            ]
+            if not hosts:
+                raise RuntimeError("no cluster nodes to host standby logs")
+            host = hosts[stable_hash(f"standby:{node_id}", len(hosts))]
+            standby = StandbyLog(node_id=node_id, standby_id=host)
+            self._standbys[node_id] = standby
+        return standby
+
+    # ------------------------------------------------------------------
+    # the shipping path
+    # ------------------------------------------------------------------
+    def on_change_set(self, changeset) -> None:
+        """One publication arrived: split it per owning data node and
+        ship each node's share as one commit record."""
+        if not self.config.enabled:
+            return
+        # Earlier buffered shipments go first so per-node order holds.
+        if self._pending:
+            self.flush_pending()
+        groups: Dict[str, List[Document]] = {}
+        stores: Dict[str, object] = {}
+        for change in changeset:
+            owner = self._owner_of(change.document)
+            if owner is None:
+                continue  # e.g. a store detached mid-restore
+            groups.setdefault(owner.node_id, []).append(change.document)
+            stores[owner.node_id] = owner.store
+        for node_id in sorted(groups):
+            store = stores[node_id]
+            documents = tuple(groups[node_id])
+            self._ship(
+                Shipment(
+                    node_id=node_id,
+                    lsn=store.commit_lsn,
+                    kind="commit",
+                    documents=documents,
+                    size_bytes=self._payload_bytes(documents),
+                )
+            )
+            self._maybe_snapshot(node_id, store)
+
+    def _owner_of(self, document: Document):
+        """The live data node whose store committed *document*."""
+        for node in self.cluster.data_nodes:
+            if node.store is not None and node.store.has_version(
+                document.doc_id, document.version
+            ):
+                return node
+        return None
+
+    def _payload_bytes(self, documents: Tuple[Document, ...]) -> int:
+        return (
+            sum(d.size_bytes() for d in documents)
+            + self.config.shipment_overhead_bytes
+        )
+
+    def _ship(self, shipment: Shipment) -> bool:
+        """Ship now unless earlier traffic for the node is still stuck
+        (per-node order must hold: a record never overtakes another)."""
+        if any(p.node_id == shipment.node_id for p in self._pending):
+            self._buffer(shipment)
+            return False
+        return self._transfer(shipment) or self._buffer(shipment)
+
+    def _buffer(self, shipment: Shipment) -> bool:
+        self._pending.append(shipment)
+        self.stats.buffered += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("recovery.buffered")
+        return False
+
+    def _transfer(self, shipment: Shipment) -> bool:
+        """Move one shipment over the wire; True when it was applied."""
+        standby = self._standby_for(shipment.node_id)
+        network = self.cluster.network
+        try:
+            _, _, attempts = call_with_retries(
+                lambda _attempt: network.transfer(
+                    shipment.size_bytes, shipment.node_id, standby.standby_id
+                ),
+                self.retry_policy,
+                retry_on=(PartitionError,),
+                telemetry=self.telemetry,
+                label="recovery.ship",
+            )
+        except RetryError:
+            return False
+        self.stats.retries += attempts - 1
+        if not standby.apply(shipment):
+            self.stats.dropped_duplicates += 1
+            return True  # delivered; the standby already had it
+        self.stats.shipments += 1
+        self.stats.shipped_bytes += shipment.size_bytes
+        if shipment.kind == "snapshot":
+            self.stats.snapshots += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("recovery.shipments")
+            self.telemetry.inc("recovery.shipped_bytes", shipment.size_bytes)
+            if shipment.kind == "snapshot":
+                self.telemetry.inc("recovery.snapshots")
+        return True
+
+    def flush_pending(self) -> int:
+        """Retry every buffered shipment in order; returns how many got
+        through.  Shipments behind a still-blocked one for the same node
+        stay queued so the standby applies records in LSN order."""
+        pending, self._pending = self._pending, []
+        blocked: set = set()
+        shipped = 0
+        for shipment in pending:
+            if shipment.node_id in blocked or not self._transfer(shipment):
+                blocked.add(shipment.node_id)
+                self._pending.append(shipment)
+            else:
+                shipped += 1
+        return shipped
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def _maybe_snapshot(self, node_id: str, store) -> None:
+        count = self._since_snapshot.get(node_id, 0) + 1
+        if count >= self.config.snapshot_every:
+            self.take_snapshot(node_id)
+        else:
+            self._since_snapshot[node_id] = count
+
+    def take_snapshot(self, node_id: str) -> Shipment:
+        """Serialize the node's full chain state (every version, chain by
+        chain, tombstones included) and ship it; the standby truncates
+        the records the snapshot subsumes."""
+        node = self.cluster.node(node_id)
+        if node.store is None:
+            raise LookupError(f"{node_id} has no document store")
+        store = node.store
+        documents = tuple(
+            doc for doc_id in store.doc_ids() for doc in store.history(doc_id)
+        )
+        shipment = Shipment(
+            node_id=node_id,
+            lsn=store.commit_lsn,
+            kind="snapshot",
+            documents=documents,
+            size_bytes=self._payload_bytes(documents),
+        )
+        self._since_snapshot[node_id] = 0
+        self._ship(shipment)
+        return shipment
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def replay_into(self, store, node_id: str) -> Tuple[int, int, int]:
+        """Rebuild *node_id*'s state into a fresh *store*.
+
+        Returns ``(versions replayed, log records replayed,
+        snapshot lsn)``.  The caller attaches listeners only afterwards,
+        so replay puts do not republish or re-ship.
+        """
+        standby = self.standby(node_id)
+        replayed = 0
+        for document in standby.replay_documents():
+            if document.ingest_ts > 0:
+                store.clock.observe(document.ingest_ts)
+            store.put(document)
+            replayed += 1
+        self.stats.replays += 1
+        self.stats.replayed_versions += replayed
+        if self.telemetry is not None:
+            self.telemetry.inc("recovery.replays")
+            self.telemetry.inc("recovery.replayed_versions", replayed)
+        return replayed, len(standby.records), standby.snapshot_lsn
+
+    def resync(self, node_id: str) -> None:
+        """After a restore: the rebuilt store restarts its LSN counter,
+        so the old log no longer lines up — drop buffered traffic for
+        the node, reset its standby, and take a fresh base snapshot."""
+        self._pending = [p for p in self._pending if p.node_id != node_id]
+        standby = self._standbys.get(node_id)
+        if standby is not None:
+            self._standbys[node_id] = StandbyLog(
+                node_id=node_id, standby_id=standby.standby_id
+            )
+        self.take_snapshot(node_id)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """The ``stats()["recovery"]`` payload: replicator counters plus
+        per-node LSN lag, snapshot age, and standby log depth."""
+        from repro.cluster.node import NodeKind
+
+        nodes: Dict[str, Dict[str, object]] = {}
+        for node in self.cluster.nodes_of(NodeKind.DATA, alive_only=False):
+            if node.store is None:
+                continue
+            standby = self._standbys.get(node.node_id)
+            shipped = standby.applied_lsn if standby else 0
+            snapshot_lsn = standby.snapshot_lsn if standby else 0
+            lag = node.store.commit_lsn - shipped
+            nodes[node.node_id] = {
+                "commit_lsn": node.store.commit_lsn,
+                "shipped_lsn": shipped,
+                "lag": lag,
+                "snapshot_lsn": snapshot_lsn,
+                "snapshot_age": node.store.commit_lsn - snapshot_lsn,
+                "log_records": len(standby.records) if standby else 0,
+                "standby": standby.standby_id if standby else None,
+            }
+            if self.telemetry is not None:
+                self.telemetry.set_gauge(f"recovery.lag.{node.node_id}", lag)
+        return {
+            "enabled": self.config.enabled,
+            "shipments": self.stats.shipments,
+            "shipped_bytes": self.stats.shipped_bytes,
+            "snapshots": self.stats.snapshots,
+            "retries": self.stats.retries,
+            "buffered": self.stats.buffered,
+            "pending": len(self._pending),
+            "replays": self.stats.replays,
+            "replayed_versions": self.stats.replayed_versions,
+            "restores": self.stats.restores,
+            "nodes": nodes,
+        }

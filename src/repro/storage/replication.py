@@ -83,13 +83,17 @@ class ReplicaManager:
     :class:`RepairAction` list.
     """
 
-    def __init__(self, node_ids: Iterable[str], telemetry=None) -> None:
+    def __init__(self, node_ids: Iterable[str], telemetry=None, network=None) -> None:
         self._node_load: Dict[str, int] = {node: 0 for node in node_ids}
         if not self._node_load:
             raise ValueError("replica manager needs at least one node")
         self._placements: Dict[int, ReplicaSet] = {}
         self._failed: Set[str] = set()
         self.telemetry = telemetry
+        #: Optional interconnect model; when present, repair sources are
+        #: required to be reachable from the copy target (a partitioned
+        #: survivor cannot serve the bytes).
+        self.network = network
 
     # ------------------------------------------------------------------
     @property
@@ -155,27 +159,96 @@ class ReplicaManager:
         self._failed.add(node_id)
         self._node_load[node_id] = 0
 
-        actions: List[RepairAction] = []
+        affected: List[ReplicaSet] = []
         for segment_id in sorted(self._placements):
             replica_set = self._placements[segment_id]
             if node_id not in replica_set.node_ids:
                 continue
             replica_set.node_ids.discard(node_id)
-            actions.extend(self._repair(replica_set))
+            affected.append(replica_set)
+        return self._repair_round(affected)
+
+    def _repair_round(self, replica_sets: List[ReplicaSet]) -> List[RepairAction]:
+        """Repair a batch of deficits with a per-target cap for the round.
+
+        Without the cap, a node that just (re)joined at load 0 is the
+        least-loaded candidate for *every* deficit and absorbs the whole
+        backlog in one burst; capping each target at its fair share of
+        the round (``ceil(total deficit / live nodes)``) spreads the
+        copies.  When only capped nodes remain as candidates the cap
+        yields — completing the repair beats preserving the spread.
+        """
+        total = sum(replica_set.deficit for replica_set in replica_sets)
+        live = len(self.live_nodes)
+        cap = max(1, -(-total // live)) if live else 1
+        round_counts: Dict[str, int] = {}
+        actions: List[RepairAction] = []
+        for replica_set in replica_sets:
+            actions.extend(self._repair(replica_set, round_counts, cap))
         return actions
 
-    def _repair(self, replica_set: ReplicaSet) -> List[RepairAction]:
+    def _pick_target(
+        self,
+        replica_set: ReplicaSet,
+        round_counts: Optional[Dict[str, int]],
+        cap: Optional[int],
+    ) -> Optional[str]:
+        exclude = set(replica_set.node_ids)
+        seed = str(replica_set.segment_id)
+        if round_counts is not None and cap is not None:
+            capped = {n for n, c in round_counts.items() if c >= cap}
+            try:
+                (target,) = self._pick_nodes(1, exclude | capped, seed)
+                return target
+            except PlacementError:
+                pass  # every candidate is at its cap: fall through
+        try:
+            (target,) = self._pick_nodes(1, exclude, seed)
+            return target
+        except PlacementError:
+            return None  # deficit remains; repair_deficits retries later
+
+    def _pick_source(self, replica_set: ReplicaSet, target: str) -> Optional[str]:
+        """A reachable, least-loaded surviving holder to copy from.
+
+        Lexicographic ``min(node_ids)`` ignored both load and chaos
+        partitions, nominating the hottest — or an unreachable — node as
+        copy source.  Ties still break by stable hash so replays are
+        deterministic; when no holder can reach the target the action
+        ships without a source and is retried once links heal.
+        """
+        candidates = sorted(
+            replica_set.node_ids,
+            key=lambda n: (
+                self._node_load[n],
+                stable_hash(f"src:{replica_set.segment_id}:{n}", 1 << 30),
+            ),
+        )
+        for candidate in candidates:
+            if self.network is None or not self.network.is_partitioned(
+                candidate, target
+            ):
+                return candidate
+        if candidates and self.telemetry is not None:
+            self.telemetry.inc("storage.repair_no_source")
+        return None
+
+    def _repair(
+        self,
+        replica_set: ReplicaSet,
+        round_counts: Optional[Dict[str, int]] = None,
+        cap: Optional[int] = None,
+    ) -> List[RepairAction]:
         actions: List[RepairAction] = []
         while replica_set.deficit > 0:
-            try:
-                (target,) = self._pick_nodes(
-                    1, set(replica_set.node_ids), str(replica_set.segment_id)
-                )
-            except PlacementError:
-                break  # deficit remains; repair_deficits will retry later
-            source = min(replica_set.node_ids) if replica_set.node_ids else None
+            target = self._pick_target(replica_set, round_counts, cap)
+            if target is None:
+                break
+            source = self._pick_source(replica_set, target)
             replica_set.node_ids.add(target)
             self._node_load[target] += 1
+            if round_counts is not None:
+                round_counts[target] = round_counts.get(target, 0) + 1
             actions.append(RepairAction(replica_set.segment_id, source, target))
         if actions and self.telemetry is not None:
             self.telemetry.inc("storage.repair_actions", len(actions))
@@ -200,13 +273,15 @@ class ReplicaManager:
         return self._repair(replica_set)
 
     def repair_deficits(self) -> List[RepairAction]:
-        """Retry repairs for every under-replicated segment."""
-        actions: List[RepairAction] = []
-        for segment_id in sorted(self._placements):
-            replica_set = self._placements[segment_id]
-            if replica_set.deficit > 0:
-                actions.extend(self._repair(replica_set))
-        return actions
+        """Retry repairs for every under-replicated segment, spreading
+        the round across live nodes (see :meth:`_repair_round`)."""
+        return self._repair_round(
+            [
+                self._placements[segment_id]
+                for segment_id in sorted(self._placements)
+                if self._placements[segment_id].deficit > 0
+            ]
+        )
 
     # ------------------------------------------------------------------
     def under_replicated(self) -> List[ReplicaSet]:

@@ -69,6 +69,12 @@ class DocumentStore:
         self.versions = VersionIndex()
         self._addresses: Dict[Tuple[str, int], PageAddress] = {}
         self.stats = StoreStats()
+        #: Monotone group-commit sequence number: bumped once per commit
+        #: (``put`` is a commit of one; ``delete`` rides ``put``) before
+        #: any listener fires, so a replication subscriber reading it
+        #: during the announcement sees the LSN of the batch it carries.
+        #: This is the recovery layer's replay cursor (docs/RECOVERY.md).
+        self.commit_lsn = 0
         #: Documents whose head version is live (not tombstoned).
         #: Maintained incrementally at commit so the columnar scan path
         #: can charge the exact per-document scan cost the row path pays
@@ -258,6 +264,7 @@ class DocumentStore:
     def _notify_put(self, pairs: List[Tuple[Document, PageAddress]]) -> None:
         """Announce a committed batch: batch listeners once, then the
         per-document compat hooks in batch order."""
+        self.commit_lsn += 1
         for listener in self.batch_put_listeners:
             listener(pairs)
         for document, address in pairs:
@@ -339,6 +346,15 @@ class DocumentStore:
 
     def contains(self, doc_id: str) -> bool:
         return doc_id in self.versions
+
+    def has_version(self, doc_id: str, version: int) -> bool:
+        """True when this store committed exactly (*doc_id*, *version*).
+
+        Address-map membership, not a chain walk: the replication layer
+        attributes each change in a coalesced multi-node publication to
+        the one store that committed it, without touching any page.
+        """
+        return (doc_id, version) in self._addresses
 
     def history(self, doc_id: str) -> VersionChain:
         return self.versions.chain(doc_id)

@@ -1,0 +1,181 @@
+"""Property tests for the recovery tentpole and the as-of bisect fix.
+
+1. ``VersionChain.as_of`` bisects — the property pins its equivalence to
+   the linear scan it replaced, over random monotone chains and random
+   probe timestamps (ties included).
+2. Restore fidelity under chaos interleavings: random workloads (puts,
+   updates, deletes) interleaved with standby-link partitions and a
+   crash; after ``Impliance.restore`` the rebuilt node's chains carry
+   the victim's crash-time records as an exact prefix, survivor
+   verification passes, and no committed document is lost (RPO = 0).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.appliance import Impliance
+from repro.core.config import ApplianceConfig
+from repro.model.document import Document
+from repro.storage.recovery import RecoveryConfig
+from repro.storage.versions import VersionChain
+
+pytestmark = pytest.mark.recovery
+
+
+# ======================================================================
+# as_of: bisect ≡ linear scan
+# ======================================================================
+def linear_as_of(chain: VersionChain, ts: int):
+    """The O(n) reference implementation the bisect replaced."""
+    hit = None
+    for document in chain:
+        if document.ingest_ts <= ts:
+            hit = document
+        else:
+            break
+    return hit
+
+
+@st.composite
+def monotone_chains(draw):
+    """A chain of 1..20 versions with monotone (tie-friendly) stamps."""
+    deltas = draw(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20)
+    )
+    chain = VersionChain("p")
+    ts = draw(st.integers(min_value=0, max_value=50))
+    for i, delta in enumerate(deltas):
+        ts += delta
+        chain.append(
+            Document(doc_id="p", content={"i": i}, version=i + 1, ingest_ts=ts)
+        )
+    return chain
+
+
+class TestAsOfEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(chain=monotone_chains(), probe=st.integers(min_value=-5, max_value=200))
+    def test_bisect_matches_linear_scan(self, chain, probe):
+        assert chain.as_of(probe) is linear_as_of(chain, probe)
+
+    @settings(max_examples=50, deadline=None)
+    @given(chain=monotone_chains())
+    def test_every_version_timestamp_probes_back(self, chain):
+        # Probing at each version's own stamp returns the last version
+        # carrying that stamp (tie resolution matches the linear scan).
+        for document in chain:
+            assert chain.as_of(document.ingest_ts) is linear_as_of(
+                chain, document.ingest_ts
+            )
+
+
+# ======================================================================
+# restore fidelity under chaos interleavings
+# ======================================================================
+VICTIM = "data-1"
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "update", "delete", "partition", "heal"]),
+        st.integers(min_value=0, max_value=11),
+    ),
+    min_size=4,
+    max_size=24,
+)
+
+
+def apply_ops(app: Impliance, ops, standby_host: str, created: set) -> None:
+    """Drive a random workload; mutations only touch known doc ids."""
+    for op, i in ops:
+        doc_id = f"pp-{i}"
+        if op == "put":
+            if doc_id in created:
+                continue  # chains are append-only; re-put is an update
+            created.add(doc_id)
+            app.ingest(f"property doc {i} payload", "text", doc_id=doc_id)
+        elif op == "update":
+            if app.lookup(doc_id) is not None:
+                try:
+                    app.update_document(doc_id, {"body": f"updated {i}"})
+                except LookupError:
+                    # The consistency group may refuse the update while
+                    # the holder is unreachable across the partition —
+                    # a legitimate outcome, not a recovery failure.
+                    pass
+        elif op == "delete":
+            if app.lookup(doc_id) is not None:
+                app.delete_document(doc_id)
+        elif op == "partition":
+            if not app.cluster.network.is_partitioned(VICTIM, standby_host):
+                app.cluster.network.partition(VICTIM, standby_host)
+        elif op == "heal":
+            app.cluster.network.heal(VICTIM, standby_host)
+
+
+class TestRestoreFidelityProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(ops=op_strategy, post_ops=op_strategy)
+    def test_restore_prefix_matches_crash_state(self, ops, post_ops):
+        app = Impliance(
+            ApplianceConfig(
+                n_data_nodes=4,
+                n_grid_nodes=1,
+                n_cluster_nodes=1,
+                recovery=RecoveryConfig(snapshot_every=4),
+            )
+        )
+        standby_host = app.recovery._standby_for(VICTIM).standby_id
+        created: set = set()
+
+        apply_ops(app, ops, standby_host, created)
+        app.cluster.network.heal(VICTIM, standby_host)
+
+        victim_store = app.cluster.node(VICTIM).store
+        oracle = {
+            doc_id: victim_store.history(doc_id).records()
+            for doc_id in victim_store.doc_ids()
+        }
+        live_before = {
+            doc_id
+            for doc_id in (f"pp-{i}" for i in range(12))
+            if app.lookup(doc_id) is not None
+        }
+
+        app.fail_node(VICTIM)
+        apply_ops(app, post_ops, standby_host, created)
+        app.cluster.network.heal(VICTIM, standby_host)
+        if not oracle:
+            return  # victim owned nothing; restore has nothing to prove
+
+        report = app.restore(VICTIM)
+        restored = app.cluster.node(VICTIM).store
+
+        # Survivor verification passed for every rebuilt chain.
+        assert report.unmatched_chains == 0
+        assert report.verified_chains == report.chains
+
+        # The crash-time records are an exact prefix of every rebuilt
+        # chain: nothing committed was rewound or rewritten.
+        for doc_id, records in oracle.items():
+            rebuilt = restored.history(doc_id).records()
+            assert rebuilt[: len(records)] == records, doc_id
+
+        # RPO = 0: every document live before the crash still answers
+        # (unless a post-crash op deleted it on the survivors).
+        deleted_after = {
+            doc_id
+            for doc_id in live_before
+            if app.lookup(doc_id) is None
+        }
+        for doc_id in deleted_after:
+            chain = None
+            for node in app.cluster.data_nodes:
+                if node.store is not None and node.store.contains(doc_id):
+                    chain = node.store.history(doc_id)
+                    break
+            assert chain is not None and chain.head.is_tombstone, (
+                f"{doc_id} vanished without a tombstone"
+            )
