@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test storage-smoke storage-test recovery-smoke recovery-test coverage bench
+.PHONY: test lint verify smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-smoke ivm-test storage-smoke storage-test recovery-smoke recovery-test adaptive-smoke adaptive-test perf-regress coverage bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -64,6 +64,22 @@ recovery-smoke:
 recovery-test:
 	$(PYTHON) -m pytest -m recovery -q
 
+# Compiled pipelines + mid-query re-optimization (docs/ADAPTIVE.md):
+# stale-stats gap closure, degraded-node escape, and the compiled-vs-
+# interpreted wall-clock win (writes BENCH_adaptive.json).
+adaptive-smoke:
+	$(PYTHON) benchmarks/bench_adaptive.py --quick
+
+# The adaptive-marked property tests on their own (compiled + adaptive
+# execution equivalence, including chaos penalties).
+adaptive-test:
+	$(PYTHON) -m pytest -m adaptive -q
+
+# Re-runs the quick benchmarks into scratch files and fails on a >20%
+# drop of any committed headline speedup (tools/perf_regress.py).
+perf-regress:
+	$(PYTHON) tools/perf_regress.py
+
 # Line-coverage floor on the invalidation/IVM core (repro.cache,
 # repro.query.materialized, repro.query.ivm).  Uses pytest-cov when
 # installed; stdlib trace fallback otherwise.
@@ -79,8 +95,11 @@ coverage:
 # ivm-marked differential tests, the incremental-maintenance smoke
 # (writes BENCH_ivm.json), the columnar stored-bytes smoke (writes
 # BENCH_storage.json), and the point-in-time recovery smoke asserting
-# RPO=0 under a mid-ingest crash (writes BENCH_recovery.json).
-verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke storage-smoke recovery-smoke
+# RPO=0 under a mid-ingest crash (writes BENCH_recovery.json), the
+# adaptive-marked equivalence properties, the compiled-pipeline /
+# re-optimization smoke (writes BENCH_adaptive.json), and the
+# perf-regression gate over the committed headline speedups.
+verify: lint test smoke chaos-smoke exec-smoke cache-smoke ingest-smoke serving-smoke ivm-test ivm-smoke storage-smoke recovery-smoke adaptive-test adaptive-smoke perf-regress
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -196,6 +196,11 @@ def main() -> int:
         "--quick", action="store_true",
         help="smaller corpus / fewer ops (the make-verify target)",
     )
+    parser.add_argument(
+        "--out", default=RESULT_PATH,
+        help="where to write the JSON summary (default: BENCH_cache.json;"
+             " the perf-regress gate points this at a scratch path)",
+    )
     args = parser.parse_args()
     n_orders = 1_200 if args.quick else N_ORDERS
     n_ops = 80 if args.quick else N_OPS
@@ -207,7 +212,7 @@ def main() -> int:
         report_rows(summary),
     )
     print(f"speedup: {summary['speedup']:.2f}x")
-    write_results(summary)
+    write_results(summary, args.out)
     assert_claims(summary)
     print("\nCACHE smoke: OK (results in BENCH_cache.json)")
     return 0

@@ -227,13 +227,18 @@ def main() -> int:
         "--quick", action="store_true",
         help="smaller corpus / fewer repeats (the make-verify target)",
     )
+    parser.add_argument(
+        "--out", default=RESULT_PATH,
+        help="where to write the JSON summary (default: BENCH_exec.json;"
+             " the perf-regress gate points this at a scratch path)",
+    )
     args = parser.parse_args()
     n_orders = 6_000 if args.quick else N_ORDERS
     repeats = 2 if args.quick else 3
 
     summary = run_comparison(n_orders, repeats)
     print_report(summary, n_orders)
-    write_results(summary)
+    write_results(summary, args.out)
     assert_claims(summary)
     print("\nEXEC vectorized smoke: OK (results in BENCH_exec.json)")
     return 0

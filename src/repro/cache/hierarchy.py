@@ -121,6 +121,8 @@ class CacheHierarchy:
                 "parse_misses": self.plans.stats.parse_misses,
                 "plan_hits": self.plans.stats.plan_hits,
                 "plan_misses": self.plans.stats.plan_misses,
+                "compiled_hits": self.plans.stats.compiled_hits,
+                "compiled_misses": self.plans.stats.compiled_misses,
                 "entries": self.plans.entry_count,
             },
             "result": {

@@ -55,13 +55,22 @@ def normalize_sql(sql: str) -> str:
 
 
 class PlanCacheStats:
-    __slots__ = ("parse_hits", "parse_misses", "plan_hits", "plan_misses")
+    __slots__ = (
+        "parse_hits",
+        "parse_misses",
+        "plan_hits",
+        "plan_misses",
+        "compiled_hits",
+        "compiled_misses",
+    )
 
     def __init__(self) -> None:
         self.parse_hits = 0
         self.parse_misses = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.compiled_hits = 0
+        self.compiled_misses = 0
 
 
 class PlanCache:
@@ -76,6 +85,10 @@ class PlanCache:
         self._logical: "OrderedDict[str, Any]" = OrderedDict()
         # key -> (epoch at plan time, physical plan)
         self._physical: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
+        # plan fingerprint -> compiled pipeline (no epoch: a compiled
+        # pipeline is a pure function of the physical plan, and data
+        # changes flow through the scans it calls back into)
+        self._compiled: "OrderedDict[str, Any]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def parse(self, sql: str) -> Tuple[str, Any]:
@@ -130,11 +143,37 @@ class PlanCache:
         return physical
 
     # ------------------------------------------------------------------
+    def compiled(self, fingerprint: str, build: Callable[[], Any]) -> Any:
+        """Compiled pipeline for a plan *fingerprint* (docs/ADAPTIVE.md).
+
+        The third tier: lowering a physical plan into fused closures is
+        pure per-plan work, so it amortizes across the cached-plan hot
+        path the same way parsing does.  Epoch-free by design — the
+        closures read live data through the engine at execution time.
+        """
+        entry = self._compiled.get(fingerprint)
+        if entry is not None:
+            self._compiled.move_to_end(fingerprint)
+            self.stats.compiled_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("cache.plan.compiled_hits")
+            return entry
+        pipeline = build()
+        self.stats.compiled_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("cache.plan.compiled_misses")
+        self._compiled[fingerprint] = pipeline
+        while len(self._compiled) > self.capacity:
+            self._compiled.popitem(last=False)
+        return pipeline
+
+    # ------------------------------------------------------------------
     def flush(self) -> None:
         """Drop everything (parse entries too — used by the off ramp)."""
         self._logical.clear()
         self._physical.clear()
+        self._compiled.clear()
 
     @property
     def entry_count(self) -> int:
-        return len(self._logical) + len(self._physical)
+        return len(self._logical) + len(self._physical) + len(self._compiled)

@@ -169,5 +169,12 @@ class SimNode:
     def degraded(self) -> bool:
         return self.speed < self._base_speed
 
+    @property
+    def slowdown(self) -> float:
+        """How much slower than base this node runs (1.0 = healthy)."""
+        if self.speed <= 0.0:
+            return float("inf")
+        return self._base_speed / self.speed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimNode({self.node_id}, {self.kind.value}, speed={self.speed})"

@@ -110,6 +110,7 @@ class Impliance:
             vectorized=self.config.vectorized,
             batch_size=self.config.batch_size,
             cache=self.caches,
+            adaptive_config=self.config.adaptive,
         )
         # Materializations ride the same bus as the query caches.
         self.materializations = MaterializationManager(self.engine)
@@ -676,13 +677,21 @@ class Impliance:
         """
         return self.default_session().search(query, top_k=top_k)
 
-    def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
+    def sql(
+        self,
+        query: str,
+        planner: str = "simple",
+        statistics=None,
+        adaptive: bool = False,
+    ) -> QueryResult:
         """SQL over views (Figure 2's legacy-application path).
 
         Deprecated in favor of ``connect().sql()``; delegates to the
         implicit default session (byte-identical results).
         """
-        return self.default_session().sql(query, planner=planner, statistics=statistics)
+        return self.default_session().sql(
+            query, planner=planner, statistics=statistics, adaptive=adaptive
+        )
 
     def faceted(self, query: Optional[str] = None) -> FacetedSession:
         """Start a guided-search session.
@@ -975,6 +984,15 @@ class Impliance:
         degradation signal every query entry point reports."""
         return sum(len(m.data_loss_risk()) for m in self._storage_managers)
 
+    def probe_penalty(self) -> float:
+        """Current index-probe cost multiplier (1.0 = healthy cluster).
+
+        Index probes land on whichever data node owns the key, so a
+        chaos-degraded node inflates every probe by its slowdown.  The
+        query engine folds this into the cost model and the mid-query
+        re-optimizer's checkpoints (docs/ADAPTIVE.md)."""
+        return self.executor.slowdown_factor()
+
     def chaos(self, plan):
         """Bind a seeded :class:`repro.chaos.FaultPlan` to this appliance.
 
@@ -1026,6 +1044,7 @@ class Impliance:
         snapshot["serving"] = self.serving.stats()
         snapshot["storage"] = self.storage_stats()
         snapshot["recovery"] = self.recovery.report()
+        snapshot["adaptive"] = self.engine.adaptive_stats()
         return snapshot
 
     def storage_stats(self) -> Dict[str, Any]:

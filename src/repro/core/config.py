@@ -14,6 +14,7 @@ from typing import Tuple
 from repro.cache.config import CacheConfig
 from repro.cluster.network import DEFAULT_BANDWIDTH_BYTES_PER_MS, DEFAULT_LATENCY_MS
 from repro.ingest.config import IngestConfig
+from repro.query.adaptive import AdaptiveConfig
 from repro.serving.config import ServingConfig
 from repro.storage.recovery import RecoveryConfig
 from repro.util import validate_positive
@@ -57,6 +58,9 @@ class ApplianceConfig:
     #: Continuous replication / point-in-time recovery: snapshot cadence
     #: and the off switch (docs/RECOVERY.md).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: Compiled pipelines + mid-query re-optimization: divergence
+    #: threshold, replan budget, and the off switches (docs/ADAPTIVE.md).
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
     #: Domain lexicons for the out-of-the-box annotator suite; empty
     #: tuples simply disable the corresponding lexicon annotator.
     product_lexicon: Tuple[str, ...] = ()

@@ -40,6 +40,24 @@ ROW_OVERHEAD_BYTES = 16
 BATCH_OVERHEAD_BYTES = 64
 
 
+def indexed_nl_break_even(inner_rows: float, probe_cost_ms: float = INDEX_PROBE_MS) -> float:
+    """Outer cardinality below which indexed nested-loop beats hash join.
+
+    Probing costs ``outer * probe_cost_ms`` while a hash join pays
+    ``inner * HASH_BUILD_MS_PER_ROW + outer * HASH_PROBE_MS_PER_ROW``;
+    equating the two gives the break-even outer row count.  The planner
+    and the runtime escape hatch (:mod:`repro.query.adaptive`) both call
+    this, so plan-time choices and mid-query re-plans share one cost
+    model.  ``probe_cost_ms`` may be inflated by a degraded data node's
+    slowdown; once probes are no more expensive than hash probes the
+    indexed plan always wins and the break-even is unbounded.
+    """
+    margin = probe_cost_ms - HASH_PROBE_MS_PER_ROW
+    if margin <= 0.0:
+        return float("inf")
+    return max(1.0, inner_rows * HASH_BUILD_MS_PER_ROW / margin)
+
+
 def sort_cost_ms(n_rows: int) -> float:
     """n log n sort cost."""
     if n_rows <= 1:

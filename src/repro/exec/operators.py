@@ -429,6 +429,58 @@ def hash_join_batches(
         yield out
 
 
+def hash_join_swapped_batches(
+    probe_batches: Iterable[ColumnBatch],
+    build_batches: Iterable[ColumnBatch],
+    probe_key: str,
+    build_key: str,
+    stats: Optional[OperatorStats] = None,
+) -> Iterator[ColumnBatch]:
+    """Hash join with the build flipped onto the *probe* input.
+
+    The re-optimizer splices this in when the probe side materialized far
+    smaller than estimated: the hash table is built over the (already
+    materialized) probe rows and the other side streams through it, so
+    the expensive side pays the cheap per-row probe cost.  Output batches
+    are byte-identical to :func:`hash_join_batches` on the same inputs —
+    probe-batch-major, probe rows as the merge base, matches in build
+    stream order — which is what lets a mid-query strategy switch keep
+    already-planned result semantics.
+    """
+    probe_batches = list(probe_batches)
+    table: Dict[Any, List[Tuple[int, int]]] = {}
+    matches: List[Dict[int, List[Row]]] = []
+    for bi, batch in enumerate(probe_batches):
+        _note_batch_in(stats, batch)
+        matches.append({})
+        for ri, key in enumerate(batch.column(probe_key)):
+            if key is None:
+                continue
+            table.setdefault(key, []).append((bi, ri))
+    for batch in build_batches:
+        _note_batch_in(stats, batch)
+        keys = batch.column(build_key)
+        rows = batch.to_rows()
+        for key, row in zip(keys, rows):
+            if key is None:
+                continue
+            for bi, ri in table.get(key, ()):
+                matches[bi].setdefault(ri, []).append(row)
+    for bi, batch in enumerate(probe_batches):
+        hit_map = matches[bi]
+        if not hit_map:
+            continue
+        hits = sorted(hit_map)
+        probe_rows = batch.take(hits).to_rows()
+        joined_rows: List[Row] = []
+        for ri, row in zip(hits, probe_rows):
+            for match in hit_map[ri]:
+                joined_rows.append(merge_joined_row(dict(row), match))
+        out = ColumnBatch.from_rows(joined_rows)
+        _note_batch_out(stats, out)
+        yield out
+
+
 def sort_batches(
     batches: Iterable[ColumnBatch],
     keys: Sequence[str],
@@ -476,6 +528,55 @@ def top_k_batches(
     return out
 
 
+class GroupAggregator:
+    """Incremental vectorized hash group-by.
+
+    The streaming core of :func:`group_aggregate_batches`, split out so
+    compiled pipelines (:mod:`repro.query.compile`) can feed it batches
+    — or just the surviving row *indices* of a fused filter, skipping the
+    intermediate ``take()`` copy entirely.  Group values, aggregate
+    results, and the sorted output order are identical to
+    :func:`group_aggregate` regardless of how rows arrive.
+    """
+
+    __slots__ = ("group_by", "aggs", "_counting_star", "_states")
+
+    def __init__(self, group_by: Sequence[str], aggs: Sequence[AggSpec]) -> None:
+        self.group_by = list(group_by)
+        self.aggs = list(aggs)
+        self._counting_star = [a.column is None for a in self.aggs]
+        self._states: Dict[Tuple, List[_AggState]] = {}
+
+    def add_batch(self, batch: ColumnBatch, indices: Optional[Sequence[int]] = None) -> None:
+        """Fold *batch* (or only the rows at *indices*) into the groups."""
+        group_columns = [batch.column(c) for c in self.group_by]
+        agg_columns = [
+            None if star else batch.column(agg.column)
+            for star, agg in zip(self._counting_star, self.aggs)
+        ]
+        rows: Iterable[int] = range(batch.length) if indices is None else indices
+        states = self._states
+        for i in rows:
+            key = tuple(col[i] for col in group_columns)
+            bucket = states.get(key)
+            if bucket is None:
+                bucket = states[key] = [_AggState() for _ in self.aggs]
+            for state, column in zip(bucket, agg_columns):
+                if column is None:
+                    state.count += 1  # bare count(*) counts every row
+                else:
+                    state.update(column[i])
+
+    def finish(self) -> ColumnBatch:
+        ordered = sorted(self._states, key=lambda k: tuple(_orderable(v) for v in k))
+        columns: Dict[str, List[Any]] = {
+            name: [key[j] for key in ordered] for j, name in enumerate(self.group_by)
+        }
+        for j, agg in enumerate(self.aggs):
+            columns[agg.name] = [self._states[key][j].result(agg.func) for key in ordered]
+        return ColumnBatch(columns, len(ordered))
+
+
 def group_aggregate_batches(
     batches: Iterable[ColumnBatch],
     group_by: Sequence[str],
@@ -487,33 +588,10 @@ def group_aggregate_batches(
     Produces the same groups, values, and (sorted) group order as
     :func:`group_aggregate`.
     """
-    group_by = list(group_by)
-    aggs = list(aggs)
-    counting_star = [a.column is None for a in aggs]
-    states: Dict[Tuple, List[_AggState]] = {}
+    aggregator = GroupAggregator(group_by, aggs)
     for batch in batches:
         _note_batch_in(stats, batch)
-        group_columns = [batch.column(c) for c in group_by]
-        agg_columns = [
-            None if star else batch.column(agg.column)
-            for star, agg in zip(counting_star, aggs)
-        ]
-        for i in range(batch.length):
-            key = tuple(col[i] for col in group_columns)
-            bucket = states.get(key)
-            if bucket is None:
-                bucket = states[key] = [_AggState() for _ in aggs]
-            for state, column in zip(bucket, agg_columns):
-                if column is None:
-                    state.count += 1  # bare count(*) counts every row
-                else:
-                    state.update(column[i])
-    ordered = sorted(states, key=lambda k: tuple(_orderable(v) for v in k))
-    columns: Dict[str, List[Any]] = {
-        name: [key[j] for key in ordered] for j, name in enumerate(group_by)
-    }
-    for j, agg in enumerate(aggs):
-        columns[agg.name] = [states[key][j].result(agg.func) for key in ordered]
-    out = ColumnBatch(columns, len(ordered))
+        aggregator.add_batch(batch)
+    out = aggregator.finish()
     _note_batch_out(stats, out)
     return out

@@ -126,6 +126,20 @@ class ParallelExecutor:
 
             self.scheduler = OperatorScheduler(cluster)
 
+    def slowdown_factor(self) -> float:
+        """Worst slowdown across live data nodes (1.0 = all healthy).
+
+        The mid-query re-optimizer reads this as the probe-cost penalty:
+        index probes land on whichever data node owns the key, so the
+        slowest surviving node bounds expected probe latency
+        (docs/ADAPTIVE.md).  Dead nodes are excluded — their work fails
+        over rather than running slow.
+        """
+        live = [n for n in self.cluster.data_nodes if n.alive]
+        if not live:
+            return 1.0
+        return max(node.slowdown for node in live)
+
     def _note_stage(self, label: str, rows: int, bytes_shipped: int = 0) -> None:
         """Per-stage metrics; node sim time is charged by SimNode.run."""
         if not self.telemetry.enabled:

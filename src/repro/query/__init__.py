@@ -41,10 +41,14 @@ from repro.query.keyword import KeywordHit, KeywordSearch
 from repro.query.faceted import DrillStep, FacetedSession
 from repro.query.graph import ConnectionResult, GraphQuery
 from repro.query.adaptive import (
+    AdaptiveConfig,
     AdaptiveJoinReport,
     DEFAULT_PROBE_BUDGET,
+    ReOptimizer,
+    ReplanReport,
     adaptive_indexed_join,
 )
+from repro.query.compile import CompiledPipeline, compile_plan, plan_fingerprint
 from repro.query.hybrid import HybridQuery, HybridSearch
 from repro.query.materialized import (
     MaterializationManager,
@@ -88,9 +92,15 @@ __all__ = [
     "FacetedSession",
     "ConnectionResult",
     "GraphQuery",
+    "AdaptiveConfig",
     "AdaptiveJoinReport",
     "DEFAULT_PROBE_BUDGET",
+    "ReOptimizer",
+    "ReplanReport",
     "adaptive_indexed_join",
+    "CompiledPipeline",
+    "compile_plan",
+    "plan_fingerprint",
     "HybridQuery",
     "HybridSearch",
     "MaterializationManager",

@@ -25,6 +25,7 @@ vectorized scan without per-document generator hops.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -65,12 +66,15 @@ from repro.index.manager import IndexManager
 from repro.model.document import Document
 from repro.model.views import ColumnProjector, RelationalView, ViewCatalog
 from repro.obs.telemetry import DISABLED, Telemetry
+from repro.query.adaptive import AdaptiveConfig, ReOptimizer
+from repro.query.compile import PipelineContext, compile_plan, plan_fingerprint
 from repro.query.planner import (
     CostBasedOptimizer,
     PhysHashJoin,
     PhysicalPlan,
     PhysIndexedJoin,
     SimplePlanner,
+    to_logical,
 )
 from repro.query.plans import (
     Aggregate,
@@ -135,7 +139,7 @@ class LocalRepository:
 
 
 class _CostMeter:
-    __slots__ = ("ms", "adaptive", "adaptive_reports", "operators")
+    __slots__ = ("ms", "adaptive", "adaptive_reports", "operators", "probe_cost_ms")
 
     def __init__(self, adaptive: bool = False) -> None:
         self.ms = 0.0
@@ -143,6 +147,10 @@ class _CostMeter:
         self.adaptive_reports: List[Any] = []
         #: Per-operator row+batch statistics, keyed by operator name.
         self.operators: Dict[str, OperatorStats] = {}
+        #: Cost of one index probe for this execution — the base constant
+        #: inflated by the worst live data-node slowdown, so a degraded
+        #: cluster makes probe-driving plans visibly expensive.
+        self.probe_cost_ms = costs.INDEX_PROBE_MS
 
     def charge(self, ms: float) -> None:
         self.ms += ms
@@ -162,6 +170,11 @@ class QueryEngine:
     comparison runs.  Both charge identical simulated costs.
     """
 
+    #: Bound on the engine-local compiled-pipeline memo (used when no
+    #: cache hierarchy is wired in; the hierarchy's plan cache owns the
+    #: compiled tier otherwise).
+    COMPILED_MEMO_CAPACITY = 128
+
     def __init__(
         self,
         repository: Repository,
@@ -169,6 +182,7 @@ class QueryEngine:
         vectorized: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
         cache: Optional[CacheHierarchy] = None,
+        adaptive_config: Optional[AdaptiveConfig] = None,
     ) -> None:
         self.repository = repository
         self.telemetry = telemetry if telemetry is not None else DISABLED
@@ -177,9 +191,18 @@ class QueryEngine:
         #: Optional appliance-wide cache hierarchy (docs/CACHING.md).
         #: None (the standalone default) means every query runs uncached.
         self.cache = cache
+        #: Compiled-pipeline + re-optimizer knobs (docs/ADAPTIVE.md).
+        self.adaptive_config = adaptive_config if adaptive_config is not None else AdaptiveConfig()
         self.simple_planner = SimplePlanner(
             can_probe=self._can_probe, columns_of=self._columns_of_view
         )
+        self._compiled_memo: "OrderedDict[str, Any]" = OrderedDict()
+        self._adaptive_counters: Dict[str, int] = {
+            "compiled_built": 0,
+            "compiled_hits": 0,
+            "replans": 0,
+            "checkpoints": 0,
+        }
 
     def _active_cache(self) -> Optional[CacheHierarchy]:
         cache = self.cache
@@ -189,10 +212,32 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
     def optimizer(self, statistics) -> CostBasedOptimizer:
-        """A cost-based optimizer wired to this engine's probe check."""
+        """A cost-based optimizer wired to this engine's probe check.
+
+        The optimizer's probe cost reflects the cluster's *current*
+        health — a degraded data node shifts the indexed-NL break-even
+        toward hash joins for fresh plans and re-plans alike.
+        """
         return CostBasedOptimizer(
-            statistics, can_probe=self._can_probe, columns_of=self._columns_of_view
+            statistics,
+            can_probe=self._can_probe,
+            columns_of=self._columns_of_view,
+            probe_cost_ms=self._probe_cost_ms(),
         )
+
+    def _probe_penalty(self) -> float:
+        """Worst live data-node slowdown (>= 1.0), from repositories that
+        expose one (the appliance facade); 1.0 for local repositories."""
+        provider = getattr(self.repository, "probe_penalty", None)
+        if provider is None:
+            return 1.0
+        try:
+            return max(1.0, float(provider()))
+        except (TypeError, ValueError):
+            return 1.0
+
+    def _probe_cost_ms(self) -> float:
+        return costs.INDEX_PROBE_MS * self._probe_penalty()
 
     def _columns_of_view(self, view_name: str) -> frozenset:
         if view_name not in self.repository.views:
@@ -324,20 +369,50 @@ class QueryEngine:
                 physical = self.optimizer(statistics).plan(logical)
             else:
                 raise ValueError(f"unknown planner {planner!r}")
-        return self.run_physical(physical, adaptive=adaptive)
+        return self.run_physical(physical, adaptive=adaptive, statistics=statistics)
 
-    def run_physical(self, physical: PhysicalPlan, adaptive: bool = False) -> QueryResult:
+    def run_physical(
+        self,
+        physical: PhysicalPlan,
+        adaptive: bool = False,
+        statistics=None,
+    ) -> QueryResult:
+        """Execute a physical plan.
+
+        The default path compiles the plan into fused pipeline closures
+        (:mod:`repro.query.compile`, memoized by plan fingerprint); the
+        interpreters remain as fallbacks (``vectorized=False`` for the
+        row engine, ``AdaptiveConfig.compiled_pipelines=False`` for the
+        interpreted batch engine).  With ``adaptive`` *and* caller
+        *statistics*, pipeline breakers become re-optimization
+        checkpoints (docs/ADAPTIVE.md); adaptive without statistics keeps
+        the budgeted indexed-join migration.
+        """
         meter = _CostMeter(adaptive=adaptive)
-        engine_kind = "vectorized" if self.vectorized else "rows"
+        meter.probe_cost_ms = self._probe_cost_ms()
+        pipeline = None
+        if self.vectorized and self.adaptive_config.compiled_pipelines:
+            pipeline = self._compiled_pipeline(physical)
+        if pipeline is not None:
+            engine_kind = "compiled"
+        else:
+            engine_kind = "vectorized" if self.vectorized else "rows"
+        reoptimizer: Optional[ReOptimizer] = None
         with self.telemetry.span("query.execute", engine=engine_kind) as span:
             batches: Optional[List[ColumnBatch]] = None
-            if self.vectorized:
+            if pipeline is not None:
+                reoptimizer = self._make_reoptimizer(adaptive, statistics, meter)
+                batches = pipeline.execute(PipelineContext(self, meter, reoptimizer))
+                rows = rows_from_batches(batches)
+            elif self.vectorized:
                 batches = self._run_batches(physical, meter)
                 rows = rows_from_batches(batches)
             else:
                 rows = self._run(physical, meter)
             span.charge_sim(meter.ms)
         self._note_batch_metrics(meter)
+        if reoptimizer is not None:
+            self._note_adaptive(reoptimizer)
         return QueryResult(
             rows=rows,
             sim_ms=meter.ms,
@@ -347,6 +422,96 @@ class QueryEngine:
             batches=batches,
             operator_stats=dict(meter.operators),
         )
+
+    # ------------------------------------------------------------------
+    # compiled pipelines + re-optimization (docs/ADAPTIVE.md)
+    # ------------------------------------------------------------------
+    def _compiled_pipeline(self, physical: PhysicalPlan):
+        """Fetch-or-build the compiled pipeline for *physical*.
+
+        With a cache hierarchy the compiled tier lives in the plan cache
+        (shared across engines, flushed with it); standalone engines keep
+        a small bounded memo so repeated plans still amortize.
+        """
+        fingerprint = plan_fingerprint(physical)
+        counters = self._adaptive_counters
+        cache = self._active_cache()
+        if cache is not None:
+            built = False
+
+            def build():
+                nonlocal built
+                built = True
+                return compile_plan(physical)
+
+            pipeline = cache.plans.compiled(fingerprint, build)
+            if built:
+                counters["compiled_built"] += 1
+                self.telemetry.inc("exec.compiled.built")
+            else:
+                counters["compiled_hits"] += 1
+                self.telemetry.inc("exec.compiled.hits")
+            return pipeline
+        memo = self._compiled_memo
+        pipeline = memo.get(fingerprint)
+        if pipeline is not None:
+            memo.move_to_end(fingerprint)
+            counters["compiled_hits"] += 1
+            self.telemetry.inc("exec.compiled.hits")
+            return pipeline
+        pipeline = compile_plan(physical)
+        memo[fingerprint] = pipeline
+        if len(memo) > self.COMPILED_MEMO_CAPACITY:
+            memo.popitem(last=False)
+        counters["compiled_built"] += 1
+        self.telemetry.inc("exec.compiled.built")
+        return pipeline
+
+    def _make_reoptimizer(
+        self, adaptive: bool, statistics, meter: _CostMeter
+    ) -> Optional[ReOptimizer]:
+        if not adaptive or statistics is None or not self.adaptive_config.enabled:
+            return None
+        return ReOptimizer(
+            self.adaptive_config,
+            statistics=statistics,
+            optimizer_factory=self.optimizer,
+            probe_penalty=self._probe_penalty(),
+            report_sink=meter.adaptive_reports,
+        )
+
+    def _note_adaptive(self, reoptimizer: ReOptimizer) -> None:
+        counters = self._adaptive_counters
+        counters["checkpoints"] += reoptimizer.checkpoints
+        replans = len(reoptimizer.reports)
+        counters["replans"] += replans
+        if reoptimizer.checkpoints:
+            self.telemetry.inc("adaptive.checkpoint.count", reoptimizer.checkpoints)
+        if replans:
+            self.telemetry.inc("adaptive.replan.count", replans)
+
+    def adaptive_stats(self) -> Dict[str, Any]:
+        """Compiled-pipeline and re-plan counters for ``stats()["adaptive"]``."""
+        counters = self._adaptive_counters
+        config = self.adaptive_config
+        return {
+            "compiled": {
+                "enabled": bool(self.vectorized and config.compiled_pipelines),
+                "built": counters["compiled_built"],
+                "hits": counters["compiled_hits"],
+                "local_entries": len(self._compiled_memo),
+            },
+            "replan": {
+                "count": counters["replans"],
+                "checkpoints": counters["checkpoints"],
+            },
+            "config": {
+                "enabled": config.enabled,
+                "divergence_ratio": config.divergence_ratio,
+                "max_replans": config.max_replans,
+                "probe_budget": config.probe_budget,
+            },
+        }
 
     def _note_batch_metrics(self, meter: _CostMeter) -> None:
         if not self.telemetry.enabled or not meter.operators:
@@ -600,16 +765,25 @@ class QueryEngine:
     ) -> List[Row]:
         """Indexed-NL join body shared by both interpreters (probes are
         inherently row-at-a-time: one index lookup per outer row)."""
+        if meter.adaptive:
+            view = self.repository.views.get(plan.inner_view)
+            path = self._column_path(view, plan.inner_column)
+            return self._run_adaptive_indexed_join(plan, outer, view, path, meter)
+        return self._probe_join_rows(plan, outer, meter)
+
+    def _probe_join_rows(
+        self, plan: PhysIndexedJoin, outer: List[Row], meter: _CostMeter
+    ) -> List[Row]:
+        """Plain probe loop: one (penalty-priced) index probe per
+        non-null outer row."""
         view = self.repository.views.get(plan.inner_view)
         path = self._column_path(view, plan.inner_column)
-        if meter.adaptive:
-            return self._run_adaptive_indexed_join(plan, outer, view, path, meter)
         results: List[Row] = []
         for row in outer:
             key = row.get(plan.outer_column)
             if key is None:
                 continue
-            meter.charge(costs.INDEX_PROBE_MS)
+            meter.charge(meter.probe_cost_ms)
             doc_ids = self._probe_index(path, key)
             for doc_id in sorted(doc_ids):
                 document = self.repository.lookup(doc_id)
@@ -621,6 +795,71 @@ class QueryEngine:
                 if plan.inner_predicate is not None and not plan.inner_predicate.matches(inner_row):
                     continue
                 results.append(merge_joined_row(dict(row), inner_row))
+        return results
+
+    def _indexed_join_stage(
+        self, plan: PhysIndexedJoin, outer: List[Row], ctx: PipelineContext
+    ) -> List[Row]:
+        """Compiled indexed-join breaker: the outer side just materialized.
+
+        With a re-optimizer armed this is a checkpoint — the observed
+        outer cardinality (and any degraded-node probe penalty) is handed
+        to the cost-based optimizer, and an approved re-plan splices in a
+        hash strategy over the same materialized outer.  Otherwise the
+        stage behaves exactly like the interpreters (plain probes, or the
+        budgeted migration under estimate-free adaptive mode).
+        """
+        meter = ctx.meter
+        reoptimizer = ctx.reoptimizer
+        if reoptimizer is None:
+            return self._indexed_join_rows(plan, outer, meter)
+        outer_logical = to_logical(plan.outer)
+        inner_logical: LogicalPlan = ScanView(plan.inner_view)
+        if plan.inner_predicate is not None and not plan.inner_predicate.is_empty:
+            inner_logical = Filter(inner_logical, plan.inner_predicate)
+        replacement = reoptimizer.checkpoint_indexed_join(
+            stage=(
+                f"indexed_join({plan.outer_column}->"
+                f"{plan.inner_view}.{plan.inner_column})"
+            ),
+            observed_outer=len(outer),
+            estimated_outer=plan.outer.estimated_rows,
+            outer_logical=outer_logical,
+            inner_logical=inner_logical,
+            outer_column=plan.outer_column,
+            inner_column=plan.inner_column,
+        )
+        if replacement is not None:
+            return self._hash_migrate_indexed(plan, outer, meter)
+        return self._probe_join_rows(plan, outer, meter)
+
+    def _hash_migrate_indexed(
+        self, plan: PhysIndexedJoin, outer: List[Row], meter: _CostMeter
+    ) -> List[Row]:
+        """Re-plan splice: hash-join the materialized outer against a
+        one-shot inner scan, at local (un-penalized) hash costs."""
+        from repro.query.adaptive import AdaptiveJoinReport, hash_probe_rows
+
+        before_ms = meter.ms
+        scan_meter = _CostMeter()
+        inner_rows = self._view_rows(plan.inner_view, scan_meter)
+        meter.charge(scan_meter.ms)
+        if plan.inner_predicate is not None:
+            inner_rows = [r for r in inner_rows if plan.inner_predicate.matches(r)]
+        meter.charge(len(inner_rows) * costs.HASH_BUILD_MS_PER_ROW)
+        results, probed = hash_probe_rows(
+            outer, plan.outer_column, inner_rows, plan.inner_column
+        )
+        meter.charge(probed * costs.HASH_PROBE_MS_PER_ROW)
+        meter.adaptive_reports.append(
+            AdaptiveJoinReport(
+                probes_done=0,
+                switched=True,
+                hash_build_rows=len(inner_rows),
+                rows_out=len(results),
+                sim_ms=meter.ms - before_ms,
+            )
+        )
         return results
 
     def _run_adaptive_indexed_join(
@@ -652,7 +891,13 @@ class QueryEngine:
             return rows
 
         results, report = adaptive_indexed_join(
-            outer, plan.outer_column, probe, inner_scan, plan.inner_column
+            outer,
+            plan.outer_column,
+            probe,
+            inner_scan,
+            plan.inner_column,
+            probe_budget=self.adaptive_config.probe_budget,
+            probe_cost_ms=meter.probe_cost_ms,
         )
         meter.charge(report.sim_ms)
         meter.adaptive_reports.append(report)
@@ -692,8 +937,12 @@ def _describe_physical(plan: PhysicalPlan, indent: int = 0) -> str:
     if isinstance(plan, Project):
         return f"{pad}Project({', '.join(plan.columns)})\n" + _describe_physical(plan.child, indent + 1)
     if isinstance(plan, Aggregate):
-        aggs = ", ".join(f"{a.func}({a.column or '*'})" for a in plan.aggs)
-        return f"{pad}Aggregate({aggs})\n" + _describe_physical(plan.child, indent + 1)
+        # Group keys and output names are part of the identity — this
+        # string doubles as the result-cache fingerprint, and two queries
+        # differing only in GROUP BY must not collide.
+        aggs = ", ".join(f"{a.func}({a.column or '*'}) AS {a.name}" for a in plan.aggs)
+        group = ", ".join(plan.group_by) or "-"
+        return f"{pad}Aggregate(group={group}; {aggs})\n" + _describe_physical(plan.child, indent + 1)
     if isinstance(plan, Sort):
         return f"{pad}Sort({', '.join(plan.keys)})\n" + _describe_physical(plan.child, indent + 1)
     if isinstance(plan, Limit):

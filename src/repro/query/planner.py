@@ -19,9 +19,10 @@ for maintaining complex statistics."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple, Union
 
+from repro.exec import costs
 from repro.query.plans import (
     Aggregate,
     Conjunction,
@@ -35,9 +36,17 @@ from repro.query.plans import (
 )
 from repro.query.stats import Statistics
 
-#: Estimated outer cardinality below which the optimizer prefers
-#: indexed-NL probes over building a hash table.
+#: Historical fixed cut-over (kept for reference/compat): estimated outer
+#: cardinality below which the optimizer preferred indexed-NL probes.
+#: The optimizer now derives the break-even from the cost model instead —
+#: see :func:`repro.exec.costs.indexed_nl_break_even` — so the planner
+#: and the runtime escape hatch (:mod:`repro.query.adaptive`) agree on
+#: one set of constants.
 INDEXED_NL_OUTER_THRESHOLD = 64.0
+
+
+def _estimate_field() -> Optional[float]:
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -48,6 +57,7 @@ class PhysHashJoin:
     build: "PhysicalPlan"
     probe_column: str
     build_column: str
+    estimated_rows: Optional[float] = _estimate_field()
 
 
 @dataclass(frozen=True)
@@ -60,6 +70,10 @@ class PhysIndexedJoin:
     inner_view: str
     inner_column: str
     inner_predicate: Optional[Conjunction] = None
+    estimated_rows: Optional[float] = _estimate_field()
+    #: Estimated inner-side cardinality, the other half of the break-even
+    #: the re-optimizer re-checks at the outer's materialization checkpoint.
+    estimated_inner_rows: Optional[float] = _estimate_field()
 
 
 PhysicalPlan = Union[
@@ -218,25 +232,49 @@ class SimplePlanner:
 
 
 class CostBasedOptimizer:
-    """Conventional optimizer: statistics-driven join order and method."""
+    """Conventional optimizer: statistics-driven join order and method.
+
+    Every physical node it emits carries an ``estimated_rows`` annotation
+    (``PhysIndexedJoin`` additionally ``estimated_inner_rows``) — the
+    baseline the re-optimizer's materialization checkpoints compare
+    observed cardinalities against.  ``probe_cost_ms`` lets the caller
+    inflate index-probe cost when the probed data node is degraded; the
+    break-even then shifts toward hash joins automatically.
+    """
 
     def __init__(
         self,
         statistics: Statistics,
         can_probe: Optional[IndexProbeCheck] = None,
         columns_of: Optional[ViewColumns] = None,
+        probe_cost_ms: float = costs.INDEX_PROBE_MS,
     ) -> None:
         self.statistics = statistics
         self._can_probe = can_probe if can_probe is not None else (lambda v, c: True)
         self._columns_of = columns_of
+        self.probe_cost_ms = probe_cost_ms
 
     def plan(self, logical: LogicalPlan) -> PhysicalPlan:
         logical = push_filters(logical, self._columns_of)
         return self._plan(logical)
 
     def _plan(self, logical: LogicalPlan) -> PhysicalPlan:
+        physical = self._lower(logical)
+        try:
+            estimate = self.statistics.estimate(logical)
+        except TypeError:
+            estimate = None
+        if estimate is not None:
+            # Annotation only — estimated_rows is compare=False, so plan
+            # equality/caching stay structural.
+            object.__setattr__(physical, "estimated_rows", float(estimate))
+        return physical
+
+    def _lower(self, logical: LogicalPlan) -> PhysicalPlan:
         if isinstance(logical, ScanView):
-            return logical
+            # Fresh copy: the logical node may be shared (plan cache),
+            # and annotations must stay local to this planned tree.
+            return ScanView(logical.view, logical.alias)
         if isinstance(logical, Filter):
             return Filter(self._plan(logical.child), logical.predicate)
         if isinstance(logical, Project):
@@ -256,27 +294,32 @@ class CostBasedOptimizer:
         right_rows = self.statistics.estimate(join.right)
 
         # Consider indexed-NL with either side as outer, if the other
-        # side is a probe-able base scan and the outer looks tiny.
+        # side is a probe-able base scan and the outer is below the
+        # cost-model break-even against building a hash table over the
+        # inner (satellite of docs/ADAPTIVE.md: planner and runtime
+        # migration share one cost model).
         candidates = [
-            (left_rows, join.left, join.left_column, join.right, join.right_column),
-            (right_rows, join.right, join.right_column, join.left, join.left_column),
+            (left_rows, join.left, join.left_column, join.right, join.right_column, right_rows),
+            (right_rows, join.right, join.right_column, join.left, join.left_column, left_rows),
         ]
         candidates.sort(key=lambda c: c[0])
-        for outer_est, outer, outer_col, inner, inner_col in candidates:
-            if outer_est > INDEXED_NL_OUTER_THRESHOLD:
+        for outer_est, outer, outer_col, inner, inner_col, inner_est in candidates:
+            if outer_est > costs.indexed_nl_break_even(inner_est, self.probe_cost_ms):
                 continue
             matched = _scan_with_filter(inner)
             if matched is None:
                 continue
             scan, predicate = matched
             if self._can_probe(scan.view, inner_col):
-                return PhysIndexedJoin(
+                node = PhysIndexedJoin(
                     outer=self._plan(outer),
                     outer_column=outer_col,
                     inner_view=scan.view,
                     inner_column=inner_col,
                     inner_predicate=predicate,
                 )
+                object.__setattr__(node, "estimated_inner_rows", float(inner_est))
+                return node
 
         # Hash join, building on the (estimated) smaller side.
         if right_rows <= left_rows:
@@ -292,3 +335,43 @@ class CostBasedOptimizer:
             probe_column=join.right_column,
             build_column=join.left_column,
         )
+
+
+def to_logical(plan: PhysicalPlan) -> LogicalPlan:
+    """Logical image of a physical plan.
+
+    The re-optimizer hands the *remaining* subtree back to the optimizer
+    as logical algebra; this strips physical join choices (and any
+    estimate annotations — rebuilt nodes are clean) so the re-plan is a
+    fresh decision under the observed statistics.
+    """
+    if isinstance(plan, PhysHashJoin):
+        return Join(
+            to_logical(plan.probe),
+            to_logical(plan.build),
+            plan.probe_column,
+            plan.build_column,
+        )
+    if isinstance(plan, PhysIndexedJoin):
+        inner: LogicalPlan = ScanView(plan.inner_view)
+        if plan.inner_predicate is not None and not plan.inner_predicate.is_empty:
+            inner = Filter(inner, plan.inner_predicate)
+        return Join(to_logical(plan.outer), inner, plan.outer_column, plan.inner_column)
+    if isinstance(plan, ScanView):
+        return ScanView(plan.view, plan.alias)
+    if isinstance(plan, Filter):
+        return Filter(to_logical(plan.child), plan.predicate)
+    if isinstance(plan, Join):
+        return Join(
+            to_logical(plan.left), to_logical(plan.right),
+            plan.left_column, plan.right_column,
+        )
+    if isinstance(plan, Project):
+        return Project(to_logical(plan.child), plan.columns)
+    if isinstance(plan, Aggregate):
+        return Aggregate(to_logical(plan.child), plan.group_by, plan.aggs)
+    if isinstance(plan, Sort):
+        return Sort(to_logical(plan.child), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(to_logical(plan.child), plan.count)
+    raise TypeError(f"cannot convert {plan!r}")

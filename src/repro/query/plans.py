@@ -9,7 +9,7 @@ argument depends on a small operator vocabulary.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.operators import AggSpec, Row
@@ -183,12 +183,24 @@ class Conjunction:
 # ----------------------------------------------------------------------
 # logical operators
 # ----------------------------------------------------------------------
+#: Estimate annotation carried by every plan node.  ``compare=False``
+#: keeps equality/hashing purely structural (plan-cache keys and the
+#: re-optimizer's observed-cardinality overlay both rely on that), and
+#: ``repr=False`` keeps EXPLAIN/test output stable.  The cost-based
+#: optimizer stamps it via ``object.__setattr__``; the simple planner
+#: leaves it ``None``, which the runtime reads as "no estimate — fall
+#: back to budgeted adaptivity".
+def _estimate_field() -> Any:
+    return field(default=None, compare=False, repr=False)
+
+
 @dataclass(frozen=True)
 class ScanView:
     """Leaf: read a view (virtual table)."""
 
     view: str
     alias: Optional[str] = None
+    estimated_rows: Optional[float] = _estimate_field()
 
     @property
     def name(self) -> str:
@@ -199,6 +211,7 @@ class ScanView:
 class Filter:
     child: "LogicalPlan"
     predicate: Conjunction
+    estimated_rows: Optional[float] = _estimate_field()
 
 
 @dataclass(frozen=True)
@@ -209,12 +222,14 @@ class Join:
     right: "LogicalPlan"
     left_column: str
     right_column: str
+    estimated_rows: Optional[float] = _estimate_field()
 
 
 @dataclass(frozen=True)
 class Project:
     child: "LogicalPlan"
     columns: Tuple[str, ...]
+    estimated_rows: Optional[float] = _estimate_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "columns", tuple(self.columns))
@@ -225,6 +240,7 @@ class Aggregate:
     child: "LogicalPlan"
     group_by: Tuple[str, ...]
     aggs: Tuple[AggSpec, ...]
+    estimated_rows: Optional[float] = _estimate_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "group_by", tuple(self.group_by))
@@ -236,6 +252,7 @@ class Sort:
     child: "LogicalPlan"
     keys: Tuple[str, ...]
     descending: bool = False
+    estimated_rows: Optional[float] = _estimate_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "keys", tuple(self.keys))
@@ -245,6 +262,7 @@ class Sort:
 class Limit:
     child: "LogicalPlan"
     count: int
+    estimated_rows: Optional[float] = _estimate_field()
 
     def __post_init__(self) -> None:
         if self.count < 0:

@@ -88,6 +88,11 @@ class Statistics:
     def __init__(self) -> None:
         self._views: Dict[str, ViewStatistics] = {}
         self.collect_row_count = 0
+        # Observed-cardinality overlay (plan node -> actual rows), fed by
+        # the re-optimizer at materialization checkpoints.  Checked before
+        # any model-based estimate, so a re-plan of the remaining subtree
+        # sees runtime truth for everything already executed.
+        self._observed: Dict[LogicalPlan, float] = {}
 
     def collect(self, view_rows: Dict[str, Iterable[dict]]) -> None:
         """(Re-)collect from {view name: row iterable}."""
@@ -118,6 +123,32 @@ class Statistics:
                     col_stats.minimum, col_stats.maximum = minmax[column]
                 stats.columns[column] = col_stats
             self._views[view] = stats
+
+    # ------------------------------------------------------------------
+    # runtime feedback (docs/ADAPTIVE.md)
+    # ------------------------------------------------------------------
+    def observe(self, plan: LogicalPlan, rows: float) -> None:
+        """Record the *actual* output cardinality of an executed subtree.
+
+        Keys are the (structurally hashable) plan nodes themselves;
+        ``estimated_rows`` annotations are ``compare=False`` so annotated
+        and clean copies of the same subtree hit the same entry.
+        """
+        try:
+            self._observed[plan] = float(rows)
+        except TypeError:  # unhashable literal inside a predicate
+            pass
+
+    def overlay(self) -> "Statistics":
+        """A child Statistics sharing the collected view stats but with an
+        independent observation set — runtime feedback must not mutate the
+        caller's (possibly reused) statistics object.
+        """
+        child = Statistics()
+        child._views = self._views
+        child.collect_row_count = self.collect_row_count
+        child._observed = dict(self._observed)
+        return child
 
     # ------------------------------------------------------------------
     def view(self, name: str) -> Optional[ViewStatistics]:
@@ -158,7 +189,21 @@ class Statistics:
         return col_stats.range_selectivity(term.op, term.value)
 
     def estimate(self, plan: LogicalPlan) -> float:
-        """Estimated output cardinality of *plan*."""
+        """Estimated output cardinality of *plan*.
+
+        Accepts physical join nodes (:class:`~repro.query.planner.PhysHashJoin`,
+        :class:`~repro.query.planner.PhysIndexedJoin`) as well as the logical
+        algebra — the re-optimizer estimates remaining physical subtrees
+        directly.  An observed cardinality recorded via :meth:`observe`
+        always wins over the model.
+        """
+        if self._observed:
+            try:
+                observed = self._observed.get(plan)
+            except TypeError:
+                observed = None
+            if observed is not None:
+                return observed
         if isinstance(plan, ScanView):
             stats = self._views.get(plan.view)
             return float(stats.row_count) if stats else 1000.0
@@ -191,6 +236,28 @@ class Statistics:
             return min(self.estimate(plan.child), float(plan.count))
         if isinstance(plan, (Project, Sort)):
             return self.estimate(plan.child)
+        # Physical join operators.  Imported lazily: planner.py imports
+        # this module at load time.
+        from repro.query.planner import PhysHashJoin, PhysIndexedJoin
+
+        if isinstance(plan, PhysHashJoin):
+            probe = self.estimate(plan.probe)
+            build = self.estimate(plan.build)
+            build_view = self._single_view(plan.build)
+            col = self.column(build_view, plan.build_column) if build_view else None
+            if col is not None and col.n_distinct > 0:
+                return probe * build / col.n_distinct
+            return probe * build * DEFAULT_JOIN_SELECTIVITY
+        if isinstance(plan, PhysIndexedJoin):
+            outer = self.estimate(plan.outer)
+            inner_scan: LogicalPlan = ScanView(plan.inner_view)
+            if plan.inner_predicate is not None and not plan.inner_predicate.is_empty:
+                inner_scan = Filter(inner_scan, plan.inner_predicate)
+            inner = self.estimate(inner_scan)
+            col = self.column(plan.inner_view, plan.inner_column)
+            if col is not None and col.n_distinct > 0:
+                return outer * inner / col.n_distinct
+            return outer * inner * DEFAULT_JOIN_SELECTIVITY
         raise TypeError(f"cannot estimate {plan!r}")
 
     @staticmethod

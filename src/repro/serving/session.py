@@ -147,15 +147,25 @@ class Session:
         app.telemetry.inc("query.search")
         return app._flag_degradation(QueryResult.from_hits(hits, trace=span.record()))
 
-    def sql(self, query: str, planner: str = "simple", statistics=None) -> QueryResult:
+    def sql(
+        self,
+        query: str,
+        planner: str = "simple",
+        statistics=None,
+        adaptive: bool = False,
+    ) -> QueryResult:
         """SQL over views (Figure 2's legacy-application path)."""
-        return self._run("sql", lambda: self._sql_impl(query, planner, statistics))
+        return self._run(
+            "sql", lambda: self._sql_impl(query, planner, statistics, adaptive)
+        )
 
-    def _sql_impl(self, query: str, planner: str, statistics) -> QueryResult:
+    def _sql_impl(self, query: str, planner: str, statistics, adaptive: bool) -> QueryResult:
         app = self._app
         if self._secure is None:
             return app._flag_degradation(
-                app.engine.sql(query, planner=planner, statistics=statistics)
+                app.engine.sql(
+                    query, planner=planner, statistics=statistics, adaptive=adaptive
+                )
             )
         # Policy-scoped SQL: an engine over the secured repository only
         # ever sees permitted documents, so joins and aggregates cannot
@@ -164,7 +174,7 @@ class Session:
         from repro.query.engine import QueryEngine
 
         result = QueryEngine(self._secure).sql(
-            query, planner=planner, statistics=statistics
+            query, planner=planner, statistics=statistics, adaptive=adaptive
         )
         self._secure.audit.record(
             self.principal.name, Action.QUERY, "-", True, f"sql:{query}"

@@ -114,8 +114,17 @@ class TestCostBasedOptimizer:
 
     def test_stale_stats_change_choice(self, sales_repo):
         engine = QueryEngine(sales_repo)
+        # A large inner side raises the indexed-NL break-even (hash build
+        # over ~200 customers is expensive) so a 5-row outer drives probes.
+        for i in range(200):
+            sales_repo.store.put(
+                from_relational_row(
+                    f"cust-extra-{i}", "customers",
+                    {"cid": 100 + i, "name": f"c{i}", "segment": "smb"},
+                )
+            )
         stats = engine.collect_statistics(["customers", "orders"])
-        # Data grows 100x after collection; estimates are now badly stale,
+        # Orders grow 40x after collection; estimates are now badly stale,
         # but the optimizer still trusts them.
         for i in range(200):
             sales_repo.store.put(
@@ -210,3 +219,116 @@ class TestEngineCorrectness:
             "SELECT name FROM orders JOIN customers ON cid = cid WHERE oid = 1"
         ).rows
         assert rows == [{"name": "Acme Renamed"}]
+
+
+class TestPhysicalEstimates:
+    """Statistics.estimate accepts physical join nodes — the surface the
+    mid-query re-optimizer estimates remaining subtrees with."""
+
+    @pytest.fixture
+    def stats(self, sales_engine):
+        return sales_engine.collect_statistics(["customers", "orders"])
+
+    def test_hash_join_estimate_matches_logical(self, stats):
+        physical = PhysHashJoin(
+            ScanView("orders"), ScanView("customers"), "cid", "cid"
+        )
+        logical = Join(ScanView("orders"), ScanView("customers"), "cid", "cid")
+        assert stats.estimate(physical) == pytest.approx(stats.estimate(logical))
+        # orders(5) x customers(3) / n_distinct(customers.cid)=3
+        assert stats.estimate(physical) == pytest.approx(5.0)
+
+    def test_indexed_join_estimate_matches_logical(self, stats):
+        physical = PhysIndexedJoin(ScanView("orders"), "cid", "customers", "cid")
+        logical = Join(ScanView("orders"), ScanView("customers"), "cid", "cid")
+        assert stats.estimate(physical) == pytest.approx(stats.estimate(logical))
+
+    def test_indexed_join_estimate_applies_inner_predicate(self, stats):
+        predicate = Conjunction((Comparison("segment", CompareOp.EQ, "smb"),))
+        physical = PhysIndexedJoin(
+            ScanView("orders"), "cid", "customers", "cid", inner_predicate=predicate
+        )
+        unfiltered = stats.estimate(
+            PhysIndexedJoin(ScanView("orders"), "cid", "customers", "cid")
+        )
+        assert stats.estimate(physical) < unfiltered
+
+    def test_observed_cardinality_wins_over_model(self, stats):
+        scan = ScanView("orders")
+        assert stats.estimate(scan) == pytest.approx(5.0)
+        overlay = stats.overlay()
+        overlay.observe(scan, 4000.0)
+        assert overlay.estimate(scan) == pytest.approx(4000.0)
+        # the parent statistics never see the observation
+        assert stats.estimate(scan) == pytest.approx(5.0)
+
+    def test_observation_keys_ignore_estimate_annotations(self, stats):
+        overlay = stats.overlay()
+        annotated = ScanView("orders")
+        object.__setattr__(annotated, "estimated_rows", 123.0)
+        overlay.observe(annotated, 999.0)
+        # a clean structural copy hits the same entry (compare=False)
+        assert overlay.estimate(ScanView("orders")) == pytest.approx(999.0)
+
+
+class TestPushFiltersIdempotence:
+    def columns_of(self, view):
+        return {
+            "orders": frozenset({"oid", "cid", "amount", "region"}),
+            "customers": frozenset({"cid", "name", "segment"}),
+        }[view]
+
+    def test_pushdown_is_idempotent(self):
+        logical = Filter(
+            Join(ScanView("orders"), ScanView("customers"), "cid", "cid"),
+            Conjunction((
+                Comparison("amount", CompareOp.GT, 100),
+                Comparison("segment", CompareOp.EQ, "smb"),
+                Comparison("cid", CompareOp.EQ, 1),  # ambiguous: stays above
+            )),
+        )
+        once = push_filters(logical, self.columns_of)
+        twice = push_filters(once, self.columns_of)
+        assert once == twice
+
+    def test_fully_pushed_tree_unchanged(self):
+        pushed = Join(
+            Filter(ScanView("orders"),
+                   Conjunction((Comparison("amount", CompareOp.GT, 100),))),
+            Filter(ScanView("customers"),
+                   Conjunction((Comparison("segment", CompareOp.EQ, "smb"),))),
+            "cid", "cid",
+        )
+        assert push_filters(pushed, self.columns_of) == pushed
+
+
+class TestDerivedBreakEven:
+    """Satellite: the indexed-NL outer threshold is derived from the cost
+    model, not a magic constant."""
+
+    def test_formula(self):
+        from repro.exec import costs
+
+        expected = 300 * costs.HASH_BUILD_MS_PER_ROW / (
+            costs.INDEX_PROBE_MS - costs.HASH_PROBE_MS_PER_ROW
+        )
+        assert costs.indexed_nl_break_even(300) == pytest.approx(expected)
+
+    def test_floor_is_one(self):
+        from repro.exec import costs
+
+        assert costs.indexed_nl_break_even(0) == 1.0
+
+    def test_cheap_probes_never_break_even(self):
+        from repro.exec import costs
+
+        assert costs.indexed_nl_break_even(
+            1000, probe_cost_ms=costs.HASH_PROBE_MS_PER_ROW
+        ) == float("inf")
+
+    def test_penalty_shrinks_break_even(self):
+        from repro.exec import costs
+
+        healthy = costs.indexed_nl_break_even(1000)
+        degraded = costs.indexed_nl_break_even(1000, probe_cost_ms=costs.INDEX_PROBE_MS * 8)
+        assert degraded < healthy
